@@ -1,0 +1,67 @@
+// Command tangobench regenerates every table and figure of the paper's
+// evaluation (plus the design ablations) and prints them as text tables.
+//
+// Usage:
+//
+//	tangobench                 # run the full suite
+//	tangobench -exp fig8       # run one experiment
+//	tangobench -list           # list experiment IDs
+//	tangobench -grid 1025      # paper-scale fields (slower)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"tango/internal/harness"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment ID to run (default: all)")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+		gridN   = flag.Int("grid", 0, "analysis field side length (default 513)")
+		seed    = flag.Int64("seed", 0, "random seed (default 42)")
+		steps   = flag.Int("steps", 0, "analysis steps per session (default 90)")
+		skip    = flag.Int("skip", 0, "warm-up steps excluded from summaries (default 30)")
+		dataset = flag.Float64("dataset", 0, "staged dataset size in MB per app (default 2048)")
+		format  = flag.String("format", "table", "output format: table|csv|json")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range harness.Experiments() {
+			fmt.Printf("%-14s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := harness.Config{GridN: *gridN, Seed: *seed, Steps: *steps, SkipWarmup: *skip, DatasetMB: *dataset}
+
+	run := func(e harness.Experiment) {
+		start := time.Now()
+		res := e.Run(cfg)
+		if err := res.Format(os.Stdout, *format); err != nil {
+			fmt.Fprintln(os.Stderr, "tangobench:", err)
+			os.Exit(2)
+		}
+		if *format == "table" {
+			fmt.Printf("(%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		}
+	}
+
+	if *exp != "" {
+		e, ok := harness.Lookup(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tangobench: unknown experiment %q (use -list)\n", *exp)
+			os.Exit(2)
+		}
+		run(e)
+		return
+	}
+	for _, e := range harness.Experiments() {
+		run(e)
+	}
+}

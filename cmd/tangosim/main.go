@@ -1,0 +1,135 @@
+// Command tangosim runs a single storage-interference scenario: one
+// analytics container under a chosen policy against the Table IV
+// interference set, printing a per-step trace and the summary.
+//
+// Example:
+//
+//	tangosim -policy cross -noise 6 -bound 0.01 -priority 10 -steps 60
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"tango"
+	"tango/internal/cliutil"
+)
+
+func main() {
+	var (
+		policy   = flag.String("policy", "cross", "adaptation policy: none|storage|app|cross")
+		noise    = flag.Int("noise", 6, "number of Table IV interfering containers (0-6)")
+		appName  = flag.String("app", "XGC", "application: XGC|GenASiS|CFD")
+		grid     = flag.Int("grid", 513, "analysis field side length")
+		seed     = flag.Int64("seed", 42, "random seed")
+		steps    = flag.Int("steps", 60, "analysis steps (60 s period each)")
+		bound    = flag.Float64("bound", 0, "prescribed NRMSE bound (0 = no error control)")
+		priority = flag.Float64("priority", tango.PriorityHigh, "application priority (1, 5, 10)")
+		dataset  = flag.Float64("dataset", 2048, "staged dataset size in MB")
+		verbose  = flag.Bool("v", false, "print every step (default: every 5th)")
+		traceOut = flag.Bool("trace", false, "dump the controller event trace after the run")
+	)
+	flag.Parse()
+
+	pol, err := cliutil.ParsePolicy(*policy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tangosim:", err)
+		os.Exit(2)
+	}
+	var app tango.App
+	switch strings.ToLower(*appName) {
+	case "xgc":
+		app = tango.XGCApp()
+	case "genasis":
+		app = tango.GenASiSApp()
+	case "cfd":
+		app = tango.CFDApp()
+	default:
+		fmt.Fprintf(os.Stderr, "tangosim: unknown app %q\n", *appName)
+		os.Exit(2)
+	}
+
+	fmt.Printf("generating %s field (%dx%d, seed %d)...\n", app.Name, *grid, *grid, *seed)
+	field := app.Generate(*grid, *seed)
+
+	bounds := []float64{1e-1, 1e-2, 1e-3, 1e-4}
+	fmt.Println("decomposing (decimation ratio 16, NRMSE ladder 1e-1..1e-4)...")
+	h, err := tango.DecomposeTensor(field, tango.RefactorOptions{
+		Levels: tango.LevelsForRatio(16, 2, 2),
+		Bounds: bounds,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tangosim:", err)
+		os.Exit(1)
+	}
+	for _, rg := range h.Rungs() {
+		fmt.Printf("  rung eps=%-8g cursor=%-9d +%d entries (%.1f%% DoF)\n",
+			rg.Bound, rg.Cursor, rg.Cardinality, 100*h.DoFFraction(rg.Cursor))
+	}
+
+	node := tango.NewNode("node0")
+	node.MustAddDevice(tango.SSD("ssd"))
+	hdd := node.MustAddDevice(tango.HDD("hdd"))
+	tango.LaunchTableIVNoise(node, hdd, *noise)
+
+	scale := *dataset * 1024 * 1024 / float64(h.BaseBytes()+h.TotalAugBytes())
+	if scale < 1 {
+		scale = 1
+	}
+	store, err := tango.StageScaled(h, node.Tiers(), scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tangosim:", err)
+		os.Exit(1)
+	}
+
+	cfg := tango.SessionConfig{
+		Policy:   pol,
+		Priority: *priority,
+		Steps:    *steps,
+	}
+	var rec *tango.TraceRecorder
+	if *traceOut {
+		rec = tango.NewTraceRecorder(1 << 16)
+		cfg.Trace = rec
+	}
+	if *bound > 0 {
+		cfg.ErrorControl = true
+		cfg.Bound = *bound
+	}
+	sess, err := tango.NewSession(app.Name, store, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tangosim:", err)
+		os.Exit(1)
+	}
+	if err := sess.Launch(node); err != nil {
+		fmt.Fprintln(os.Stderr, "tangosim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("running %d steps under %s with %d interferers...\n\n", *steps, pol, *noise)
+	if err := node.Engine().Run(float64(*steps)*60 + 3600); err != nil {
+		fmt.Fprintln(os.Stderr, "tangosim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%5s %9s %10s %10s %9s %7s %8s\n",
+		"step", "t(s)", "io(s)", "MB", "estMB/s", "degree", "weightN")
+	for _, st := range sess.Stats() {
+		if !*verbose && st.Step%5 != 0 {
+			continue
+		}
+		fmt.Printf("%5d %9.0f %10.3f %10.1f %9.1f %7.2f %8d\n",
+			st.Step, st.Start, st.IOTime, st.Bytes/(1024*1024),
+			st.Predicted/(1024*1024), st.Degree, len(st.Buckets))
+	}
+	sum := sess.Summary(30)
+	fmt.Printf("\nsummary (steps 30+): mean I/O %.3fs  std %.3fs  min %.3fs  max %.3fs  mean %.1f MB/step\n",
+		sum.MeanIO, sum.StdIO, sum.MinIO, sum.MaxIO, sum.MeanBytes/(1024*1024))
+	if rec != nil {
+		fmt.Printf("\ncontroller trace (%d events):\n", rec.Len())
+		if _, err := rec.WriteTo(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "tangosim:", err)
+		}
+	}
+}

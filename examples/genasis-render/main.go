@@ -1,0 +1,41 @@
+// GenASiS rendering quality: decompose the core-collapse velocity field,
+// then measure SSIM and Dice of renderings recomposed at each accuracy
+// level — the paper's data-quality measures for GenASiS.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"tango"
+	"tango/internal/analytics"
+)
+
+func main() {
+	field := tango.GenASiSApp().Generate(513, 7)
+
+	h, err := tango.DecomposeTensor(field, tango.RefactorOptions{
+		Levels: tango.LevelsForRatio(64, 2, 2),
+		Bounds: []float64{1e-1, 1e-2, 1e-3, 1e-4},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("rendering quality vs retrieved accuracy (SSIM / Dice of shock-interior mask):")
+	fmt.Printf("  %-12s %-8s %-8s %-8s\n", "accuracy", "DoF%", "SSIM", "Dice")
+
+	report := func(label string, cursor int) {
+		q := analytics.CompareRenders(field, h.Recompose(cursor))
+		fmt.Printf("  %-12s %-8.1f %-8.4f %-8.4f\n",
+			label, 100*h.DoFFraction(cursor), q.SSIM, q.Dice)
+	}
+	report("base only", 0)
+	for _, r := range h.Rungs() {
+		report(fmt.Sprintf("eps=%g", r.Bound), r.Cursor)
+	}
+	report("full", h.TotalEntries())
+
+	fmt.Println("\neven the base representation preserves the shock structure well enough")
+	fmt.Println("for visualization (Motivation 3), while tight bounds recover it exactly.")
+}

@@ -1,0 +1,199 @@
+package tango_test
+
+// Cross-module integration tests exercising the whole stack through the
+// public facade: 1D/3D datasets end to end, failure injection, and
+// whole-run determinism.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tango"
+)
+
+func field3D(n int, seed int64) *tango.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	t := tango.NewTensor(n, n, n)
+	d := t.Data()
+	i := 0
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			for z := 0; z < n; z++ {
+				d[i] = math.Sin(4*math.Pi*float64(x)/float64(n))*
+					math.Cos(2*math.Pi*float64(y)/float64(n))*
+					math.Cos(6*math.Pi*float64(z)/float64(n)) +
+					0.02*rng.NormFloat64()
+				i++
+			}
+		}
+	}
+	return t
+}
+
+func TestEndToEnd3DDataset(t *testing.T) {
+	orig := field3D(33, 5)
+	h, err := tango.DecomposeTensor(orig, tango.RefactorOptions{
+		Levels: 3,
+		Bounds: []float64{0.1, 0.01},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Losslessness and bound satisfaction hold in 3D.
+	if d := h.Recompose(h.TotalEntries()).AbsDiffMax(orig); d > 1e-12*orig.Range() {
+		t.Fatalf("3D full recomposition diff %v", d)
+	}
+	for _, r := range h.Rungs() {
+		if acc := h.Achieved(orig, r.Cursor); acc > r.Bound+1e-12 {
+			t.Fatalf("3D rung %g achieved %v", r.Bound, acc)
+		}
+	}
+
+	// And the full session pipeline runs on 3D data.
+	node := tango.NewNode("n3d")
+	node.MustAddDevice(tango.SSD("ssd"))
+	hdd := node.MustAddDevice(tango.HDD("hdd"))
+	tango.LaunchTableIVNoise(node, hdd, 2)
+	store, err := tango.StageScaled(h, node.Tiers(), 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := tango.NewSession("vol", store, tango.SessionConfig{
+		Policy: tango.CrossLayer, ErrorControl: true, Bound: 0.01,
+		Steps: 8, Window: 4, RefitEvery: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Launch(node); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Engine().Run(8*60 + 600); err != nil {
+		t.Fatal(err)
+	}
+	if len(sess.Stats()) != 8 {
+		t.Fatalf("steps = %d", len(sess.Stats()))
+	}
+}
+
+func TestEndToEnd1DDataset(t *testing.T) {
+	n := 4097
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = math.Sin(float64(i)/50) + 0.3*math.Sin(float64(i)/7)
+	}
+	h, err := tango.Decompose(data, []int{n}, tango.RefactorOptions{
+		Levels: 5,
+		Bounds: []float64{0.05, 0.005},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := tango.TensorFromData(data, n)
+	for _, r := range h.Rungs() {
+		if acc := h.Achieved(orig, r.Cursor); acc > r.Bound+1e-12 {
+			t.Fatalf("1D rung %g achieved %v", r.Bound, acc)
+		}
+	}
+	// 5 levels = 4 halvings: the base is ~1/16 of the points.
+	if frac := h.DoFFraction(0); frac > 0.07 {
+		t.Fatalf("1D 5-level base fraction = %.3f, want ~1/16", frac)
+	}
+}
+
+func TestStagingFailureWhenFastTierFull(t *testing.T) {
+	field := tango.CFDApp().Generate(129, 2)
+	h, err := tango.DecomposeTensor(field, tango.RefactorOptions{Levels: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := tango.NewNode("n")
+	ssdParams := tango.SSD("ssd")
+	ssdParams.Capacity = 1024 // 1 KB: nothing fits
+	node.MustAddDevice(ssdParams)
+	node.MustAddDevice(tango.HDD("hdd"))
+	if _, err := tango.Stage(h, node.Tiers()); err == nil {
+		t.Fatal("staging onto a full fast tier must fail")
+	}
+	// Rollback: a second, adequately-sized staging succeeds on the
+	// same devices.
+	node2 := tango.NewNode("n2")
+	node2.MustAddDevice(tango.SSD("ssd"))
+	node2.MustAddDevice(tango.HDD("hdd"))
+	if _, err := tango.Stage(h, node2.Tiers()); err != nil {
+		t.Fatalf("staging on healthy tiers failed: %v", err)
+	}
+}
+
+func TestSessionReleaseFreesCapacityAfterRun(t *testing.T) {
+	field := tango.GenASiSApp().Generate(65, 3)
+	h, err := tango.DecomposeTensor(field, tango.RefactorOptions{Levels: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := tango.NewNode("n")
+	ssd := node.MustAddDevice(tango.SSD("ssd"))
+	hdd := node.MustAddDevice(tango.HDD("hdd"))
+	store, err := tango.Stage(h, node.Tiers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ssd.Used() == 0 && hdd.Used() == 0 {
+		t.Fatal("staging reserved nothing")
+	}
+	sess, err := tango.NewSession("s", store, tango.SessionConfig{Policy: tango.NoAdapt, Steps: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Launch(node); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Engine().Run(1e6); err != nil {
+		t.Fatal(err)
+	}
+	// The session's container released the ephemeral data on exit.
+	if ssd.Used() != 0 || hdd.Used() != 0 {
+		t.Fatalf("ephemeral data not erased: ssd=%v hdd=%v", ssd.Used(), hdd.Used())
+	}
+}
+
+func TestWholeRunDeterminismAcrossStack(t *testing.T) {
+	run := func() (float64, float64) {
+		field := tango.XGCApp().Generate(129, 11)
+		h, err := tango.DecomposeTensor(field, tango.RefactorOptions{
+			Levels: 3, Bounds: []float64{0.05},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		node := tango.NewNode("n")
+		node.MustAddDevice(tango.SSD("ssd"))
+		hdd := node.MustAddDevice(tango.HDD("hdd"))
+		tango.LaunchTableIVNoise(node, hdd, 6)
+		store, err := tango.StageScaled(h, node.Tiers(), 2048)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sess, err := tango.NewSession("a", store, tango.SessionConfig{
+			Policy: tango.CrossLayer, ErrorControl: true, Bound: 0.05,
+			Steps: 20, Window: 8, RefitEvery: 8,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sess.Launch(node); err != nil {
+			t.Fatal(err)
+		}
+		if err := node.Engine().Run(20*60 + 3600); err != nil {
+			t.Fatal(err)
+		}
+		s := sess.Summary(0)
+		return s.MeanIO, s.MeanBytes
+	}
+	io1, b1 := run()
+	io2, b2 := run()
+	if io1 != io2 || b1 != b2 {
+		t.Fatalf("whole-stack run not deterministic: (%v,%v) vs (%v,%v)", io1, b1, io2, b2)
+	}
+}

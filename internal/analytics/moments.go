@@ -1,0 +1,77 @@
+package analytics
+
+import (
+	"math"
+
+	"tango/internal/errmetric"
+	"tango/internal/tensor"
+)
+
+// Moments holds the first four standardized moments of a field — the
+// "statistical analysis" workload the paper cites as tolerant of reduced
+// representations (§II, Motivation 3).
+type Moments struct {
+	Mean     float64
+	Variance float64
+	Skewness float64
+	Kurtosis float64 // excess kurtosis (normal = 0)
+}
+
+// ComputeMoments returns the field's moments in a single pass pair.
+func ComputeMoments(t *tensor.Tensor) Moments {
+	data := t.Data()
+	n := float64(len(data))
+	var mean float64
+	for _, v := range data {
+		mean += v
+	}
+	mean /= n
+	var m2, m3, m4 float64
+	for _, v := range data {
+		d := v - mean
+		d2 := d * d
+		m2 += d2
+		m3 += d2 * d
+		m4 += d2 * d2
+	}
+	m2 /= n
+	m3 /= n
+	m4 /= n
+	out := Moments{Mean: mean, Variance: m2}
+	if m2 > 0 {
+		s := math.Sqrt(m2)
+		out.Skewness = m3 / (s * s * s)
+		out.Kurtosis = m4/(m2*m2) - 3
+	}
+	return out
+}
+
+// RelErrVs returns the mean relative error across the four moments
+// against a reference. Moments near zero are compared against the
+// reference field's standard deviation scale to avoid division blow-ups.
+func (m Moments) RelErrVs(ref Moments) float64 {
+	scale := math.Sqrt(ref.Variance)
+	if scale == 0 {
+		scale = 1
+	}
+	relOrScaled := func(want, got float64) float64 {
+		if math.Abs(want) > 1e-3*scale {
+			return errmetric.RelErr(want, got)
+		}
+		return math.Abs(got-want) / scale
+	}
+	errs := []float64{
+		relOrScaled(ref.Mean, m.Mean),
+		relOrScaled(ref.Variance, m.Variance),
+		relOrScaled(ref.Skewness, m.Skewness),
+		relOrScaled(ref.Kurtosis, m.Kurtosis),
+	}
+	var sum float64
+	for _, e := range errs {
+		if math.IsInf(e, 1) {
+			e = 1
+		}
+		sum += e
+	}
+	return sum / float64(len(errs))
+}

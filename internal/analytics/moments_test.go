@@ -1,0 +1,87 @@
+package analytics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tango/internal/refactor"
+	"tango/internal/synth"
+	"tango/internal/tensor"
+)
+
+func TestComputeMomentsKnownValues(t *testing.T) {
+	// Constant field: variance 0, higher moments defined as 0.
+	c := tensor.New(8, 8)
+	c.Fill(5)
+	m := ComputeMoments(c)
+	if m.Mean != 5 || m.Variance != 0 || m.Skewness != 0 || m.Kurtosis != 0 {
+		t.Fatalf("constant moments = %+v", m)
+	}
+
+	// Two-point symmetric distribution {-1, +1}: mean 0, var 1,
+	// skew 0, excess kurtosis -2.
+	d := tensor.New(2)
+	d.Data()[0], d.Data()[1] = -1, 1
+	m = ComputeMoments(d)
+	if m.Mean != 0 || m.Variance != 1 || m.Skewness != 0 || math.Abs(m.Kurtosis+2) > 1e-12 {
+		t.Fatalf("two-point moments = %+v", m)
+	}
+}
+
+func TestMomentsGaussianField(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g := tensor.New(256, 256)
+	for i := range g.Data() {
+		g.Data()[i] = 3 + 2*rng.NormFloat64()
+	}
+	m := ComputeMoments(g)
+	if math.Abs(m.Mean-3) > 0.05 {
+		t.Fatalf("mean = %v", m.Mean)
+	}
+	if math.Abs(m.Variance-4) > 0.15 {
+		t.Fatalf("variance = %v", m.Variance)
+	}
+	if math.Abs(m.Skewness) > 0.05 || math.Abs(m.Kurtosis) > 0.1 {
+		t.Fatalf("shape moments = %+v", m)
+	}
+}
+
+func TestMomentsRelErr(t *testing.T) {
+	f := synth.GenASiS(129, 2)
+	ref := ComputeMoments(f)
+	if got := ref.RelErrVs(ref); got != 0 {
+		t.Fatalf("self relerr = %v", got)
+	}
+	// Statistical analysis is robust to decimation (Motivation 3): the
+	// base representation's moments stay close.
+	h, err := refactor.Decompose(f, refactor.Options{Levels: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The GenASiS shock front is sharp, so higher moments shift some at
+	// 64x reduction — but the error stays well below order unity.
+	base := ComputeMoments(h.Recompose(0))
+	if e := base.RelErrVs(ref); e > 0.5 {
+		t.Fatalf("base-only moments error = %v, want modest", e)
+	}
+	// A partial augmentation must not be worse than base-only.
+	half := ComputeMoments(h.Recompose(h.TotalEntries() / 2))
+	if e, eb := half.RelErrVs(ref), base.RelErrVs(ref); e > eb+1e-9 {
+		t.Fatalf("half-augmented error %v exceeds base-only %v", e, eb)
+	}
+	full := ComputeMoments(h.Recompose(h.TotalEntries()))
+	if e := full.RelErrVs(ref); e > 1e-9 {
+		t.Fatalf("full moments error = %v", e)
+	}
+}
+
+func TestMomentsZeroVarianceReference(t *testing.T) {
+	c := tensor.New(4)
+	c.Fill(2)
+	ref := ComputeMoments(c)
+	other := ComputeMoments(tensor.FromData([]float64{2, 2, 2, 3}, 4))
+	if e := other.RelErrVs(ref); math.IsNaN(e) || math.IsInf(e, 0) {
+		t.Fatalf("zero-variance relerr = %v", e)
+	}
+}

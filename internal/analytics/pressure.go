@@ -1,0 +1,94 @@
+package analytics
+
+import (
+	"fmt"
+	"math"
+
+	"tango/internal/errmetric"
+	"tango/internal/tensor"
+)
+
+// PressureStats is the CFD analysis outcome: the total area with high
+// pressure near the front of the plane and the total force on that area
+// (pressure integrated over the area), the two quantities the paper
+// reports for CFD.
+type PressureStats struct {
+	HighArea   float64 // cells with p >= threshold
+	TotalForce float64 // Σ p over those cells (unit cell area)
+	Threshold  float64
+}
+
+// PressureOptions configures the analysis.
+type PressureOptions struct {
+	// ThresholdQuantile: the high-pressure threshold is this quantile of
+	// the reference free-stream distribution; default 0 means use
+	// mean + 2σ of the analyzed field.
+	SigmaK float64
+}
+
+// DefaultPressureOptions uses mean + 2σ.
+func DefaultPressureOptions() PressureOptions { return PressureOptions{SigmaK: 2} }
+
+// AnalyzePressure computes the high-pressure area and force.
+func AnalyzePressure(t *tensor.Tensor, o PressureOptions) PressureStats {
+	if len(t.Dims()) != 2 {
+		panic(fmt.Sprintf("analytics: AnalyzePressure expects 2D, got %v", t.Dims()))
+	}
+	data := t.Data()
+	var mean float64
+	for _, v := range data {
+		mean += v
+	}
+	mean /= float64(len(data))
+	var variance float64
+	for _, v := range data {
+		d := v - mean
+		variance += d * d
+	}
+	variance /= float64(len(data))
+	k := o.SigmaK
+	if k == 0 {
+		k = 2
+	}
+	thresh := mean + k*math.Sqrt(variance)
+
+	st := PressureStats{Threshold: thresh}
+	for _, v := range data {
+		if v >= thresh {
+			st.HighArea++
+			st.TotalForce += v
+		}
+	}
+	return st
+}
+
+// AnalyzePressureAt computes area and force against a fixed threshold
+// (use the reference run's threshold so reduced data is judged on the
+// same physical criterion).
+func AnalyzePressureAt(t *tensor.Tensor, thresh float64) PressureStats {
+	st := PressureStats{Threshold: thresh}
+	for _, v := range t.Data() {
+		if v >= thresh {
+			st.HighArea++
+			st.TotalForce += v
+		}
+	}
+	return st
+}
+
+// RelErrVs returns the relative error against a reference outcome,
+// averaged over area and force.
+func (p PressureStats) RelErrVs(ref PressureStats) float64 {
+	errs := []float64{
+		errmetric.RelErr(ref.HighArea, p.HighArea),
+		errmetric.RelErr(ref.TotalForce, p.TotalForce),
+	}
+	var sum float64
+	for _, e := range errs {
+		if math.IsInf(e, 1) {
+			e = 1
+		}
+		sum += e
+	}
+	return sum / float64(len(errs))
+}

@@ -1,0 +1,220 @@
+// Package blkio emulates the Linux cgroups block-I/O controller as used by
+// container runtimes: per-cgroup proportional weight (blkio.weight,
+// 100–1000), per-device byte-rate throttles
+// (blkio.throttle.read_bps_device / write_bps_device), and runtime
+// adjustment without restarting the container.
+//
+// The semantics mirror the kernel's CFQ/BFQ proportional-share behaviour
+// that the Tango paper relies on: weights divide the device bandwidth that
+// is actually available, so a static weight cannot provide performance
+// isolation when the number of competitors changes (paper Fig 1 /
+// Motivation 2), while a runtime-adjusted weight can steer allocation
+// (paper §III-C step 3).
+package blkio
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Weight bounds as enforced by the kernel (and Docker's --blkio-weight).
+const (
+	MinWeight     = 100
+	MaxWeight     = 1000
+	DefaultWeight = 100 // the paper's default container weight (§IV-A)
+)
+
+// ClampWeight restricts w to the valid blkio weight range.
+func ClampWeight(w int) int {
+	if w < MinWeight {
+		return MinWeight
+	}
+	if w > MaxWeight {
+		return MaxWeight
+	}
+	return w
+}
+
+// Cgroup is a control group with block-I/O parameters. A Cgroup is shared
+// by reference between the container that owns it and the devices that
+// schedule its flows. Mutations notify subscribed devices so that
+// proportional shares are recomputed immediately (runtime adjustment).
+type Cgroup struct {
+	mu   sync.Mutex
+	name string
+
+	weight   int
+	readBps  float64 // 0 = unlimited
+	writeBps float64 // 0 = unlimited
+
+	subs []func()
+
+	// accounting
+	bytesRead    float64
+	bytesWritten float64
+}
+
+// NewCgroup creates a cgroup with the default weight and no throttles.
+func NewCgroup(name string) *Cgroup {
+	return &Cgroup{name: name, weight: DefaultWeight}
+}
+
+// Name returns the cgroup name.
+func (c *Cgroup) Name() string { return c.name }
+
+// Weight returns the current proportional weight.
+func (c *Cgroup) Weight() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.weight
+}
+
+// SetWeight adjusts the proportional weight at runtime, clamping to
+// [MinWeight, MaxWeight], and notifies subscribers. This mirrors writing to
+// blkio.weight: it requires neither administrator access nor a container
+// restart (paper §III-C).
+func (c *Cgroup) SetWeight(w int) {
+	c.mu.Lock()
+	c.weight = ClampWeight(w)
+	subs := c.subs
+	c.mu.Unlock()
+	for _, fn := range subs {
+		fn()
+	}
+}
+
+// ReadBpsLimit returns the read throttle in bytes/sec (0 = unlimited).
+func (c *Cgroup) ReadBpsLimit() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.readBps
+}
+
+// WriteBpsLimit returns the write throttle in bytes/sec (0 = unlimited).
+func (c *Cgroup) WriteBpsLimit() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.writeBps
+}
+
+// SetReadBpsLimit sets blkio.throttle.read_bps_device (0 disables).
+func (c *Cgroup) SetReadBpsLimit(bps float64) {
+	c.mu.Lock()
+	if bps < 0 {
+		bps = 0
+	}
+	c.readBps = bps
+	subs := c.subs
+	c.mu.Unlock()
+	for _, fn := range subs {
+		fn()
+	}
+}
+
+// SetWriteBpsLimit sets blkio.throttle.write_bps_device (0 disables).
+func (c *Cgroup) SetWriteBpsLimit(bps float64) {
+	c.mu.Lock()
+	if bps < 0 {
+		bps = 0
+	}
+	c.writeBps = bps
+	subs := c.subs
+	c.mu.Unlock()
+	for _, fn := range subs {
+		fn()
+	}
+}
+
+// Subscribe registers fn to be invoked after any parameter change. Devices
+// subscribe once per cgroup so weight updates reshape in-flight shares.
+func (c *Cgroup) Subscribe(fn func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.subs = append(c.subs, fn)
+}
+
+// Account records served bytes (called by devices on flow completion).
+func (c *Cgroup) Account(bytes float64, write bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if write {
+		c.bytesWritten += bytes
+	} else {
+		c.bytesRead += bytes
+	}
+}
+
+// BytesRead returns cumulative bytes read through this cgroup.
+func (c *Cgroup) BytesRead() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytesRead
+}
+
+// BytesWritten returns cumulative bytes written through this cgroup.
+func (c *Cgroup) BytesWritten() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytesWritten
+}
+
+// Controller is a registry of cgroups on a node, analogous to the blkio
+// cgroup hierarchy root.
+type Controller struct {
+	mu     sync.Mutex
+	groups map[string]*Cgroup
+}
+
+// NewController returns an empty cgroup registry.
+func NewController() *Controller {
+	return &Controller{groups: make(map[string]*Cgroup)}
+}
+
+// Create registers and returns a new cgroup. It fails if the name exists.
+func (ctl *Controller) Create(name string) (*Cgroup, error) {
+	ctl.mu.Lock()
+	defer ctl.mu.Unlock()
+	if _, ok := ctl.groups[name]; ok {
+		return nil, fmt.Errorf("blkio: cgroup %q already exists", name)
+	}
+	cg := NewCgroup(name)
+	ctl.groups[name] = cg
+	return cg, nil
+}
+
+// MustCreate is Create that panics on duplicates; used by scenario setup
+// code where names are program constants.
+func (ctl *Controller) MustCreate(name string) *Cgroup {
+	cg, err := ctl.Create(name)
+	if err != nil {
+		panic(err)
+	}
+	return cg
+}
+
+// Lookup returns the named cgroup, or nil.
+func (ctl *Controller) Lookup(name string) *Cgroup {
+	ctl.mu.Lock()
+	defer ctl.mu.Unlock()
+	return ctl.groups[name]
+}
+
+// Remove deletes the named cgroup from the registry.
+func (ctl *Controller) Remove(name string) {
+	ctl.mu.Lock()
+	defer ctl.mu.Unlock()
+	delete(ctl.groups, name)
+}
+
+// Names returns the registered cgroup names in sorted order.
+func (ctl *Controller) Names() []string {
+	ctl.mu.Lock()
+	defer ctl.mu.Unlock()
+	names := make([]string, 0, len(ctl.groups))
+	for n := range ctl.groups {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,123 @@
+package blkio
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestClampWeight(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{0, 100}, {99, 100}, {100, 100}, {500, 500}, {1000, 1000}, {5000, 1000}, {-7, 100},
+	}
+	for _, c := range cases {
+		if got := ClampWeight(c.in); got != c.want {
+			t.Errorf("ClampWeight(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestClampWeightProperty(t *testing.T) {
+	f := func(w int) bool {
+		c := ClampWeight(w)
+		return c >= MinWeight && c <= MaxWeight &&
+			(w < MinWeight || w > MaxWeight || c == w)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewCgroupDefaults(t *testing.T) {
+	cg := NewCgroup("analytics")
+	if cg.Name() != "analytics" {
+		t.Fatalf("name = %q", cg.Name())
+	}
+	if cg.Weight() != DefaultWeight {
+		t.Fatalf("weight = %d, want %d", cg.Weight(), DefaultWeight)
+	}
+	if cg.ReadBpsLimit() != 0 || cg.WriteBpsLimit() != 0 {
+		t.Fatal("new cgroup should be unthrottled")
+	}
+}
+
+func TestSetWeightClampsAndNotifies(t *testing.T) {
+	cg := NewCgroup("a")
+	calls := 0
+	cg.Subscribe(func() { calls++ })
+	cg.SetWeight(5000)
+	if cg.Weight() != MaxWeight {
+		t.Fatalf("weight = %d", cg.Weight())
+	}
+	cg.SetWeight(1)
+	if cg.Weight() != MinWeight {
+		t.Fatalf("weight = %d", cg.Weight())
+	}
+	if calls != 2 {
+		t.Fatalf("subscriber calls = %d, want 2", calls)
+	}
+}
+
+func TestThrottleSettersNotify(t *testing.T) {
+	cg := NewCgroup("a")
+	calls := 0
+	cg.Subscribe(func() { calls++ })
+	cg.SetReadBpsLimit(100)
+	cg.SetWriteBpsLimit(200)
+	cg.SetReadBpsLimit(-5) // negative disables
+	if cg.ReadBpsLimit() != 0 {
+		t.Fatalf("read limit = %v, want 0", cg.ReadBpsLimit())
+	}
+	if cg.WriteBpsLimit() != 200 {
+		t.Fatalf("write limit = %v", cg.WriteBpsLimit())
+	}
+	if calls != 3 {
+		t.Fatalf("subscriber calls = %d, want 3", calls)
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	cg := NewCgroup("a")
+	cg.Account(100, false)
+	cg.Account(50, true)
+	cg.Account(25, false)
+	if cg.BytesRead() != 125 {
+		t.Fatalf("read = %v", cg.BytesRead())
+	}
+	if cg.BytesWritten() != 50 {
+		t.Fatalf("written = %v", cg.BytesWritten())
+	}
+}
+
+func TestControllerLifecycle(t *testing.T) {
+	ctl := NewController()
+	a, err := ctl.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ctl.Create("a"); err == nil {
+		t.Fatal("duplicate create should fail")
+	}
+	ctl.MustCreate("b")
+	if ctl.Lookup("a") != a {
+		t.Fatal("lookup mismatch")
+	}
+	names := ctl.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v", names)
+	}
+	ctl.Remove("a")
+	if ctl.Lookup("a") != nil {
+		t.Fatal("removed cgroup still present")
+	}
+}
+
+func TestMustCreatePanicsOnDuplicate(t *testing.T) {
+	ctl := NewController()
+	ctl.MustCreate("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ctl.MustCreate("x")
+}

@@ -1,0 +1,150 @@
+// Package container models the containerized, non-exclusive node usage
+// scenario the paper targets: a compute node with a local ephemeral
+// storage hierarchy (performance tier + capacity tier) shared by several
+// containers, each bound to its own blkio cgroup (§II "Runtime resource
+// control via cgroups").
+package container
+
+import (
+	"fmt"
+	"sort"
+
+	"tango/internal/blkio"
+	"tango/internal/device"
+	"tango/internal/sim"
+)
+
+// Node is one compute node: an engine, a set of local devices forming the
+// ephemeral storage hierarchy, and the containers running on it.
+type Node struct {
+	name string
+	eng  *sim.Engine
+	ctl  *blkio.Controller
+
+	devices    map[string]*device.Device
+	tiers      []*device.Device // fastest first (ST^{L-1} … ST^0)
+	containers map[string]*Container
+}
+
+// NewNode creates an empty node with its own simulation engine.
+func NewNode(name string) *Node {
+	return &Node{
+		name:       name,
+		eng:        sim.NewEngine(),
+		ctl:        blkio.NewController(),
+		devices:    make(map[string]*device.Device),
+		containers: make(map[string]*Container),
+	}
+}
+
+// Name returns the node name.
+func (n *Node) Name() string { return n.name }
+
+// Engine returns the node's simulation engine.
+func (n *Node) Engine() *sim.Engine { return n.eng }
+
+// Cgroups returns the node's blkio controller.
+func (n *Node) Cgroups() *blkio.Controller { return n.ctl }
+
+// AddDevice creates a device on this node. Devices added in order of
+// decreasing speed become the storage tiers: the first added is the
+// fastest tier. Returns an error on duplicate names.
+func (n *Node) AddDevice(p device.Params) (*device.Device, error) {
+	if _, ok := n.devices[p.Name]; ok {
+		return nil, fmt.Errorf("container: device %q already exists on node %q", p.Name, n.name)
+	}
+	d := device.New(n.eng, p)
+	n.devices[p.Name] = d
+	n.tiers = append(n.tiers, d)
+	return d, nil
+}
+
+// MustAddDevice is AddDevice that panics on error.
+func (n *Node) MustAddDevice(p device.Params) *device.Device {
+	d, err := n.AddDevice(p)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Device returns the named device or nil.
+func (n *Node) Device(name string) *device.Device { return n.devices[name] }
+
+// Tiers returns the storage tiers fastest-first, matching the paper's
+// indexing where ST^{L-1} is the fastest/smallest and ST^0 the
+// slowest/largest. Tiers[0] here is the fastest.
+func (n *Node) Tiers() []*device.Device { return n.tiers }
+
+// DeviceNames returns device names in sorted order.
+func (n *Node) DeviceNames() []string {
+	names := make([]string, 0, len(n.devices))
+	for name := range n.devices {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Container is one application container: a name, its blkio cgroup, and
+// optionally a running process.
+type Container struct {
+	name string
+	node *Node
+	cg   *blkio.Cgroup
+	proc *sim.Proc
+}
+
+// Launch creates a container with a fresh cgroup and starts body as its
+// process. The body receives the container so it can reach the node,
+// devices, and cgroup.
+func (n *Node) Launch(name string, body func(c *Container, p *sim.Proc)) (*Container, error) {
+	if _, ok := n.containers[name]; ok {
+		return nil, fmt.Errorf("container: %q already running on node %q", name, n.name)
+	}
+	cg, err := n.ctl.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	c := &Container{name: name, node: n, cg: cg}
+	c.proc = n.eng.Spawn(name, func(p *sim.Proc) { body(c, p) })
+	n.containers[name] = c
+	return c, nil
+}
+
+// MustLaunch is Launch that panics on error.
+func (n *Node) MustLaunch(name string, body func(c *Container, p *sim.Proc)) *Container {
+	c, err := n.Launch(name, body)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Container returns the named container or nil.
+func (n *Node) Container(name string) *Container { return n.containers[name] }
+
+// Name returns the container name.
+func (c *Container) Name() string { return c.name }
+
+// Node returns the node hosting this container.
+func (c *Container) Node() *Node { return c.node }
+
+// Cgroup returns the container's blkio cgroup.
+func (c *Container) Cgroup() *blkio.Cgroup { return c.cg }
+
+// Proc returns the container's main process.
+func (c *Container) Proc() *sim.Proc { return c.proc }
+
+// SetWeight adjusts the container's blkio weight at runtime.
+func (c *Container) SetWeight(w int) { c.cg.SetWeight(w) }
+
+// Read performs a read of `bytes` from dev under this container's cgroup.
+func (c *Container) Read(p *sim.Proc, dev *device.Device, bytes float64) float64 {
+	return dev.Read(p, c.cg, bytes)
+}
+
+// Write performs a write of `bytes` to dev under this container's cgroup.
+func (c *Container) Write(p *sim.Proc, dev *device.Device, bytes float64) float64 {
+	return dev.Write(p, c.cg, bytes)
+}

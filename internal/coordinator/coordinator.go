@@ -1,0 +1,165 @@
+// Package coordinator arbitrates blkio weights between multiple Tango
+// sessions on one node. Each session's weight function produces a
+// *desired* weight on the absolute [100,1000] scale; when several
+// sessions are retrieving simultaneously their independent requests can
+// saturate the top of the range (losing the priority differentiation the
+// weight encodes) or sit far below it (wasting share against the
+// interfering containers). The allocator rescales the desired weights of
+// all concurrently active sessions so that the largest maps to MaxWeight
+// while mutual ratios — and hence priority differentiation — are
+// preserved exactly.
+//
+// This is an extension beyond the paper, which evaluates one analytics
+// container per node but motivates the multi-analytics scenario.
+package coordinator
+
+import (
+	"fmt"
+	"sync"
+
+	"tango/internal/blkio"
+)
+
+// Allocator coordinates the weights of registered sessions. It is safe
+// for use from a single simulation engine (its mutex additionally allows
+// multi-engine tests to share one instance, though that is not the
+// intended deployment).
+type Allocator struct {
+	mu      sync.Mutex
+	names   []string // insertion order: keeps rebalancing deterministic
+	entries map[string]*entry
+}
+
+type entry struct {
+	cg      *blkio.Cgroup
+	desired int
+	active  bool
+}
+
+// New returns an empty allocator.
+func New() *Allocator {
+	return &Allocator{entries: map[string]*entry{}}
+}
+
+// Attach registers a session's cgroup. It fails on duplicate names.
+func (a *Allocator) Attach(name string, cg *blkio.Cgroup) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.entries[name]; ok {
+		return fmt.Errorf("coordinator: session %q already attached", name)
+	}
+	a.entries[name] = &entry{cg: cg}
+	a.names = append(a.names, name)
+	return nil
+}
+
+// Detach removes a session (weight reverts to the default).
+func (a *Allocator) Detach(name string) {
+	a.mu.Lock()
+	e, ok := a.entries[name]
+	delete(a.entries, name)
+	for i, n := range a.names {
+		if n == name {
+			a.names = append(a.names[:i], a.names[i+1:]...)
+			break
+		}
+	}
+	a.mu.Unlock()
+	if ok {
+		e.cg.SetWeight(blkio.DefaultWeight)
+	}
+}
+
+// Request declares that the named session wants the given desired weight
+// for its current retrieval, and rebalances every active session. It
+// returns the granted weight.
+func (a *Allocator) Request(name string, desired int) (int, error) {
+	a.mu.Lock()
+	e, ok := a.entries[name]
+	if !ok {
+		a.mu.Unlock()
+		return 0, fmt.Errorf("coordinator: session %q not attached", name)
+	}
+	e.desired = blkio.ClampWeight(desired)
+	e.active = true
+	grants := a.rebalanceLocked()
+	a.mu.Unlock()
+	a.apply(grants)
+	return grants[name], nil
+}
+
+// Release marks the session's retrieval finished: its weight reverts to
+// the default and the remaining active sessions rebalance.
+func (a *Allocator) Release(name string) {
+	a.mu.Lock()
+	e, ok := a.entries[name]
+	if ok {
+		e.active = false
+	}
+	grants := a.rebalanceLocked()
+	cg := (*blkio.Cgroup)(nil)
+	if ok {
+		cg = e.cg
+	}
+	a.mu.Unlock()
+	if cg != nil {
+		cg.SetWeight(blkio.DefaultWeight)
+	}
+	a.apply(grants)
+}
+
+// rebalanceLocked computes grants for all active sessions: scale so the
+// largest desired maps to MaxWeight, preserving ratios.
+func (a *Allocator) rebalanceLocked() map[string]int {
+	maxDesired := 0
+	for _, name := range a.names {
+		if e := a.entries[name]; e.active && e.desired > maxDesired {
+			maxDesired = e.desired
+		}
+	}
+	grants := map[string]int{}
+	if maxDesired == 0 {
+		return grants
+	}
+	for _, name := range a.names {
+		if e := a.entries[name]; e.active {
+			grants[name] = blkio.ClampWeight(e.desired * blkio.MaxWeight / maxDesired)
+		}
+	}
+	return grants
+}
+
+// apply pushes grants to the cgroups outside the allocator lock (SetWeight
+// notifies device subscribers).
+func (a *Allocator) apply(grants map[string]int) {
+	a.mu.Lock()
+	type target struct {
+		cg *blkio.Cgroup
+		w  int
+	}
+	var targets []target
+	for _, name := range a.names {
+		if w, ok := grants[name]; ok {
+			targets = append(targets, target{a.entries[name].cg, w})
+		}
+	}
+	a.mu.Unlock()
+	for _, t := range targets {
+		if t.cg.Weight() != t.w {
+			t.cg.SetWeight(t.w)
+		}
+	}
+}
+
+// Active reports how many sessions are currently retrieving.
+func (a *Allocator) Active() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for _, e := range a.entries {
+		if e.active {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,113 @@
+package coordinator
+
+import (
+	"testing"
+
+	"tango/internal/blkio"
+)
+
+func TestAttachDetach(t *testing.T) {
+	a := New()
+	cg := blkio.NewCgroup("s1")
+	if err := a.Attach("s1", cg); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Attach("s1", cg); err == nil {
+		t.Fatal("duplicate attach accepted")
+	}
+	if _, err := a.Request("s1", 500); err != nil {
+		t.Fatal(err)
+	}
+	a.Detach("s1")
+	if cg.Weight() != blkio.DefaultWeight {
+		t.Fatalf("weight after detach = %d", cg.Weight())
+	}
+	if _, err := a.Request("s1", 500); err == nil {
+		t.Fatal("request after detach accepted")
+	}
+}
+
+func TestSingleSessionScalesToMax(t *testing.T) {
+	a := New()
+	cg := blkio.NewCgroup("s1")
+	if err := a.Attach("s1", cg); err != nil {
+		t.Fatal(err)
+	}
+	granted, err := a.Request("s1", 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Alone, the session's desired weight is the largest: it gets the
+	// full range.
+	if granted != blkio.MaxWeight {
+		t.Fatalf("granted = %d, want %d", granted, blkio.MaxWeight)
+	}
+	if cg.Weight() != blkio.MaxWeight {
+		t.Fatalf("cgroup weight = %d", cg.Weight())
+	}
+}
+
+func TestRatiosPreservedAcrossSessions(t *testing.T) {
+	a := New()
+	hi, lo := blkio.NewCgroup("hi"), blkio.NewCgroup("lo")
+	if err := a.Attach("hi", hi); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Attach("lo", lo); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Request("hi", 600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Request("lo", 150); err != nil {
+		t.Fatal(err)
+	}
+	// hi scales to 1000; lo keeps the 4:1 ratio -> 250.
+	if hi.Weight() != 1000 || lo.Weight() != 250 {
+		t.Fatalf("weights = %d, %d", hi.Weight(), lo.Weight())
+	}
+	if a.Active() != 2 {
+		t.Fatalf("active = %d", a.Active())
+	}
+	// Releasing hi re-scales lo to the full range.
+	a.Release("hi")
+	if hi.Weight() != blkio.DefaultWeight {
+		t.Fatalf("released weight = %d", hi.Weight())
+	}
+	if lo.Weight() != blkio.MaxWeight {
+		t.Fatalf("remaining session weight = %d", lo.Weight())
+	}
+	if a.Active() != 1 {
+		t.Fatalf("active = %d", a.Active())
+	}
+}
+
+func TestRatioFloorClamped(t *testing.T) {
+	a := New()
+	hi, lo := blkio.NewCgroup("hi"), blkio.NewCgroup("lo")
+	if err := a.Attach("hi", hi); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Attach("lo", lo); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Request("hi", 1000); err != nil {
+		t.Fatal(err)
+	}
+	granted, err := a.Request("lo", 100) // would scale to 100 exactly
+	if err != nil {
+		t.Fatal(err)
+	}
+	if granted < blkio.MinWeight || granted > blkio.MaxWeight {
+		t.Fatalf("granted = %d", granted)
+	}
+}
+
+func TestReleaseUnknownIsNoop(t *testing.T) {
+	a := New()
+	a.Release("ghost") // must not panic
+	a.Detach("ghost")
+	if a.Active() != 0 {
+		t.Fatal("phantom active session")
+	}
+}

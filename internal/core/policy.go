@@ -1,0 +1,157 @@
+// Package core implements Tango's cross-layer controller: the per-step
+// loop of Algorithm 1 (interference estimation → augmentation degree →
+// per-bucket blkio weight → tiered retrieval → recomposition), and the
+// three comparison policies the paper evaluates against (no adaptivity,
+// storage-layer only, application-layer only).
+package core
+
+import (
+	"fmt"
+
+	"tango/internal/abplot"
+	"tango/internal/coordinator"
+	"tango/internal/device"
+	"tango/internal/trace"
+	"tango/internal/weightfn"
+)
+
+// Policy selects which layers adapt (paper Fig 8/9).
+type Policy int
+
+const (
+	// NoAdapt retrieves the full augmentation at the default weight:
+	// the conventional access pattern, no adaptivity at either layer.
+	NoAdapt Policy = iota
+	// StorageOnly retrieves the full augmentation but sets the blkio
+	// weight proportionally to the retrieval size (single-layer,
+	// storage adaptivity).
+	StorageOnly
+	// AppOnly performs dynamic augmentation from the interference
+	// estimate but never adjusts the weight (single-layer, application
+	// adaptivity; the approach of refs [3], [2]).
+	AppOnly
+	// CrossLayer is Tango: dynamic augmentation plus the weight
+	// function at the storage layer.
+	CrossLayer
+)
+
+// String returns the policy name as used in the paper's figures.
+func (p Policy) String() string {
+	switch p {
+	case NoAdapt:
+		return "no-adaptivity"
+	case StorageOnly:
+		return "single-layer/storage"
+	case AppOnly:
+		return "single-layer/application"
+	case CrossLayer:
+		return "cross-layer"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// AllPolicies lists the four policies in the paper's presentation order.
+func AllPolicies() []Policy {
+	return []Policy{NoAdapt, StorageOnly, AppOnly, CrossLayer}
+}
+
+// Config parameterizes an analysis session. Zero values take the paper's
+// defaults (§IV-A).
+type Config struct {
+	Policy Policy
+
+	// Priority p of this data analytics (1 low, 5 medium, 10 high).
+	Priority float64
+
+	// ErrorControl enables the prescribed bound: the session never
+	// retrieves less than the bound's rung, regardless of interference.
+	ErrorControl bool
+	// Bound is the prescribed error bound ε_i; it must be one of the
+	// bounds the hierarchy was decomposed with.
+	Bound float64
+
+	// Plot is the augmentation-bandwidth plot (default 30–120 MB/s).
+	Plot abplot.Plot
+
+	// ThreshFrac is the DFT amplitude threshold (default 0.5).
+	ThreshFrac float64
+	// Window is the estimator window in steps (default 30).
+	Window int
+	// RefitEvery re-runs the estimation every this many steps
+	// (default 30).
+	RefitEvery int
+
+	// Period is the analytics step period in seconds (default 60).
+	Period float64
+	// Steps is the number of analysis steps to run (required).
+	Steps int
+
+	// ProbeBytes is read from the capacity tier when a step otherwise
+	// touched it too little to measure bandwidth (default 4 MB,
+	// 0 keeps the default; negative disables probing).
+	ProbeBytes float64
+
+	// Weight-function ablations (Fig 13).
+	DisablePriorityTerm bool
+	DisableAccuracyTerm bool
+
+	// ParallelTierReads overlaps each bucket's per-tier transfers with
+	// one concurrent reader per tier (an optimization beyond the paper's
+	// sequential Algorithm 1 loop; see the ablation-parallel
+	// experiment).
+	ParallelTierReads bool
+
+	// Trace, when non-nil, receives structured controller events
+	// (steps, weight adjustments, estimator refits).
+	Trace *trace.Recorder
+
+	// Allocator, when non-nil, arbitrates this session's weight requests
+	// against other sessions on the node, rescaling concurrent requests
+	// so priority ratios are preserved (see internal/coordinator).
+	Allocator *coordinator.Allocator
+}
+
+func (c Config) withDefaults() Config {
+	if c.Priority == 0 {
+		c.Priority = weightfn.PriorityHigh
+	}
+	if c.Plot == (abplot.Plot{}) {
+		c.Plot = abplot.Default()
+	}
+	if c.ThreshFrac == 0 {
+		c.ThreshFrac = 0.5
+	}
+	if c.Window == 0 {
+		c.Window = 30
+	}
+	if c.RefitEvery == 0 {
+		c.RefitEvery = 30
+	}
+	if c.Period == 0 {
+		c.Period = 60
+	}
+	if c.ProbeBytes == 0 {
+		c.ProbeBytes = 4 * device.MB
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Steps <= 0 {
+		return fmt.Errorf("core: Steps must be > 0")
+	}
+	if c.Priority <= 0 {
+		return fmt.Errorf("core: Priority must be > 0")
+	}
+	if err := c.Plot.Validate(); err != nil {
+		return err
+	}
+	if c.ThreshFrac < 0 || c.ThreshFrac > 1 {
+		return fmt.Errorf("core: ThreshFrac %v out of [0,1]", c.ThreshFrac)
+	}
+	if c.Period <= 0 {
+		return fmt.Errorf("core: Period must be > 0")
+	}
+	return nil
+}

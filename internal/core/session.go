@@ -1,0 +1,458 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"tango/internal/blkio"
+	"tango/internal/container"
+	"tango/internal/dftestim"
+	"tango/internal/errmetric"
+	"tango/internal/refactor"
+	"tango/internal/sim"
+	"tango/internal/staging"
+	"tango/internal/weightfn"
+)
+
+// BucketStat records the retrieval of one augmentation bucket Aug_{ε_m}:
+// its accuracy level, cursor range, the blkio weight in force (0 when the
+// policy does not adjust weights), and its start time and duration. The
+// Fig 13 latency and Fig 15 weight-timeline experiments read these.
+type BucketStat struct {
+	Bound    float64 // accuracy level being elevated toward (NaN if none)
+	From, To int
+	Weight   int // 0 = weight not adjusted (default share)
+	Start    float64
+	Elapsed  float64
+}
+
+// StepStats records one analysis step.
+type StepStats struct {
+	Step      int
+	Start     float64
+	IOTime    float64 // total retrieval time (base + augmentation + probe)
+	BaseTime  float64 // time to retrieve the base representation
+	Bytes     float64 // total bytes retrieved
+	SlowBW    float64 // measured capacity-tier bandwidth sample (B/s)
+	Predicted float64 // estimator prediction used (0 before the model is ready)
+	Degree    float64 // abplot degree applied (1 when not adapting)
+	Cursor    int     // augmentation entries retrieved
+	Buckets   []BucketStat
+}
+
+// TimeToBound returns the elapsed time from step start until the bucket
+// elevating to `bound` finished retrieving, or NaN if the step never
+// reached that accuracy. This is Fig 13's "latency to retrieve the
+// augmentation that elevates the accuracy to ε".
+func (st StepStats) TimeToBound(bound float64) float64 {
+	for _, b := range st.Buckets {
+		if b.Bound == bound {
+			return b.Start + b.Elapsed - st.Start
+		}
+	}
+	return math.NaN()
+}
+
+// Session runs one data-analytics container under a policy over a staged
+// hierarchy.
+type Session struct {
+	Name   string
+	Config Config
+
+	store  *staging.Store
+	wf     *weightfn.Func
+	wfSize *weightfn.Func // cardinality-only pricing (StorageOnly policy)
+	est    *dftestim.Estimator
+
+	stats   []StepStats
+	cont    *container.Container
+	stopped bool
+}
+
+// NewSession validates the configuration against the staged hierarchy and
+// calibrates the weight function from the hierarchy's ladder (§III-C: the
+// extreme cardinality/accuracy/priority corners map onto the container
+// weight range).
+func NewSession(name string, store *staging.Store, cfg Config) (*Session, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	h := store.Hierarchy()
+	if cfg.ErrorControl {
+		if _, err := h.CursorForBound(cfg.Bound); err != nil {
+			return nil, fmt.Errorf("core: prescribed bound: %w", err)
+		}
+	}
+	wf, err := calibrate(h, cfg)
+	if err != nil {
+		return nil, err
+	}
+	// StorageOnly prices the retrieval by size alone (the paper's
+	// "weight set proportionally according to the augmentation size",
+	// equal to cross-layer with cardinality only — Fig 13 note).
+	sizeCfg := cfg
+	sizeCfg.DisablePriorityTerm = true
+	sizeCfg.DisableAccuracyTerm = true
+	wfSize, err := calibrate(h, sizeCfg)
+	if err != nil {
+		return nil, err
+	}
+	est := dftestim.NewEstimator()
+	est.ThreshFrac = cfg.ThreshFrac
+	est.Window = cfg.Window
+	return &Session{Name: name, Config: cfg, store: store, wf: wf, wfSize: wfSize, est: est}, nil
+}
+
+// calibrate solves the weight function's (k2, b2) from the hierarchy.
+func calibrate(h *refactor.Hierarchy, cfg Config) (*weightfn.Func, error) {
+	rungs := h.Rungs()
+	bounds := h.Opts().Bounds
+	cal := weightfn.Calibration{
+		Metric:      h.Opts().Metric,
+		MaxPriority: weightfn.PriorityHigh,
+		MinPriority: weightfn.PriorityLow,
+	}
+	if len(bounds) > 0 {
+		cal.LoosestBound = bounds[0]
+		cal.TightestBound = bounds[len(bounds)-1]
+	} else if h.Opts().Metric == errmetric.PSNR {
+		cal.LoosestBound, cal.TightestBound = 20, 100
+	} else {
+		cal.LoosestBound, cal.TightestBound = 0.5, 1e-6
+	}
+	maxCard, minCard := 1.0, math.Inf(1)
+	for _, r := range rungs {
+		c := float64(r.Cardinality)
+		if c > maxCard {
+			maxCard = c
+		}
+		if c > 0 && c < minCard {
+			minCard = c
+		}
+	}
+	if total := float64(h.TotalEntries()); total > maxCard {
+		maxCard = total
+	}
+	if math.IsInf(minCard, 1) {
+		minCard = 1
+	}
+	cal.MaxCardinality = maxCard
+	cal.MinCardinality = minCard
+	wf, err := weightfn.New(cal)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.DisablePriorityTerm {
+		wf.DisablePriority()
+	}
+	if cfg.DisableAccuracyTerm || len(bounds) == 0 {
+		// Without a ladder there is no accuracy level to price.
+		wf.DisableAccuracy()
+	}
+	return wf, nil
+}
+
+// Stats returns the per-step records collected so far.
+func (s *Session) Stats() []StepStats { return s.stats }
+
+// Container returns the running container (nil before Launch).
+func (s *Session) Container() *container.Container { return s.cont }
+
+// Estimator exposes the session's bandwidth estimator (read-only use).
+func (s *Session) Estimator() *dftestim.Estimator { return s.est }
+
+// WeightFunc exposes the calibrated weight function.
+func (s *Session) WeightFunc() *weightfn.Func { return s.wf }
+
+// SetBound changes the prescribed error bound at runtime — the paper's
+// exploratory-analytics scenario, where the accuracy a user needs becomes
+// clear only during post-processing and can be elevated on the fly. The
+// bound must be one of the hierarchy's ladder bounds; it takes effect at
+// the next step. Must be called from sim context.
+func (s *Session) SetBound(bound float64) error {
+	if _, err := s.store.Hierarchy().CursorForBound(bound); err != nil {
+		return err
+	}
+	s.Config.ErrorControl = true
+	s.Config.Bound = bound
+	return nil
+}
+
+// Stop makes the session exit after the step currently in progress (the
+// analysis campaign was cut short); the ephemeral staging is still
+// released. Must be called from sim context (another process or event
+// callback on the same engine).
+func (s *Session) Stop() { s.stopped = true }
+
+// Stopped reports whether Stop was called.
+func (s *Session) Stopped() bool { return s.stopped }
+
+// Launch starts the analytics container on node. The container executes
+// Config.Steps steps, each period seconds apart (start-to-start), and
+// records StepStats.
+func (s *Session) Launch(node *container.Node) error {
+	cont, err := node.Launch(s.Name, func(c *container.Container, p *sim.Proc) {
+		for step := 0; step < s.Config.Steps && !s.stopped; step++ {
+			s.runStep(c, p, step)
+		}
+		s.store.Release()
+		if s.Config.Allocator != nil {
+			s.Config.Allocator.Detach(s.Name)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	s.cont = cont
+	if s.Config.Allocator != nil {
+		if err := s.Config.Allocator.Attach(s.Name, cont.Cgroup()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mandatoryCursor is the rung the prescribed bound requires.
+func (s *Session) mandatoryCursor() int {
+	if !s.Config.ErrorControl {
+		return 0
+	}
+	cur, err := s.store.Hierarchy().CursorForBound(s.Config.Bound)
+	if err != nil {
+		panic(err) // validated at NewSession
+	}
+	return cur
+}
+
+// planCursor implements lines 6–7 of Algorithm 1: the augmentation degree
+// from the estimated bandwidth, floored by the prescribed bound.
+//
+// The estimate B̃W is the default-weight share. CrossLayer plans against
+// the share its elevated weight will actually earn (the paper's "retrieve
+// more augmentations assisted by a higher allocation in the storage
+// layer"): boosting from the default weight to w turns a share
+// 100/(100+W) into w/(w+W); against one default-weight competitor that is
+// a factor 2w/(w+100). We use the previous step's applied average weight
+// as w (1.0 boost before any weight has been applied).
+func (s *Session) planCursor(step int) (cursor int, predicted, degree float64) {
+	h := s.store.Hierarchy()
+	total := h.TotalEntries()
+	switch s.Config.Policy {
+	case NoAdapt, StorageOnly:
+		return total, 0, 1
+	}
+	if !s.est.Ready() {
+		// Early steps: retrieve fully while collecting history.
+		return total, 0, 1
+	}
+	predicted = s.est.Predict(step)
+	planBW := predicted
+	if s.Config.Policy == CrossLayer {
+		planBW *= s.weightBoost()
+	}
+	degree = s.Config.Plot.Degree(planBW)
+	cursor = h.CursorForFraction(degree)
+	if m := s.mandatoryCursor(); cursor < m {
+		cursor = m
+	}
+	return cursor, predicted, degree
+}
+
+// weightBoost estimates how much more bandwidth the session's elevated
+// weight earns versus the default share, from the last step's applied
+// weights.
+func (s *Session) weightBoost() float64 {
+	if len(s.stats) == 0 {
+		return 1
+	}
+	last := s.stats[len(s.stats)-1]
+	var sum float64
+	var n int
+	for _, b := range last.Buckets {
+		if b.Weight > 0 {
+			sum += float64(b.Weight)
+			n++
+		}
+	}
+	if n == 0 {
+		return 1
+	}
+	w := sum / float64(n)
+	return 2 * w / (w + blkio.DefaultWeight)
+}
+
+// buckets splits the retrieval [0, cursor) at rung boundaries, assigning
+// each piece the accuracy level it is elevating toward (the paper's
+// Aug_{ε_m} buckets).
+type bucket struct {
+	from, to int
+	bound    float64
+}
+
+func (s *Session) buckets(cursor int) []bucket {
+	h := s.store.Hierarchy()
+	rungs := h.Rungs()
+	var out []bucket
+	prev := 0
+	tightest := math.NaN()
+	for _, r := range rungs {
+		tightest = r.Bound
+		if r.Cursor > cursor {
+			// The tail below lands inside this rung's range: it is
+			// partial progress toward this rung's accuracy.
+			if cursor > prev {
+				out = append(out, bucket{prev, cursor, r.Bound})
+				prev = cursor
+			}
+			break
+		}
+		if r.Cursor > prev {
+			out = append(out, bucket{prev, r.Cursor, r.Bound})
+			prev = r.Cursor
+		}
+	}
+	if cursor > prev {
+		b := tightest
+		if math.IsNaN(b) {
+			// No ladder: price the whole stream at a nominal bound.
+			if h.Opts().Metric == errmetric.PSNR {
+				b = 30
+			} else {
+				b = 0.01
+			}
+		}
+		out = append(out, bucket{prev, cursor, b})
+	}
+	return out
+}
+
+func (s *Session) runStep(c *container.Container, p *sim.Proc, step int) {
+	cfg := s.Config
+	start := p.Now()
+	st := StepStats{Step: step, Start: start}
+
+	cursor, predicted, degree := s.planCursor(step)
+	st.Cursor, st.Predicted, st.Degree = cursor, predicted, degree
+
+	tier := &staging.TierStats{}
+
+	// Line 1: retrieve the base representation from the fastest tier.
+	baseStats := s.store.ReadBase(p, c.Cgroup())
+	_, st.BaseTime = baseStats.Total()
+	tier.Merge(baseStats)
+
+	// Lines 9–13: bucket-wise retrieval; CrossLayer additionally applies
+	// the weight function per bucket, StorageOnly applies a single
+	// size-proportional weight over the whole retrieval.
+	slow := s.store.SlowestDevice()
+	readBucket := func(b bucket, weight int) {
+		bs := BucketStat{Bound: b.bound, From: b.from, To: b.to, Weight: weight, Start: p.Now()}
+		if weight > 0 {
+			cfg.Trace.Emit(p.Now(), s.Name, "weight", "w=%d bound=%g card=%d", weight, b.bound, b.to-b.from)
+		}
+		if cfg.ParallelTierReads {
+			tier.Merge(s.store.ReadRangeParallel(p, c.Cgroup(), b.from, b.to))
+		} else {
+			tier.Merge(s.store.ReadRange(p, c.Cgroup(), b.from, b.to))
+		}
+		bs.Elapsed = p.Now() - bs.Start
+		st.Buckets = append(st.Buckets, bs)
+		cfg.Trace.Emit(p.Now(), s.Name, "bucket", "bound=%g entries=[%d,%d) took=%.3fs", b.bound, b.from, b.to, bs.Elapsed)
+	}
+	// setWeight routes through the node-level allocator when configured
+	// (weight arbitration across concurrent sessions), directly to the
+	// cgroup otherwise. It returns the weight actually in force.
+	setWeight := func(w int) int {
+		if cfg.Allocator != nil {
+			granted, err := cfg.Allocator.Request(s.Name, w)
+			if err != nil {
+				panic(err) // attached at Launch
+			}
+			return granted
+		}
+		c.SetWeight(w)
+		return w
+	}
+	switch cfg.Policy {
+	case NoAdapt:
+		readBucket(bucket{0, cursor, math.NaN()}, 0)
+	case StorageOnly:
+		w := setWeight(s.wfSize.Weight(float64(cursor), 0, 1))
+		readBucket(bucket{0, cursor, math.NaN()}, w)
+	case AppOnly:
+		for _, b := range s.buckets(cursor) {
+			readBucket(b, 0)
+		}
+	case CrossLayer:
+		for _, b := range s.buckets(cursor) {
+			card := b.to - b.from
+			w := setWeight(s.wf.Weight(float64(card), b.bound, cfg.Priority))
+			readBucket(b, w)
+		}
+	}
+	// Weight reverts to the default outside the retrieval window.
+	if cfg.Policy == StorageOnly || cfg.Policy == CrossLayer {
+		if cfg.Allocator != nil {
+			cfg.Allocator.Release(s.Name)
+		} else {
+			c.SetWeight(blkio.DefaultWeight)
+		}
+	}
+
+	// Feed the estimator with the capacity-tier bandwidth at the DEFAULT
+	// weight share — the quantity abplot's BW_low/BW_high thresholds
+	// describe. Policies that boost their weight perceive inflated
+	// bandwidth during their own reads, so they sample via a small probe
+	// read issued after the weight has reverted to the default. Policies
+	// that never adjust weights sample from their retrieval directly
+	// (probing only when the step barely touched the capacity tier).
+	weightAdjusting := cfg.Policy == StorageOnly || cfg.Policy == CrossLayer
+	if weightAdjusting && cfg.ProbeBytes > 0 {
+		pt := s.store.Probe(p, c.Cgroup(), cfg.ProbeBytes)
+		bytes, elapsed := pt.Total()
+		tier.Merge(pt)
+		if elapsed > 0 {
+			st.SlowBW = bytes / elapsed
+		}
+	} else {
+		if cfg.ProbeBytes > 0 && tier.BytesOn(slow) < cfg.ProbeBytes {
+			tier.Merge(s.store.Probe(p, c.Cgroup(), cfg.ProbeBytes))
+		}
+		if slowBytes, slowTime := tier.BytesOn(slow), tier.TimeOn(slow); slowTime > 0 && slowBytes > 0 {
+			st.SlowBW = slowBytes / slowTime
+		}
+	}
+	if st.SlowBW > 0 {
+		s.est.Observe(st.SlowBW)
+	} else {
+		// Nothing measured: repeat the last sample to keep step indexing
+		// aligned (one sample per step).
+		last := 0.0
+		if n := s.est.Samples(); n > 0 && len(s.stats) > 0 {
+			last = s.stats[len(s.stats)-1].SlowBW
+		}
+		st.SlowBW = last
+		s.est.Observe(last)
+	}
+	if (step+1)%cfg.RefitEvery == 0 && s.est.Samples() >= 4 {
+		if err := s.est.Fit(); err != nil {
+			panic(err) // unreachable: sample count checked
+		}
+		cfg.Trace.Emit(p.Now(), s.Name, "refit", "samples=%d window=%d thresh=%.2f", s.est.Samples(), cfg.Window, cfg.ThreshFrac)
+	}
+
+	// IOTime is wall-clock retrieval time (base + buckets + probe). For
+	// serial retrieval it equals the sum of device times; with parallel
+	// tier reads the overlapped portion counts once.
+	st.Bytes, _ = tier.Total()
+	st.IOTime = p.Now() - start
+	s.stats = append(s.stats, st)
+	cfg.Trace.Emit(p.Now(), s.Name, "step", "step=%d io=%.3fs bytes=%.0f cursor=%d pred=%.0f degree=%.2f",
+		step, st.IOTime, st.Bytes, st.Cursor, st.Predicted, st.Degree)
+
+	// Compute/render phase: the remainder of the period.
+	if wait := cfg.Period - (p.Now() - start); wait > 0 {
+		p.Sleep(wait)
+	}
+}

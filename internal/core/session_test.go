@@ -1,0 +1,378 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"tango/internal/blkio"
+	"tango/internal/container"
+	"tango/internal/device"
+	"tango/internal/refactor"
+	"tango/internal/staging"
+	"tango/internal/tensor"
+	"tango/internal/workload"
+)
+
+// testField builds a 513x513 analysis field — large enough that transfer
+// time (not per-request latency) dominates, so interference effects are
+// visible at test scale.
+func testField(seed int64) *tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	n := 513
+	t := tensor.New(n, n)
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			v := math.Sin(6*math.Pi*float64(r)/float64(n))*math.Cos(4*math.Pi*float64(c)/float64(n)) +
+				0.25*math.Sin(24*math.Pi*float64(c)/float64(n)) + 0.03*rng.NormFloat64()
+			t.Set(v, r, c)
+		}
+	}
+	return t
+}
+
+var (
+	hierOnce sync.Once
+	hierVal  *refactor.Hierarchy
+)
+
+// testHierarchy is shared across tests (decomposition is deterministic
+// and read-only at analysis time).
+func testHierarchy(t *testing.T) *refactor.Hierarchy {
+	t.Helper()
+	hierOnce.Do(func() {
+		h, err := refactor.Decompose(testField(1), refactor.Options{
+			Levels: 4,
+			Bounds: []float64{0.05, 0.01, 0.001},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hierVal = h
+	})
+	if hierVal == nil {
+		t.Skip("hierarchy construction failed earlier")
+	}
+	return hierVal
+}
+
+// scenario builds a node with SSD+HDD tiers and nNoise interferers.
+func scenario(t *testing.T, nNoise int) (*container.Node, *staging.Store) {
+	t.Helper()
+	node := container.NewNode("n0")
+	ssd := node.MustAddDevice(device.SSD("ssd"))
+	hdd := node.MustAddDevice(device.HDD("hdd"))
+	_ = ssd
+	set := workload.PaperNoiseSet()
+	if nNoise > len(set) {
+		nNoise = len(set)
+	}
+	workload.LaunchNoiseSet(node, hdd, set[:nNoise])
+	st, err := staging.Stage(testHierarchy(t), node.Tiers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return node, st
+}
+
+func runSession(t *testing.T, policy Policy, nNoise, steps int, mut func(*Config)) *Session {
+	t.Helper()
+	node, st := scenario(t, nNoise)
+	cfg := Config{Policy: policy, Steps: steps}
+	if mut != nil {
+		mut(&cfg)
+	}
+	s, err := NewSession("analytics", st, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Launch(node); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Engine().Run(float64(steps)*s.Config.Period + 1000); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Stats()); got != steps {
+		t.Fatalf("completed %d of %d steps", got, steps)
+	}
+	return s
+}
+
+func TestConfigValidation(t *testing.T) {
+	_, st := scenario(t, 0)
+	if _, err := NewSession("a", st, Config{Steps: 0}); err == nil {
+		t.Fatal("zero steps accepted")
+	}
+	if _, err := NewSession("a", st, Config{Steps: 1, Priority: -1}); err == nil {
+		t.Fatal("negative priority accepted")
+	}
+	if _, err := NewSession("a", st, Config{Steps: 1, ThreshFrac: 2}); err == nil {
+		t.Fatal("bad thresh accepted")
+	}
+	if _, err := NewSession("a", st, Config{Steps: 1, ErrorControl: true, Bound: 0.42}); err == nil {
+		t.Fatal("unknown bound accepted")
+	}
+	if _, err := NewSession("a", st, Config{Steps: 1, ErrorControl: true, Bound: 0.01}); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestNoAdaptRetrievesFullAtDefaultWeight(t *testing.T) {
+	s := runSession(t, NoAdapt, 3, 5, nil)
+	total := s.store.Hierarchy().TotalEntries()
+	for _, st := range s.Stats() {
+		if st.Cursor != total {
+			t.Fatalf("step %d cursor %d, want full %d", st.Step, st.Cursor, total)
+		}
+		for _, b := range st.Buckets {
+			if b.Weight != 0 {
+				t.Fatal("no-adaptivity must not adjust weights")
+			}
+		}
+		if st.BaseTime <= 0 {
+			t.Fatal("base retrieval time missing")
+		}
+	}
+}
+
+func TestStorageOnlySetsProportionalWeight(t *testing.T) {
+	s := runSession(t, StorageOnly, 3, 5, nil)
+	total := s.store.Hierarchy().TotalEntries()
+	for _, st := range s.Stats() {
+		if st.Cursor != total {
+			t.Fatal("storage-only must retrieve fully")
+		}
+		if len(st.Buckets) != 1 {
+			t.Fatalf("storage-only should read one bucket per step, got %d", len(st.Buckets))
+		}
+		w := st.Buckets[0].Weight
+		if w < blkio.MinWeight || w > blkio.MaxWeight {
+			t.Fatalf("weight %d out of range", w)
+		}
+		if w <= blkio.DefaultWeight {
+			t.Fatalf("full-size retrieval should weigh above default, got %d", w)
+		}
+	}
+}
+
+func TestAppAdaptivityReducesRetrievalUnderInterference(t *testing.T) {
+	steps := 45
+	s := runSession(t, CrossLayer, 6, steps, func(c *Config) {
+		c.RefitEvery = 10
+		c.Window = 10
+	})
+	total := s.store.Hierarchy().TotalEntries()
+	// Warm-up steps retrieve fully.
+	for _, st := range s.Stats()[:10] {
+		if st.Cursor != total {
+			t.Fatalf("warm-up step %d cursor %d", st.Step, st.Cursor)
+		}
+		if st.Predicted != 0 {
+			t.Fatal("no prediction should be used before the first fit")
+		}
+	}
+	// After fitting, under 6 interferers the HDD bandwidth share sits
+	// below BWHigh, so at least some steps must back off.
+	reduced := 0
+	for _, st := range s.Stats()[10:] {
+		if st.Predicted <= 0 {
+			t.Fatalf("step %d missing prediction", st.Step)
+		}
+		if st.Cursor < total {
+			reduced++
+		}
+	}
+	if reduced == 0 {
+		t.Fatal("no adaptive backoff despite heavy interference")
+	}
+}
+
+func TestErrorControlFloorsCursor(t *testing.T) {
+	steps := 45
+	s := runSession(t, CrossLayer, 6, steps, func(c *Config) {
+		c.RefitEvery = 10
+		c.Window = 10
+		c.ErrorControl = true
+		c.Bound = 0.01
+	})
+	floor, err := s.store.Hierarchy().CursorForBound(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range s.Stats() {
+		if st.Cursor < floor {
+			t.Fatalf("step %d cursor %d below error-control floor %d", st.Step, st.Cursor, floor)
+		}
+	}
+}
+
+func TestCrossLayerWeightEventsPerBucket(t *testing.T) {
+	s := runSession(t, CrossLayer, 3, 5, func(c *Config) {
+		c.ErrorControl = true
+		c.Bound = 0.001
+	})
+	for _, st := range s.Stats() {
+		if len(st.Buckets) == 0 {
+			t.Fatal("cross-layer step recorded no buckets")
+		}
+		for _, b := range st.Buckets {
+			if b.Weight < blkio.MinWeight || b.Weight > blkio.MaxWeight {
+				t.Fatalf("weight %d out of range", b.Weight)
+			}
+			if b.To-b.From <= 0 {
+				t.Fatalf("bucket cardinality %d", b.To-b.From)
+			}
+			if b.Elapsed < 0 {
+				t.Fatal("negative bucket elapsed")
+			}
+		}
+		// Time-to-bound must be measurable for the tightest bound and
+		// exceed the base retrieval time.
+		if lt := st.TimeToBound(0.001); math.IsNaN(lt) || lt <= 0 {
+			t.Fatalf("TimeToBound = %v", lt)
+		}
+	}
+	// Weight must revert to default between steps.
+	if got := s.Container().Cgroup().Weight(); got != blkio.DefaultWeight {
+		t.Fatalf("weight left at %d after step", got)
+	}
+}
+
+func TestBucketsPartitionCursorRange(t *testing.T) {
+	_, st := scenario(t, 0)
+	s, err := NewSession("a", st, Config{Policy: CrossLayer, Steps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := st.Hierarchy()
+	for _, cursor := range []int{0, 1, h.Rungs()[0].Cursor, h.Rungs()[1].Cursor + 5, h.TotalEntries()} {
+		bks := s.buckets(cursor)
+		prev := 0
+		for _, b := range bks {
+			if b.from != prev {
+				t.Fatalf("cursor %d: bucket gap at %d (got from=%d)", cursor, prev, b.from)
+			}
+			if b.to <= b.from {
+				t.Fatalf("cursor %d: empty bucket", cursor)
+			}
+			if math.IsNaN(b.bound) {
+				t.Fatalf("cursor %d: NaN bound", cursor)
+			}
+			prev = b.to
+		}
+		if prev != cursor {
+			t.Fatalf("cursor %d: buckets cover up to %d", cursor, prev)
+		}
+	}
+}
+
+func TestCrossLayerBeatsNoAdaptivity(t *testing.T) {
+	steps := 60
+	skip := 15
+	mut := func(c *Config) { c.RefitEvery = 10; c.Window = 10; c.ProbeBytes = 256 * 1024 }
+	base := runSession(t, NoAdapt, 6, steps, mut).Summary(skip)
+	cross := runSession(t, CrossLayer, 6, steps, mut).Summary(skip)
+	if !(cross.MeanIO < base.MeanIO) {
+		t.Fatalf("cross-layer %.4fs should beat no-adaptivity %.4fs", cross.MeanIO, base.MeanIO)
+	}
+}
+
+func TestCrossLayerBeatsSingleLayer(t *testing.T) {
+	steps := 60
+	skip := 15
+	mut := func(c *Config) { c.RefitEvery = 10; c.Window = 10; c.ProbeBytes = 256 * 1024 }
+	app := runSession(t, AppOnly, 6, steps, mut).Summary(skip)
+	storage := runSession(t, StorageOnly, 6, steps, mut).Summary(skip)
+	cross := runSession(t, CrossLayer, 6, steps, mut).Summary(skip)
+	if !(cross.MeanIO <= app.MeanIO*1.05) {
+		t.Fatalf("cross-layer %.4fs should not lose to app-only %.4fs", cross.MeanIO, app.MeanIO)
+	}
+	if !(cross.MeanIO < storage.MeanIO) {
+		t.Fatalf("cross-layer %.4fs should beat storage-only %.4fs", cross.MeanIO, storage.MeanIO)
+	}
+}
+
+func TestHigherPriorityNoSlower(t *testing.T) {
+	steps := 45
+	mut := func(p float64) func(*Config) {
+		return func(c *Config) {
+			c.RefitEvery = 10
+			c.Window = 10
+			c.ErrorControl = true
+			c.Bound = 0.01
+			c.Priority = p
+		}
+	}
+	low := runSession(t, CrossLayer, 6, steps, mut(1)).Summary(15)
+	high := runSession(t, CrossLayer, 6, steps, mut(10)).Summary(15)
+	if !(high.MeanIO <= low.MeanIO*1.05) {
+		t.Fatalf("high priority %.4fs should not be slower than low %.4fs", high.MeanIO, low.MeanIO)
+	}
+}
+
+func TestSummaryStatistics(t *testing.T) {
+	stats := []StepStats{
+		{IOTime: 1, Bytes: 10},
+		{IOTime: 3, Bytes: 30},
+		{IOTime: 2, Bytes: 20},
+	}
+	s := Summarize(stats, 0)
+	if s.Steps != 3 || s.MeanIO != 2 || s.MinIO != 1 || s.MaxIO != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if math.Abs(s.StdIO-1) > 1e-12 {
+		t.Fatalf("std = %v", s.StdIO)
+	}
+	if got := Summarize(stats, 2).Steps; got != 1 {
+		t.Fatalf("skip: %d", got)
+	}
+	if got := Summarize(stats, 10); got.Steps != 0 || got.MeanIO != 0 {
+		t.Fatalf("over-skip: %+v", got)
+	}
+	if got := Summarize(nil, -1); got.Steps != 0 {
+		t.Fatalf("nil stats: %+v", got)
+	}
+}
+
+func TestEstimatorFedEveryStep(t *testing.T) {
+	s := runSession(t, CrossLayer, 3, 12, func(c *Config) { c.RefitEvery = 5; c.Window = 5 })
+	if got := s.Estimator().Samples(); got != 12 {
+		t.Fatalf("estimator samples = %d, want 12", got)
+	}
+	for _, st := range s.Stats() {
+		if st.SlowBW <= 0 {
+			t.Fatalf("step %d has no bandwidth sample", st.Step)
+		}
+	}
+}
+
+func TestDeterministicSessions(t *testing.T) {
+	run := func() []float64 {
+		s := runSession(t, CrossLayer, 4, 20, func(c *Config) { c.RefitEvery = 5; c.Window = 5 })
+		out := make([]float64, 0, 20)
+		for _, st := range s.Stats() {
+			out = append(out, st.IOTime)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic step %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if len(AllPolicies()) != 4 {
+		t.Fatal("policy list")
+	}
+	names := map[string]bool{}
+	for _, p := range AllPolicies() {
+		names[p.String()] = true
+	}
+	if len(names) != 4 {
+		t.Fatal("policy names collide")
+	}
+}

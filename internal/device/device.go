@@ -1,0 +1,497 @@
+// Package device models local block devices (HDD, SSD, NVMe) shared by
+// multiple cgroups, using a fluid-flow approximation of the kernel block
+// layer: at any instant, the set of active flows divides the device's
+// effective bandwidth proportionally to their cgroups' blkio weights,
+// subject to per-cgroup byte-rate throttles (water-filling redistribution
+// of excess).
+//
+// The model captures the three storage phenomena the Tango paper builds
+// on:
+//
+//  1. Proportional sharing by weight without isolation: equal static
+//     weights yield shrinking shares as competitors join (Fig 1).
+//  2. Total-throughput collapse on rotational media under concurrent
+//     streams (seek thrash): with n concurrent flows, the device delivers
+//     peak × eff(n) where eff(n) = max(minEff, 1/(1+thrash·(n−1))). This
+//     is why storage-layer weight adjustment alone merely redistributes a
+//     shrinking pie once the device saturates (Fig 8 discussion), whereas
+//     application-layer adaptivity that removes load genuinely helps.
+//  3. Per-request latency (seek/setup cost) paid before streaming.
+//
+// Flows run inside the sim engine; a Read/Write call blocks the calling
+// simulated process until the flow drains.
+package device
+
+import (
+	"fmt"
+	"math"
+
+	"tango/internal/blkio"
+	"tango/internal/sim"
+)
+
+// Scheduler selects how concurrent flows share the device.
+type Scheduler int
+
+const (
+	// ProportionalShare divides bandwidth by cgroup weight (CFQ/BFQ
+	// semantics — the substrate Tango builds on). Default.
+	ProportionalShare Scheduler = iota
+	// FIFO serves one flow at a time in arrival order, ignoring weights
+	// — an ablation showing why cgroup proportional share matters: any
+	// long checkpoint write head-of-line-blocks the analytics.
+	FIFO
+)
+
+// String names the scheduler.
+func (s Scheduler) String() string {
+	switch s {
+	case ProportionalShare:
+		return "proportional-share"
+	case FIFO:
+		return "fifo"
+	default:
+		return "Scheduler(?)"
+	}
+}
+
+// Params describes the performance envelope of a device.
+type Params struct {
+	Name           string
+	PeakBandwidth  float64 // bytes/sec of a single sequential READ stream
+	RequestLatency float64 // seconds of fixed cost per request (seek/setup)
+	SeekThrash     float64 // efficiency loss coefficient per extra concurrent flow
+	MinEfficiency  float64 // floor on eff(n), in (0, 1]
+	Capacity       float64 // bytes of usable capacity (0 = unlimited)
+	Scheduler      Scheduler
+	// WriteFactor scales the service rate of write flows relative to
+	// reads (e.g. 0.9 = writes stream 10% slower, typical for drives
+	// with write verification or SSDs with program latency). 0 means 1.
+	WriteFactor float64
+}
+
+// Presets loosely calibrated to the paper's testbed (§IV-A): a Seagate
+// 7200 RPM SAS HDD and an Intel SATA SSD, with the HDD operating range
+// matching the paper's BW_low=30 MB/s … BW_high=120 MB/s augmentation-
+// bandwidth plot.
+const MB = 1024 * 1024
+
+// HDD returns parameters for a 7200 RPM hard disk: ~160 MB/s sequential,
+// heavy seek thrash under concurrency, ~8 ms per request.
+func HDD(name string) Params {
+	return Params{
+		Name:           name,
+		PeakBandwidth:  160 * MB,
+		RequestLatency: 0.008,
+		SeekThrash:     0.35,
+		MinEfficiency:  0.18,
+		Capacity:       2048 * 1024 * MB, // 2 TB
+	}
+}
+
+// SSD returns parameters for a SATA SSD: ~500 MB/s, negligible seek
+// penalty, ~0.1 ms per request.
+func SSD(name string) Params {
+	return Params{
+		Name:           name,
+		PeakBandwidth:  500 * MB,
+		RequestLatency: 0.0001,
+		SeekThrash:     0.02,
+		MinEfficiency:  0.70,
+		Capacity:       400 * 1024 * MB, // 400 GB
+	}
+}
+
+// NVMe returns parameters for an NVMe drive: ~3 GB/s, effectively no
+// contention collapse at these flow counts.
+func NVMe(name string) Params {
+	return Params{
+		Name:           name,
+		PeakBandwidth:  3000 * MB,
+		RequestLatency: 0.00002,
+		SeekThrash:     0.005,
+		MinEfficiency:  0.85,
+		Capacity:       100 * 1024 * MB,
+	}
+}
+
+func (p Params) validate() error {
+	if p.PeakBandwidth <= 0 {
+		return fmt.Errorf("device %q: PeakBandwidth must be > 0", p.Name)
+	}
+	if p.MinEfficiency <= 0 || p.MinEfficiency > 1 {
+		return fmt.Errorf("device %q: MinEfficiency must be in (0,1]", p.Name)
+	}
+	if p.SeekThrash < 0 {
+		return fmt.Errorf("device %q: SeekThrash must be >= 0", p.Name)
+	}
+	if p.RequestLatency < 0 {
+		return fmt.Errorf("device %q: RequestLatency must be >= 0", p.Name)
+	}
+	if p.WriteFactor < 0 || p.WriteFactor > 1 {
+		return fmt.Errorf("device %q: WriteFactor must be in [0,1] (0 = unset)", p.Name)
+	}
+	return nil
+}
+
+// flow is one in-flight request stream.
+type flow struct {
+	id       int64
+	cg       *blkio.Cgroup
+	proc     *sim.Proc
+	bytes    float64 // total requested
+	bytesRem float64
+	rate     float64 // current bytes/sec
+	write    bool
+	start    float64
+	done     bool
+}
+
+// Device is a simulated shared block device. All methods must be called
+// from sim context (a process body or event callback).
+type Device struct {
+	eng *sim.Engine
+	p   Params
+
+	flows      []*flow // ordered by id for deterministic iteration
+	nextID     int64
+	lastUpdate float64
+	epoch      int64
+	timer      *sim.Timer
+
+	subscribed map[*blkio.Cgroup]bool
+
+	// accounting
+	totalBytes float64
+	busyUntil  float64
+	busyTime   float64
+	used       float64 // staged bytes (capacity accounting)
+}
+
+// New creates a device bound to an engine. It panics on invalid Params
+// (scenario construction is programmer-controlled).
+func New(eng *sim.Engine, p Params) *Device {
+	if err := p.validate(); err != nil {
+		panic(err)
+	}
+	return &Device{
+		eng:        eng,
+		p:          p,
+		subscribed: make(map[*blkio.Cgroup]bool),
+	}
+}
+
+// Name returns the device name.
+func (d *Device) Name() string { return d.p.Name }
+
+// Params returns the device parameters.
+func (d *Device) Params() Params { return d.p }
+
+// Engine returns the engine the device runs on.
+func (d *Device) Engine() *sim.Engine { return d.eng }
+
+// ActiveFlows reports the number of in-flight flows.
+func (d *Device) ActiveFlows() int { return len(d.flows) }
+
+// TotalBytes returns cumulative bytes transferred.
+func (d *Device) TotalBytes() float64 { return d.totalBytes }
+
+// BusyTime returns cumulative seconds during which at least one flow was
+// active.
+func (d *Device) BusyTime() float64 {
+	d.advance()
+	return d.busyTime
+}
+
+// Efficiency returns eff(n) for n concurrent flows.
+func (d *Device) Efficiency(n int) float64 {
+	if n <= 1 {
+		return 1
+	}
+	eff := 1 / (1 + d.p.SeekThrash*float64(n-1))
+	return math.Max(eff, d.p.MinEfficiency)
+}
+
+// EffectiveBandwidth returns the aggregate bandwidth the device delivers
+// with n concurrent flows.
+func (d *Device) EffectiveBandwidth(n int) float64 {
+	return d.p.PeakBandwidth * d.Efficiency(n)
+}
+
+// Reserve accounts bytes of staged capacity on the device. It returns an
+// error if the device would exceed its capacity; staging planners use this
+// to decide tier placement.
+func (d *Device) Reserve(bytes float64) error {
+	if bytes < 0 {
+		return fmt.Errorf("device %q: negative reservation", d.p.Name)
+	}
+	if d.p.Capacity > 0 && d.used+bytes > d.p.Capacity {
+		return fmt.Errorf("device %q: capacity exceeded (%.0f + %.0f > %.0f bytes)",
+			d.p.Name, d.used, bytes, d.p.Capacity)
+	}
+	d.used += bytes
+	return nil
+}
+
+// Release returns previously reserved capacity (ephemeral data erased
+// after a job exits).
+func (d *Device) Release(bytes float64) {
+	d.used -= bytes
+	if d.used < 0 {
+		d.used = 0
+	}
+}
+
+// Used returns currently reserved bytes.
+func (d *Device) Used() float64 { return d.used }
+
+// Read transfers `bytes` from the device under cgroup cg, blocking the
+// calling process until complete. It returns the elapsed virtual time.
+func (d *Device) Read(p *sim.Proc, cg *blkio.Cgroup, bytes float64) float64 {
+	return d.transfer(p, cg, bytes, false)
+}
+
+// Write transfers `bytes` to the device under cgroup cg, blocking the
+// calling process until complete. It returns the elapsed virtual time.
+func (d *Device) Write(p *sim.Proc, cg *blkio.Cgroup, bytes float64) float64 {
+	return d.transfer(p, cg, bytes, true)
+}
+
+func (d *Device) transfer(p *sim.Proc, cg *blkio.Cgroup, bytes float64, write bool) float64 {
+	if bytes < 0 || math.IsNaN(bytes) {
+		panic(fmt.Sprintf("device %q: invalid transfer size %v", d.p.Name, bytes))
+	}
+	start := d.eng.Now()
+	if d.p.RequestLatency > 0 {
+		p.Sleep(d.p.RequestLatency)
+	}
+	if bytes == 0 {
+		return d.eng.Now() - start
+	}
+	if !d.subscribed[cg] {
+		d.subscribed[cg] = true
+		cg.Subscribe(d.Touch)
+	}
+	f := &flow{
+		id:       d.nextID,
+		cg:       cg,
+		proc:     p,
+		bytes:    bytes,
+		bytesRem: bytes,
+		write:    write,
+		start:    start,
+	}
+	d.nextID++
+	d.advance()
+	d.flows = append(d.flows, f)
+	d.reshape()
+	for !f.done {
+		p.Suspend()
+	}
+	cg.Account(bytes, write)
+	return d.eng.Now() - start
+}
+
+// Touch forces a share recomputation at the current instant; cgroup
+// parameter changes call this so weight adjustments take effect on
+// in-flight flows immediately.
+func (d *Device) Touch() {
+	if len(d.flows) == 0 {
+		return
+	}
+	d.advance()
+	d.reshape()
+}
+
+// advance integrates flow progress from lastUpdate to now at current
+// rates and updates busy-time accounting.
+func (d *Device) advance() {
+	now := d.eng.Now()
+	dt := now - d.lastUpdate
+	if dt < 0 {
+		dt = 0
+	}
+	if len(d.flows) > 0 && dt > 0 {
+		for _, f := range d.flows {
+			f.bytesRem -= f.rate * dt
+			if f.bytesRem < 0 {
+				f.bytesRem = 0
+			}
+		}
+		d.busyTime += dt
+	}
+	d.lastUpdate = now
+}
+
+// reshape recomputes per-flow rates (proportional share with throttle
+// water-filling), completes drained flows, and schedules the next
+// completion event.
+func (d *Device) reshape() {
+	d.completeDrained()
+	n := len(d.flows)
+	if n == 0 {
+		d.cancelTimer()
+		return
+	}
+	if d.p.Scheduler == FIFO {
+		// Head-of-line service: the oldest flow gets the full single-
+		// stream bandwidth, everyone else waits.
+		for i, f := range d.flows {
+			if i == 0 {
+				f.rate = d.p.PeakBandwidth
+			} else {
+				f.rate = 0
+			}
+		}
+		d.scheduleCompletion()
+		return
+	}
+	total := d.EffectiveBandwidth(n)
+
+	// Group flows by (cgroup, direction): the kernel throttles read and
+	// write bytes separately per cgroup, and weight applies per cgroup.
+	type group struct {
+		weight float64
+		cap    float64 // 0 = unlimited
+		flows  []*flow
+		alloc  float64
+	}
+	// Build groups in flow-id order so every run allocates identically.
+	// Grouping is by cgroup identity (not name): distinct cgroups that
+	// happen to share a name still schedule independently.
+	type groupKey struct {
+		cg    *blkio.Cgroup
+		write bool
+	}
+	index := make(map[groupKey]*group)
+	var ordered []*group
+	for _, f := range d.flows {
+		key := groupKey{f.cg, f.write}
+		g, ok := index[key]
+		if !ok {
+			cap := f.cg.ReadBpsLimit()
+			if f.write {
+				cap = f.cg.WriteBpsLimit()
+			}
+			g = &group{weight: float64(f.cg.Weight()), cap: cap}
+			index[key] = g
+			ordered = append(ordered, g)
+		}
+		g.flows = append(g.flows, f)
+	}
+
+	// Water-filling: proportional-by-weight allocation with per-group caps;
+	// capped groups' excess is redistributed among uncapped groups.
+	active := ordered
+	remaining := total
+	for len(active) > 0 && remaining > 1e-9 {
+		var sumW float64
+		for _, g := range active {
+			sumW += g.weight
+		}
+		if sumW <= 0 {
+			break
+		}
+		capped := active[:0:0]
+		uncapped := active[:0:0]
+		for _, g := range active {
+			tent := remaining * g.weight / sumW
+			if g.cap > 0 && tent >= g.cap {
+				capped = append(capped, g)
+			} else {
+				uncapped = append(uncapped, g)
+			}
+		}
+		if len(capped) == 0 {
+			for _, g := range active {
+				g.alloc = remaining * g.weight / sumW
+			}
+			break
+		}
+		for _, g := range capped {
+			g.alloc = g.cap
+			remaining -= g.cap
+		}
+		if remaining < 0 {
+			remaining = 0
+		}
+		active = uncapped
+	}
+
+	// Within a group, CFQ services flows round-robin: equal split.
+	// Write flows stream at WriteFactor of their allocated rate.
+	wf := d.p.WriteFactor
+	if wf == 0 {
+		wf = 1
+	}
+	for _, g := range ordered {
+		per := g.alloc / float64(len(g.flows))
+		for _, f := range g.flows {
+			if f.write {
+				f.rate = per * wf
+			} else {
+				f.rate = per
+			}
+		}
+	}
+	d.scheduleCompletion()
+}
+
+// scheduleCompletion arms a timer for the earliest flow completion under
+// the current rates.
+func (d *Device) scheduleCompletion() {
+	next := math.Inf(1)
+	for _, f := range d.flows {
+		if f.rate > 0 {
+			t := f.bytesRem / f.rate
+			if t < next {
+				next = t
+			}
+		}
+	}
+	d.cancelTimer()
+	if !math.IsInf(next, 1) {
+		d.epoch++
+		epoch := d.epoch
+		d.timer = d.eng.After(next, func() {
+			if epoch != d.epoch {
+				return
+			}
+			d.advance()
+			d.reshape()
+		})
+	}
+}
+
+func (d *Device) completeDrained() {
+	kept := d.flows[:0]
+	for _, f := range d.flows {
+		// A flow is done when less than a nanosecond of work remains at
+		// its current rate (plus an absolute floor for idle rates). A
+		// fixed byte tolerance is not enough: clock arithmetic like
+		// (t0+dt)-t0 loses ~1e-13 s of precision, which at 100 MB/s
+		// leaves ~1e-5 bytes behind and would otherwise reschedule
+		// zero-length timers forever (a Zeno loop).
+		tiny := 1e-6 + f.rate*1e-9
+		if f.bytesRem <= tiny {
+			f.bytesRem = 0
+			f.done = true
+			d.totalBytes += f.bytes
+			d.eng.Wake(f.proc)
+		} else {
+			kept = append(kept, f)
+		}
+	}
+	for i := len(kept); i < len(d.flows); i++ {
+		d.flows[i] = nil
+	}
+	d.flows = kept
+}
+
+func (d *Device) cancelTimer() {
+	if d.timer != nil {
+		d.timer.Stop()
+		d.timer = nil
+	}
+	d.epoch++
+}

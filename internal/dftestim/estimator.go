@@ -1,0 +1,125 @@
+package dftestim
+
+import (
+	"fmt"
+	"math"
+)
+
+// Estimator predicts per-step available bandwidth from a window of
+// measured per-step bandwidths. It implements Algorithm 1 lines 2–5:
+//
+//	{FC_i}  ← DFT({BW_i})
+//	F̃C_i   ← 0 if FC_i < thresh (relative to the max non-DC amplitude)
+//	{B̃W_i} ← IDFT({F̃C_i})
+//
+// and extrapolates B̃W to future steps using the periodicity of the HPC
+// workload pattern Σ_i I_i(C_i^x W_i)* F_i. Estimation is re-run
+// periodically (the paper refits every 30 steps) so the model tracks
+// workload changes.
+type Estimator struct {
+	// ThreshFrac is the amplitude threshold as a fraction of the maximum
+	// non-DC amplitude (the paper evaluates 25%, 50%, 75%; default 50%).
+	ThreshFrac float64
+	// Window is the number of most recent samples fitted (default 30,
+	// the paper's re-estimation period).
+	Window int
+
+	samples []float64 // measured BW per step, step-indexed from 0
+	model   []float64 // denoised one-period reconstruction
+	fitAt   int       // step index of the first sample in the fitted window
+	fitted  bool
+}
+
+// NewEstimator returns an estimator with the paper's defaults.
+func NewEstimator() *Estimator {
+	return &Estimator{ThreshFrac: 0.5, Window: 30}
+}
+
+// Observe appends the measured bandwidth of the next step.
+func (e *Estimator) Observe(bw float64) {
+	if math.IsNaN(bw) || bw < 0 {
+		panic(fmt.Sprintf("dftestim: invalid bandwidth sample %v", bw))
+	}
+	e.samples = append(e.samples, bw)
+}
+
+// Samples returns the number of observed steps.
+func (e *Estimator) Samples() int { return len(e.samples) }
+
+// Ready reports whether a model has been fitted.
+func (e *Estimator) Ready() bool { return e.fitted }
+
+// Fit builds the denoised periodic model from the most recent Window
+// samples. It returns an error if fewer than 4 samples are available.
+func (e *Estimator) Fit() error {
+	w := e.Window
+	if w <= 0 {
+		w = 30
+	}
+	if len(e.samples) < 4 {
+		return fmt.Errorf("dftestim: need at least 4 samples, have %d", len(e.samples))
+	}
+	if w > len(e.samples) {
+		w = len(e.samples)
+	}
+	start := len(e.samples) - w
+	window := e.samples[start:]
+
+	spec := FFTReal(window)
+	Threshold(spec, e.ThreshFrac)
+	rec := IFFT(spec)
+
+	e.model = make([]float64, w)
+	for i, v := range rec {
+		bw := real(v)
+		if bw < 0 {
+			bw = 0 // bandwidth cannot be negative; clamp ringing
+		}
+		e.model[i] = bw
+	}
+	e.fitAt = start
+	e.fitted = true
+	return nil
+}
+
+// Predict returns B̃W for the given absolute step index, extrapolating the
+// fitted window periodically. It panics if Fit has not succeeded.
+func (e *Estimator) Predict(step int) float64 {
+	if !e.fitted {
+		panic("dftestim: Predict before successful Fit")
+	}
+	n := len(e.model)
+	idx := (step - e.fitAt) % n
+	if idx < 0 {
+		idx += n
+	}
+	return e.model[idx]
+}
+
+// PredictNext returns the prediction for the step after the last observed
+// one.
+func (e *Estimator) PredictNext() float64 {
+	return e.Predict(len(e.samples))
+}
+
+// Model returns a copy of the fitted one-period reconstruction.
+func (e *Estimator) Model() []float64 {
+	out := make([]float64, len(e.model))
+	copy(out, e.model)
+	return out
+}
+
+// MeanAbsError reports the mean absolute prediction error of the fitted
+// model against a slice of actual future bandwidths beginning at
+// firstStep. It is used by the Fig 7 experiment to score estimation
+// accuracy per threshold level.
+func (e *Estimator) MeanAbsError(firstStep int, actual []float64) float64 {
+	if len(actual) == 0 {
+		return 0
+	}
+	var sum float64
+	for i, a := range actual {
+		sum += math.Abs(e.Predict(firstStep+i) - a)
+	}
+	return sum / float64(len(actual))
+}

@@ -1,0 +1,261 @@
+package dftestim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// periodicBW synthesizes a bandwidth series: base level minus periodic
+// interference dips plus optional random noise.
+func periodicBW(steps int, noiseSigma float64, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, steps)
+	for i := range out {
+		bw := 100.0
+		bw -= 40 * (0.5 + 0.5*math.Cos(2*math.Pi*float64(i)/10)) // period-10 dip
+		bw -= 15 * (0.5 + 0.5*math.Sin(2*math.Pi*float64(i)/6))  // period-6 dip
+		bw += noiseSigma * rng.NormFloat64()
+		if bw < 0 {
+			bw = 0
+		}
+		out[i] = bw
+	}
+	return out
+}
+
+func TestFitRequiresSamples(t *testing.T) {
+	e := NewEstimator()
+	if err := e.Fit(); err == nil {
+		t.Fatal("Fit with no samples should fail")
+	}
+	e.Observe(1)
+	e.Observe(2)
+	e.Observe(3)
+	if err := e.Fit(); err == nil {
+		t.Fatal("Fit with 3 samples should fail")
+	}
+	if e.Ready() {
+		t.Fatal("estimator should not be ready")
+	}
+}
+
+func TestPredictBeforeFitPanics(t *testing.T) {
+	e := NewEstimator()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.Predict(0)
+}
+
+func TestObserveRejectsInvalid(t *testing.T) {
+	e := NewEstimator()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	e.Observe(-1)
+}
+
+func TestCleanPeriodicSignalPredictedExactly(t *testing.T) {
+	e := NewEstimator()
+	e.Window = 30
+	e.ThreshFrac = 0 // keep everything: pure periodic extension
+	series := periodicBW(60, 0, 1)
+	for _, bw := range series[:30] {
+		e.Observe(bw)
+	}
+	if err := e.Fit(); err != nil {
+		t.Fatal(err)
+	}
+	// Signal has periods 10 and 6 -> overall period 30 == window, so the
+	// periodic extension is exact.
+	for s := 30; s < 60; s++ {
+		if d := math.Abs(e.Predict(s) - series[s]); d > 1e-9 {
+			t.Fatalf("step %d: predicted %v actual %v", s, e.Predict(s), series[s])
+		}
+	}
+}
+
+func TestThresholdingFiltersRandomNoise(t *testing.T) {
+	// With noise, a thresholded fit should predict the clean future
+	// better than the noisy observations would suggest.
+	clean := periodicBW(90, 0, 1)
+	noisy := periodicBW(90, 6, 2)
+
+	fit := func(frac float64) *Estimator {
+		e := NewEstimator()
+		e.Window = 30
+		e.ThreshFrac = frac
+		for _, bw := range noisy[30:60] {
+			e.Observe(bw)
+		}
+		// fitAt will be 0 relative to its own samples; align manually.
+		if err := e.Fit(); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	e50 := fit(0.5)
+	var err50 float64
+	for i := 0; i < 30; i++ {
+		err50 += math.Abs(e50.Predict(30+i) - clean[60+i])
+	}
+	err50 /= 30
+	// The thresholded prediction should stay well within the noise level.
+	if err50 > 8 {
+		t.Fatalf("thresholded prediction error too high: %v", err50)
+	}
+}
+
+func TestHigherThresholdDiscardsMore(t *testing.T) {
+	noisy := periodicBW(30, 4, 3)
+	zeroedAt := func(frac float64) int {
+		spec := FFTReal(noisy)
+		return Threshold(spec, frac)
+	}
+	z25, z50, z75 := zeroedAt(0.25), zeroedAt(0.5), zeroedAt(0.75)
+	if !(z25 <= z50 && z50 <= z75) {
+		t.Fatalf("zeroed counts not monotone: %d %d %d", z25, z50, z75)
+	}
+	if z75 == z25 {
+		t.Fatalf("thresholds indistinguishable: %d %d %d", z25, z50, z75)
+	}
+}
+
+func TestWindowUsesMostRecentSamples(t *testing.T) {
+	e := NewEstimator()
+	e.Window = 4
+	e.ThreshFrac = 0
+	// Old regime: 100. New regime: 20.
+	for i := 0; i < 10; i++ {
+		e.Observe(100)
+	}
+	for i := 0; i < 4; i++ {
+		e.Observe(20)
+	}
+	if err := e.Fit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.PredictNext(); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("prediction %v should reflect the recent regime", got)
+	}
+}
+
+func TestPredictionNonNegative(t *testing.T) {
+	e := NewEstimator()
+	e.Window = 8
+	e.ThreshFrac = 0.9 // aggressive thresholding can ring below zero
+	for _, bw := range []float64{0, 100, 0, 100, 0, 100, 0, 100} {
+		e.Observe(bw)
+	}
+	if err := e.Fit(); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 16; s++ {
+		if e.Predict(s) < 0 {
+			t.Fatalf("negative bandwidth prediction at step %d", s)
+		}
+	}
+}
+
+func TestMeanAbsErrorZeroOnExactModel(t *testing.T) {
+	e := NewEstimator()
+	e.Window = 10
+	e.ThreshFrac = 0
+	series := make([]float64, 20)
+	for i := range series {
+		series[i] = 50 + 10*math.Sin(2*math.Pi*float64(i)/5)
+	}
+	for _, bw := range series[:10] {
+		e.Observe(bw)
+	}
+	if err := e.Fit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.MeanAbsError(10, series[10:]); got > 1e-9 {
+		t.Fatalf("MAE = %v, want ~0", got)
+	}
+	if got := e.MeanAbsError(10, nil); got != 0 {
+		t.Fatalf("MAE on empty = %v", got)
+	}
+}
+
+func TestModelReturnsCopy(t *testing.T) {
+	e := NewEstimator()
+	e.Window = 4
+	for _, bw := range []float64{1, 2, 3, 4} {
+		e.Observe(bw)
+	}
+	if err := e.Fit(); err != nil {
+		t.Fatal(err)
+	}
+	m := e.Model()
+	m[0] = 999
+	if e.Model()[0] == 999 {
+		t.Fatal("Model() must return a copy")
+	}
+	if e.Samples() != 4 {
+		t.Fatalf("Samples = %d", e.Samples())
+	}
+}
+
+func TestPredictBeforeFitWindowWraps(t *testing.T) {
+	e := NewEstimator()
+	e.Window = 4
+	e.ThreshFrac = 0
+	for _, bw := range []float64{10, 20, 30, 40, 10, 20, 30, 40} {
+		e.Observe(bw)
+	}
+	if err := e.Fit(); err != nil {
+		t.Fatal(err)
+	}
+	// fitAt = 4; querying steps before the window wraps modulo the
+	// period rather than panicking.
+	if got := e.Predict(0); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("Predict(0) = %v, want 10", got)
+	}
+	if got := e.Predict(9); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("Predict(9) = %v, want 20", got)
+	}
+}
+
+func TestFitWindowLargerThanSamples(t *testing.T) {
+	e := NewEstimator()
+	e.Window = 100
+	for _, bw := range []float64{5, 6, 7, 8, 9} {
+		e.Observe(bw)
+	}
+	if err := e.Fit(); err != nil {
+		t.Fatal(err)
+	}
+	if len(e.Model()) != 5 {
+		t.Fatalf("model length = %d, want clamped to 5", len(e.Model()))
+	}
+}
+
+func TestRefitTracksNewWindow(t *testing.T) {
+	e := NewEstimator()
+	e.Window = 4
+	e.ThreshFrac = 0
+	for i := 0; i < 4; i++ {
+		e.Observe(100)
+	}
+	if err := e.Fit(); err != nil {
+		t.Fatal(err)
+	}
+	first := e.PredictNext()
+	for i := 0; i < 4; i++ {
+		e.Observe(10)
+	}
+	if err := e.Fit(); err != nil {
+		t.Fatal(err)
+	}
+	second := e.PredictNext()
+	if !(second < first) {
+		t.Fatalf("refit did not track the new regime: %v -> %v", first, second)
+	}
+}

@@ -1,0 +1,149 @@
+// Package dftestim implements the paper's signal-processing based
+// interference estimator (§III-C step 1, Algorithm 1 lines 2–5): measured
+// per-step bandwidth is transformed with a DFT, frequency components with
+// amplitude below a threshold (non-recurrent random noise) are discarded,
+// and the inverse transform — extended periodically — predicts the
+// available bandwidth at future analysis steps.
+package dftestim
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// FFT computes the discrete Fourier transform of x:
+//
+//	X[k] = Σ_n x[n]·e^(−2πi·kn/N)
+//
+// For power-of-two lengths it runs an iterative radix-2 Cooley–Tukey FFT
+// in O(N log N); for other lengths it falls back to the O(N²) direct
+// transform (window sizes here are tens of samples, so this is cheap and
+// keeps the implementation dependency-free).
+func FFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	if n&(n-1) == 0 {
+		return radix2(x, false)
+	}
+	return direct(x, false)
+}
+
+// IFFT computes the inverse DFT with 1/N normalization, so
+// IFFT(FFT(x)) == x up to rounding.
+func IFFT(x []complex128) []complex128 {
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	var out []complex128
+	if n&(n-1) == 0 {
+		out = radix2(x, true)
+	} else {
+		out = direct(x, true)
+	}
+	inv := complex(1/float64(n), 0)
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// radix2 is an iterative in-place Cooley–Tukey FFT on a copy of x.
+// inverse selects the conjugate twiddle direction (no normalization).
+func radix2(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i, v := range x {
+		out[bits.Reverse64(uint64(i))>>shift] = v
+	}
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for size := 2; size <= n; size <<= 1 {
+		half := size / 2
+		step := sign * 2 * math.Pi / float64(size)
+		wBase := cmplx.Exp(complex(0, step))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			for k := 0; k < half; k++ {
+				even := out[start+k]
+				odd := out[start+k+half] * w
+				out[start+k] = even + odd
+				out[start+k+half] = even - odd
+				w *= wBase
+			}
+		}
+	}
+	return out
+}
+
+// direct is the O(N²) reference transform, also used for non-power-of-two
+// lengths.
+func direct(x []complex128, inverse bool) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	sign := -1.0
+	if inverse {
+		sign = 1.0
+	}
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for j := 0; j < n; j++ {
+			angle := sign * 2 * math.Pi * float64(k) * float64(j) / float64(n)
+			sum += x[j] * cmplx.Exp(complex(0, angle))
+		}
+		out[k] = sum
+	}
+	return out
+}
+
+// FFTReal transforms a real series.
+func FFTReal(x []float64) []complex128 {
+	c := make([]complex128, len(x))
+	for i, v := range x {
+		c[i] = complex(v, 0)
+	}
+	return FFT(c)
+}
+
+// Amplitudes returns |X[k]| for each frequency component.
+func Amplitudes(spec []complex128) []float64 {
+	out := make([]float64, len(spec))
+	for i, v := range spec {
+		out[i] = cmplx.Abs(v)
+	}
+	return out
+}
+
+// Threshold zeroes every component of spec whose amplitude is below
+// frac × (maximum non-DC amplitude). The DC component (k=0, the mean
+// bandwidth level) is always kept: thresholding targets recurring
+// interference versus random noise, not the baseline. Conjugate symmetry
+// is preserved because symmetric components have equal amplitudes. It
+// returns the number of zeroed components.
+func Threshold(spec []complex128, frac float64) int {
+	if frac < 0 || frac > 1 {
+		panic(fmt.Sprintf("dftestim: threshold fraction %v out of [0,1]", frac))
+	}
+	var maxAmp float64
+	for k := 1; k < len(spec); k++ {
+		if a := cmplx.Abs(spec[k]); a > maxAmp {
+			maxAmp = a
+		}
+	}
+	cut := frac * maxAmp
+	zeroed := 0
+	for k := 1; k < len(spec); k++ {
+		if cmplx.Abs(spec[k]) < cut {
+			spec[k] = 0
+			zeroed++
+		}
+	}
+	return zeroed
+}

@@ -1,0 +1,157 @@
+// Package errmetric implements the error metrics the paper uses to
+// characterize and control the fidelity of reduced representations:
+// RMSE, NRMSE and PSNR (§III-B1) for error control, plus SSIM and Dice's
+// coefficient for the GenASiS rendering analysis (§IV-A) and relative
+// error for scalar analysis outcomes.
+package errmetric
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kind selects which error metric governs error control.
+type Kind int
+
+const (
+	// NRMSE is root-mean-square error normalized by the data range;
+	// smaller is more accurate.
+	NRMSE Kind = iota
+	// PSNR is peak signal-to-noise ratio in dB; larger is more accurate.
+	PSNR
+)
+
+// String returns the metric name.
+func (k Kind) String() string {
+	switch k {
+	case NRMSE:
+		return "NRMSE"
+	case PSNR:
+		return "PSNR"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Better reports whether accuracy a is strictly better than b under k.
+func (k Kind) Better(a, b float64) bool {
+	if k == PSNR {
+		return a > b
+	}
+	return a < b
+}
+
+// Satisfies reports whether achieved accuracy meets bound under k
+// (achieved at least as accurate as the bound).
+func (k Kind) Satisfies(achieved, bound float64) bool {
+	if k == PSNR {
+		return achieved >= bound
+	}
+	return achieved <= bound
+}
+
+// MSE returns the mean squared error between x and xhat. The slices must
+// have equal nonzero length.
+func MSE(x, xhat []float64) float64 {
+	if len(x) != len(xhat) {
+		panic(fmt.Sprintf("errmetric: length mismatch %d vs %d", len(x), len(xhat)))
+	}
+	if len(x) == 0 {
+		panic("errmetric: empty input")
+	}
+	var sum float64
+	for i := range x {
+		d := x[i] - xhat[i]
+		sum += d * d
+	}
+	return sum / float64(len(x))
+}
+
+// RMSE returns the root mean squared error.
+func RMSE(x, xhat []float64) float64 { return math.Sqrt(MSE(x, xhat)) }
+
+// Range returns max(x) - min(x).
+func Range(x []float64) float64 {
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, v := range x {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return max - min
+}
+
+// NRMSEOf returns RMSE normalized by the range of x:
+//
+//	NRMSE = sqrt(mean((x-x̂)²)) / (x_max - x_min)
+//
+// A constant signal (zero range) with any mismatch yields +Inf; a perfect
+// reconstruction yields 0 even at zero range.
+func NRMSEOf(x, xhat []float64) float64 {
+	rmse := RMSE(x, xhat)
+	r := Range(x)
+	if r == 0 {
+		if rmse == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return rmse / r
+}
+
+// PSNROf returns the peak signal-to-noise ratio in dB:
+//
+//	PSNR = 10·log10(x_max² / mean((x-x̂)²))
+//
+// following the paper's formula, with x_max taken as the peak magnitude of
+// the reference signal. A perfect reconstruction yields +Inf.
+func PSNROf(x, xhat []float64) float64 {
+	mse := MSE(x, xhat)
+	var peak float64
+	for _, v := range x {
+		if a := math.Abs(v); a > peak {
+			peak = a
+		}
+	}
+	if mse == 0 {
+		return math.Inf(1)
+	}
+	if peak == 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(peak*peak/mse)
+}
+
+// Measure computes the accuracy of xhat against x under k.
+func Measure(k Kind, x, xhat []float64) float64 {
+	if k == PSNR {
+		return PSNROf(x, xhat)
+	}
+	return NRMSEOf(x, xhat)
+}
+
+// RelErr returns |got-want| / |want|. A zero reference with a nonzero
+// value yields +Inf; 0/0 is 0.
+func RelErr(want, got float64) float64 {
+	if want == 0 {
+		if got == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}
+
+// EquivalentNRMSE converts an accuracy expressed under k into the NRMSE
+// domain so quantities measured under different metrics can be ranked.
+// For NRMSE it is the identity. For PSNR it inverts the PSNR formula
+// assuming a unit-peak signal: NRMSE ≈ 10^(-PSNR/20).
+func EquivalentNRMSE(k Kind, acc float64) float64 {
+	if k == NRMSE {
+		return acc
+	}
+	return math.Pow(10, -acc/20)
+}

@@ -1,0 +1,251 @@
+package errmetric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRMSEKnownValues(t *testing.T) {
+	x := []float64{0, 0, 0, 0}
+	xhat := []float64{1, 1, 1, 1}
+	if got := RMSE(x, xhat); got != 1 {
+		t.Fatalf("RMSE = %v, want 1", got)
+	}
+	if got := MSE([]float64{3}, []float64{1}); got != 4 {
+		t.Fatalf("MSE = %v, want 4", got)
+	}
+}
+
+func TestRMSEPerfect(t *testing.T) {
+	x := []float64{1, 2, 3}
+	if got := RMSE(x, x); got != 0 {
+		t.Fatalf("RMSE(x,x) = %v", got)
+	}
+}
+
+func TestNRMSENormalization(t *testing.T) {
+	x := []float64{0, 10} // range 10
+	xhat := []float64{1, 10}
+	// RMSE = sqrt(0.5); NRMSE = sqrt(0.5)/10
+	want := math.Sqrt(0.5) / 10
+	if got := NRMSEOf(x, xhat); math.Abs(got-want) > 1e-15 {
+		t.Fatalf("NRMSE = %v, want %v", got, want)
+	}
+}
+
+func TestNRMSEZeroRange(t *testing.T) {
+	x := []float64{5, 5}
+	if got := NRMSEOf(x, x); got != 0 {
+		t.Fatalf("perfect zero-range NRMSE = %v", got)
+	}
+	if got := NRMSEOf(x, []float64{5, 6}); !math.IsInf(got, 1) {
+		t.Fatalf("imperfect zero-range NRMSE = %v, want +Inf", got)
+	}
+}
+
+func TestPSNRKnownValue(t *testing.T) {
+	// peak = 10, MSE = 1 -> PSNR = 10*log10(100) = 20 dB.
+	x := []float64{10, 0}
+	xhat := []float64{10 - math.Sqrt2, 0} // d² sums to 2, mean 1
+	got := PSNROf(x, xhat)
+	if math.Abs(got-20) > 1e-9 {
+		t.Fatalf("PSNR = %v, want 20", got)
+	}
+}
+
+func TestPSNRPerfectIsInf(t *testing.T) {
+	x := []float64{1, 2}
+	if got := PSNROf(x, x); !math.IsInf(got, 1) {
+		t.Fatalf("PSNR = %v", got)
+	}
+}
+
+func TestKindSemantics(t *testing.T) {
+	if !NRMSE.Better(0.01, 0.1) || NRMSE.Better(0.1, 0.01) {
+		t.Fatal("NRMSE: smaller is better")
+	}
+	if !PSNR.Better(80, 30) || PSNR.Better(30, 80) {
+		t.Fatal("PSNR: larger is better")
+	}
+	if !NRMSE.Satisfies(0.01, 0.01) || !NRMSE.Satisfies(0.005, 0.01) || NRMSE.Satisfies(0.02, 0.01) {
+		t.Fatal("NRMSE Satisfies wrong")
+	}
+	if !PSNR.Satisfies(35, 30) || PSNR.Satisfies(25, 30) {
+		t.Fatal("PSNR Satisfies wrong")
+	}
+	if NRMSE.String() != "NRMSE" || PSNR.String() != "PSNR" {
+		t.Fatal("String names")
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if got := RelErr(10, 12); math.Abs(got-0.2) > 1e-15 {
+		t.Fatalf("RelErr = %v", got)
+	}
+	if got := RelErr(0, 0); got != 0 {
+		t.Fatalf("RelErr(0,0) = %v", got)
+	}
+	if got := RelErr(0, 1); !math.IsInf(got, 1) {
+		t.Fatalf("RelErr(0,1) = %v", got)
+	}
+	if got := RelErr(-4, -5); math.Abs(got-0.25) > 1e-15 {
+		t.Fatalf("RelErr negative = %v", got)
+	}
+}
+
+func TestMeasureDispatch(t *testing.T) {
+	x := []float64{0, 10}
+	xhat := []float64{1, 10}
+	if Measure(NRMSE, x, xhat) != NRMSEOf(x, xhat) {
+		t.Fatal("Measure NRMSE mismatch")
+	}
+	if Measure(PSNR, x, xhat) != PSNROf(x, xhat) {
+		t.Fatal("Measure PSNR mismatch")
+	}
+}
+
+func TestEquivalentNRMSE(t *testing.T) {
+	if got := EquivalentNRMSE(NRMSE, 0.03); got != 0.03 {
+		t.Fatalf("identity = %v", got)
+	}
+	// PSNR 40 dB -> 10^-2 = 0.01
+	if got := EquivalentNRMSE(PSNR, 40); math.Abs(got-0.01) > 1e-12 {
+		t.Fatalf("psnr equiv = %v", got)
+	}
+	// Monotone: higher PSNR -> smaller equivalent NRMSE.
+	if !(EquivalentNRMSE(PSNR, 80) < EquivalentNRMSE(PSNR, 30)) {
+		t.Fatal("not monotone")
+	}
+}
+
+func TestNRMSEScaleInvarianceProperty(t *testing.T) {
+	// NRMSE is invariant to affine rescaling of both signals.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 16 + rng.Intn(64)
+		x := make([]float64, n)
+		y := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+			y[i] = x[i] + 0.1*rng.NormFloat64()
+		}
+		base := NRMSEOf(x, y)
+		a, b := 3.7, -11.0
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range x {
+			xs[i] = a*x[i] + b
+			ys[i] = a*y[i] + b
+		}
+		scaled := NRMSEOf(xs, ys)
+		return math.Abs(base-scaled) < 1e-9*(1+base)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPSNRMonotoneInNoiseProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 64
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64() * 5
+		}
+		noisy := func(sigma float64) []float64 {
+			r2 := rand.New(rand.NewSource(seed + 1))
+			y := make([]float64, n)
+			for i := range y {
+				y[i] = x[i] + sigma*r2.NormFloat64()
+			}
+			return y
+		}
+		return PSNROf(x, noisy(0.01)) > PSNROf(x, noisy(1.0))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MSE([]float64{1}, []float64{1, 2})
+}
+
+func TestSSIMIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	img := make([]float64, 32*32)
+	for i := range img {
+		img[i] = rng.Float64()
+	}
+	if got := SSIM(img, img, 32, 32); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("SSIM(x,x) = %v", got)
+	}
+}
+
+func TestSSIMDegradesWithNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rows, cols := 32, 32
+	ref := make([]float64, rows*cols)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			ref[r*cols+c] = math.Sin(float64(r)/4) * math.Cos(float64(c)/4)
+		}
+	}
+	noisy := func(sigma float64) []float64 {
+		out := make([]float64, len(ref))
+		for i := range out {
+			out[i] = ref[i] + sigma*rng.NormFloat64()
+		}
+		return out
+	}
+	low := SSIM(ref, noisy(0.05), rows, cols)
+	high := SSIM(ref, noisy(0.8), rows, cols)
+	if !(low > high) {
+		t.Fatalf("SSIM not monotone: %v vs %v", low, high)
+	}
+	if !(low > 0.7) {
+		t.Fatalf("light noise SSIM too low: %v", low)
+	}
+}
+
+func TestSSIMShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SSIM(make([]float64, 10), make([]float64, 10), 3, 3)
+}
+
+func TestDice(t *testing.T) {
+	a := []bool{true, true, false, false}
+	b := []bool{true, false, true, false}
+	// |A∩B|=1, |A|=2, |B|=2 -> 2/4 = 0.5
+	if got := Dice(a, b); got != 0.5 {
+		t.Fatalf("Dice = %v", got)
+	}
+	if got := Dice(a, a); got != 1 {
+		t.Fatalf("Dice(x,x) = %v", got)
+	}
+	if got := Dice([]bool{false}, []bool{false}); got != 1 {
+		t.Fatalf("Dice(empty,empty) = %v", got)
+	}
+	if got := Dice([]bool{true}, []bool{false}); got != 0 {
+		t.Fatalf("disjoint Dice = %v", got)
+	}
+}
+
+func TestThresholdMask(t *testing.T) {
+	m := ThresholdMask([]float64{1, 2, 3}, 2)
+	if m[0] || !m[1] || !m[2] {
+		t.Fatalf("mask = %v", m)
+	}
+}

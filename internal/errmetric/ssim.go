@@ -1,0 +1,134 @@
+package errmetric
+
+import (
+	"fmt"
+	"math"
+)
+
+// SSIM computes the mean structural similarity index between two 2D
+// images (row-major, rows×cols), following Wang et al. 2004 with an 8×8
+// sliding window and the standard stabilizing constants. Pixel values are
+// first normalized to [0,1] by the reference image's range, so dynamic
+// range L = 1, C1 = (0.01)², C2 = (0.03)².
+//
+// SSIM is 1 for identical images and decreases toward 0 (or below) as
+// structure diverges; the paper uses it to judge GenASiS renderings of
+// reduced data against full-data renderings.
+func SSIM(ref, img []float64, rows, cols int) float64 {
+	if rows <= 0 || cols <= 0 || rows*cols != len(ref) || len(ref) != len(img) {
+		panic(fmt.Sprintf("errmetric: SSIM shape mismatch rows=%d cols=%d len=%d/%d",
+			rows, cols, len(ref), len(img)))
+	}
+	min, max := math.Inf(1), math.Inf(-1)
+	for _, v := range ref {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	scale := max - min
+	if scale == 0 {
+		scale = 1
+	}
+	norm := func(src []float64) []float64 {
+		out := make([]float64, len(src))
+		for i, v := range src {
+			out[i] = (v - min) / scale
+		}
+		return out
+	}
+	a, b := norm(ref), norm(img)
+
+	const (
+		win = 8
+		c1  = 0.01 * 0.01
+		c2  = 0.03 * 0.03
+	)
+	stepR, stepC := win/2, win/2
+	var total float64
+	var windows int
+	for r0 := 0; r0 < rows; r0 += stepR {
+		r1 := r0 + win
+		if r1 > rows {
+			r1 = rows
+		}
+		if r1-r0 < 2 {
+			continue
+		}
+		for c0 := 0; c0 < cols; c0 += stepC {
+			c1e := c0 + win
+			if c1e > cols {
+				c1e = cols
+			}
+			if c1e-c0 < 2 {
+				continue
+			}
+			n := float64((r1 - r0) * (c1e - c0))
+			var sa, sb float64
+			for r := r0; r < r1; r++ {
+				for c := c0; c < c1e; c++ {
+					sa += a[r*cols+c]
+					sb += b[r*cols+c]
+				}
+			}
+			ma, mb := sa/n, sb/n
+			var va, vb, cov float64
+			for r := r0; r < r1; r++ {
+				for c := c0; c < c1e; c++ {
+					da := a[r*cols+c] - ma
+					db := b[r*cols+c] - mb
+					va += da * da
+					vb += db * db
+					cov += da * db
+				}
+			}
+			va /= n - 1
+			vb /= n - 1
+			cov /= n - 1
+			ssim := ((2*ma*mb + c1) * (2*cov + c2)) /
+				((ma*ma + mb*mb + c1) * (va + vb + c2))
+			total += ssim
+			windows++
+		}
+	}
+	if windows == 0 {
+		panic("errmetric: SSIM image too small for any window")
+	}
+	return total / float64(windows)
+}
+
+// Dice computes Dice's coefficient between two boolean masks:
+// 2|A∩B| / (|A|+|B|). Two empty masks are defined as perfectly similar
+// (1). The paper uses Dice on thresholded renderings.
+func Dice(a, b []bool) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("errmetric: Dice length mismatch %d vs %d", len(a), len(b)))
+	}
+	var inter, na, nb int
+	for i := range a {
+		if a[i] {
+			na++
+		}
+		if b[i] {
+			nb++
+		}
+		if a[i] && b[i] {
+			inter++
+		}
+	}
+	if na+nb == 0 {
+		return 1
+	}
+	return 2 * float64(inter) / float64(na+nb)
+}
+
+// ThresholdMask returns the mask x >= thresh.
+func ThresholdMask(x []float64, thresh float64) []bool {
+	m := make([]bool, len(x))
+	for i, v := range x {
+		m[i] = v >= thresh
+	}
+	return m
+}

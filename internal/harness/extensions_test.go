@@ -1,0 +1,136 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+func cell(t *testing.T, r *Result, row, col int) float64 {
+	t.Helper()
+	s := strings.TrimSuffix(r.Rows[row][col], "%")
+	s = strings.TrimSuffix(s, "x")
+	s = strings.TrimSuffix(s, " MB/s")
+	s = strings.TrimPrefix(s, "+")
+	// Keep only the value before a ± if present.
+	if i := strings.IndexRune(s, '±'); i >= 0 {
+		s = s[:i]
+	}
+	var v float64
+	if _, err := fmtSscan(s, &v); err != nil {
+		t.Fatalf("cell (%d,%d) = %q not numeric: %v", row, col, r.Rows[row][col], err)
+	}
+	return v
+}
+
+func TestCoexistEqualPriorityIsSymmetric(t *testing.T) {
+	r := Coexist(smallCfg())
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Control row: equal priority -> identical performance.
+	if ci, cb := cell(t, r, 1, 1), cell(t, r, 1, 2); ci != cb {
+		t.Fatalf("equal-priority sessions differ: %v vs %v", ci, cb)
+	}
+	// Differentiated row: interactive no slower than batch.
+	if ii, ib := cell(t, r, 0, 1), cell(t, r, 0, 2); ii > ib {
+		t.Fatalf("high-priority session slower: %v vs %v", ii, ib)
+	}
+}
+
+func TestRegimeStaleModelWindowWorst(t *testing.T) {
+	r := Regime(smallCfg())
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	before := cell(t, r, 0, 2)
+	stale := cell(t, r, 1, 2)
+	if !(stale > before) {
+		t.Fatalf("stale-model MAE %v should exceed settled MAE %v", stale, before)
+	}
+}
+
+func TestThrottleExperimentShape(t *testing.T) {
+	r := ThrottleVsTango(smallCfg())
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	baseline := cell(t, r, 0, 1)
+	tango := cell(t, r, 2, 1)
+	if !(tango < baseline) {
+		t.Fatalf("tango %v should beat baseline %v", tango, baseline)
+	}
+}
+
+func TestRandomNoisePerturbationSmallerWithThreshold(t *testing.T) {
+	r := RandomNoiseRobustness(smallCfg())
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	p0 := cell(t, r, 0, 3)
+	p50 := cell(t, r, 1, 3)
+	if !(p50 <= p0+0.5) { // allow 0.5 MB/s tolerance at test scale
+		t.Fatalf("thresholded perturbation %v should not exceed unthresholded %v", p50, p0)
+	}
+}
+
+func TestParallelAblationNotSlower(t *testing.T) {
+	r := AblationParallelReads(smallCfg())
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	seq := cell(t, r, 0, 1)
+	par := cell(t, r, 1, 1)
+	if !(par <= seq+1e-9) {
+		t.Fatalf("parallel %v slower than sequential %v", par, seq)
+	}
+}
+
+func TestAblationSeekNarrowsGap(t *testing.T) {
+	r := AblationNoSeekThrash(smallCfg())
+	withRatio := cell(t, r, 0, 3)
+	withoutRatio := cell(t, r, 1, 3)
+	if !(withoutRatio >= withRatio) {
+		t.Fatalf("gap should narrow without thrash: %v vs %v", withoutRatio, withRatio)
+	}
+}
+
+func TestFig12StorageDegradesWithNoise(t *testing.T) {
+	r := Fig12(smallCfg())
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	s3 := cell(t, r, 0, 2)
+	s6 := cell(t, r, 3, 2)
+	if !(s6 >= s3) {
+		t.Fatalf("storage-only should degrade 3->6 noises: %v -> %v", s3, s6)
+	}
+}
+
+func TestFig16FlatScaling(t *testing.T) {
+	r := Fig16(smallCfg())
+	one := cell(t, r, 0, 1)
+	four := cell(t, r, 3, 1)
+	if one != four {
+		t.Fatalf("weak scaling not flat: %v vs %v", one, four)
+	}
+}
+
+func TestCSVAndJSONFormats(t *testing.T) {
+	r := Table1(smallCfg())
+	var csvB, jsonB strings.Builder
+	if err := r.Format(&csvB, "csv"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csvB.String(), "Lustre") {
+		t.Fatal("csv missing data")
+	}
+	if err := r.Format(&jsonB, "json"); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(jsonB.String(), "\"id\": \"table1\"") {
+		t.Fatal("json missing id")
+	}
+	if err := r.Format(&csvB, "bogus"); err == nil {
+		t.Fatal("bogus format accepted")
+	}
+}

@@ -1,0 +1,359 @@
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"tango/internal/analytics"
+	"tango/internal/core"
+	"tango/internal/errmetric"
+	"tango/internal/refactor"
+)
+
+// Fig11 reproduces Fig 11: the percentage of the degrees of freedom that
+// must be retrieved to satisfy each error bound, per application, for
+// both metrics.
+func Fig11(cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	r := &Result{
+		ID:     "fig11",
+		Title:  "Percentage of degrees of freedom vs error bound",
+		Header: []string{"metric", "bound", "XGC DoF%", "GenASiS DoF%", "CFD DoF%"},
+	}
+	type variant struct {
+		metric errmetric.Kind
+		bounds []float64
+	}
+	for _, v := range []variant{
+		{errmetric.NRMSE, NRMSEBounds},
+		{errmetric.PSNR, PSNRBounds},
+	} {
+		// One hierarchy per app with the full ladder.
+		hs := map[string]*refactor.Hierarchy{}
+		for _, app := range appsUnderTest() {
+			hs[app.Name] = appHierarchy(app, cfg, refactor.Options{
+				Levels: refactor.LevelsForRatio(16, 2, 2),
+				Metric: v.metric,
+				Bounds: v.bounds,
+			})
+		}
+		for _, bound := range v.bounds {
+			row := []string{v.metric.String(), fmt.Sprintf("%g", bound)}
+			for _, app := range appsUnderTest() {
+				h := hs[app.Name]
+				cur, err := h.CursorForBound(bound)
+				if err != nil {
+					panic(err)
+				}
+				row = append(row, fmt.Sprintf("%.1f%%", 100*h.DoFFraction(cur)))
+			}
+			r.Add(row...)
+		}
+	}
+	r.Notef("DoF%% counts the base representation plus retrieved augmentation entries over all original points.")
+	return r
+}
+
+// Fig12 reproduces Fig 12: average I/O time of cross-layer vs
+// single-layer (storage) as interfering containers are added 3 → 6
+// (containers #1–#3 first, then #4, #5, #6 — Table IV).
+func Fig12(cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	r := &Result{
+		ID:     "fig12",
+		Title:  "Performance vs noise intensity (XGC, p=10, NRMSE 0.01; avg I/O time ± std, s)",
+		Header: []string{"noises", "cross-layer", "single-layer/storage"},
+	}
+	app := analytics.XGCApp()
+	h := appHierarchy(app, cfg, defaultOpts())
+	for n := 3; n <= 6; n++ {
+		sc := core.Config{ErrorControl: true, Bound: 0.01, Priority: 10}
+		sc.Policy = core.CrossLayer
+		cross := runOne(app.Name, n, h, cfg, sc).Summary(cfg.SkipWarmup)
+		sc.Policy = core.StorageOnly
+		storage := runOne(app.Name, n, h, cfg, sc).Summary(cfg.SkipWarmup)
+		r.Add(fmt.Sprintf("%d", n),
+			fmt.Sprintf("%s±%s", fmtS(cross.MeanIO), fmtS(cross.StdIO)),
+			fmt.Sprintf("%s±%s", fmtS(storage.MeanIO), fmtS(storage.StdIO)))
+	}
+	r.Notef("Cross-layer stays nearly flat; the storage-only mean and variance degrade with noise intensity (Fig 12's observation).")
+	return r
+}
+
+// latencyToBound averages, over measured steps, the time from step start
+// until the retrieval has covered the rung of `bound`: the base read time
+// when the base alone satisfies the bound, otherwise the completion time
+// of the bucket whose range reaches the rung cursor.
+func latencyToBound(sess *core.Session, h *refactor.Hierarchy, bound float64, skip int) float64 {
+	rung, err := h.CursorForBound(bound)
+	if err != nil {
+		panic(err)
+	}
+	var sum float64
+	var n int
+	for _, st := range sess.Stats()[skip:] {
+		lt := math.NaN()
+		if rung == 0 {
+			lt = st.BaseTime
+		} else {
+			for _, b := range st.Buckets {
+				if b.To >= rung {
+					lt = b.Start + b.Elapsed - st.Start
+					break
+				}
+			}
+		}
+		if !math.IsNaN(lt) {
+			sum += lt
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+// Fig13 reproduces Fig 13: the latency to retrieve the augmentation that
+// elevates the accuracy to ε₁ = 0.01, as the weight function
+// progressively incorporates cardinality, priority, and accuracy —
+// against the single-layer (application) baseline.
+func Fig13(cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	r := &Result{
+		ID:     "fig13",
+		Title:  "Latency to elevate accuracy to 0.01 NRMSE (p=10; avg s)",
+		Header: []string{"app", "single-layer", "cardinality", "card+priority", "card+prio+accuracy"},
+	}
+	for _, app := range appsUnderTest() {
+		h := appHierarchy(app, cfg, defaultOpts())
+		base := core.Config{ErrorControl: true, Bound: 0.01, Priority: 10}
+
+		run := func(policy core.Policy, disablePrio, disableAcc bool) float64 {
+			sc := base
+			sc.Policy = policy
+			sc.DisablePriorityTerm = disablePrio
+			sc.DisableAccuracyTerm = disableAcc
+			return latencyToBound(runOne(app.Name, 6, h, cfg, sc), h, 0.01, cfg.SkipWarmup)
+		}
+		single := run(core.AppOnly, false, false)
+		cardOnly := run(core.CrossLayer, true, true)
+		cardPrio := run(core.CrossLayer, false, true)
+		full := run(core.CrossLayer, false, false)
+		r.Add(app.Name, fmtS(single), fmtS(cardOnly), fmtS(cardPrio), fmtS(full))
+	}
+	r.Notef("Cardinality-only equals single-layer storage adaptivity (paper note under Fig 13).")
+	return r
+}
+
+// Fig14a reproduces Fig 14a: cross-layer average I/O time at ε = 0.01 for
+// priorities 1, 5, 10.
+func Fig14a(cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	r := &Result{
+		ID:     "fig14a",
+		Title:  "Impact of priority (NRMSE 0.01; avg I/O time ± std, s)",
+		Header: []string{"app", "p=1", "p=5", "p=10"},
+	}
+	for _, app := range appsUnderTest() {
+		h := appHierarchy(app, cfg, defaultOpts())
+		row := []string{app.Name}
+		for _, p := range []float64{1, 5, 10} {
+			sc := core.Config{Policy: core.CrossLayer, ErrorControl: true, Bound: 0.01, Priority: p}
+			s := runOne(app.Name, 6, h, cfg, sc).Summary(cfg.SkipWarmup)
+			row = append(row, fmt.Sprintf("%s±%s", fmtS(s.MeanIO), fmtS(s.StdIO)))
+		}
+		r.Add(row...)
+	}
+	r.Notef("Doubling priority does not halve I/O time: weight shares are relative (paper's 100→200 weight example yields 100→133 MB/s).")
+	return r
+}
+
+// Fig14b reproduces Fig 14b: cross-layer average I/O time at p = 10
+// across error bounds.
+func Fig14b(cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	r := &Result{
+		ID:     "fig14b",
+		Title:  "Impact of error bound (p=10; avg I/O time ± std, s)",
+		Header: []string{"app", "eps=1e-1", "eps=1e-2", "eps=1e-3", "eps=1e-4"},
+	}
+	for _, app := range appsUnderTest() {
+		h := appHierarchy(app, cfg, defaultOpts())
+		row := []string{app.Name}
+		for _, eps := range []float64{1e-1, 1e-2, 1e-3, 1e-4} {
+			sc := core.Config{Policy: core.CrossLayer, ErrorControl: true, Bound: eps, Priority: 10}
+			s := runOne(app.Name, 6, h, cfg, sc).Summary(cfg.SkipWarmup)
+			row = append(row, fmt.Sprintf("%s±%s", fmtS(s.MeanIO), fmtS(s.StdIO)))
+		}
+		r.Add(row...)
+	}
+	r.Notef("Tighter bounds force larger mandatory retrievals, raising I/O time.")
+	return r
+}
+
+// Fig15 reproduces Fig 15: the weight assignment over time for XGC in the
+// window 1800–1950 s (p=10, target NRMSE 0.01): within each step the
+// accuracy rises 1e-2 → 1e-4 and the weight is lowered accordingly.
+func Fig15(cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	r := &Result{
+		ID:     "fig15",
+		Title:  "Weight assignment across time (XGC, p=10, target NRMSE 0.01)",
+		Header: []string{"t(s)", "accuracy", "weight", "bucket entries"},
+	}
+	app := analytics.XGCApp()
+	h := appHierarchy(app, cfg, defaultOpts())
+	sc := core.Config{Policy: core.CrossLayer, ErrorControl: true, Bound: 1e-4, Priority: 10}
+	sess := runOne(app.Name, 6, h, cfg, sc)
+	for _, st := range sess.Stats() {
+		if st.Start < 1800 || st.Start >= 1980 {
+			continue
+		}
+		for _, b := range st.Buckets {
+			if b.Weight == 0 {
+				continue
+			}
+			r.Add(fmt.Sprintf("%.1f", b.Start), fmt.Sprintf("%g", b.Bound),
+				fmt.Sprintf("%d", b.Weight), fmt.Sprintf("%d", b.To-b.From))
+		}
+	}
+	r.Notef("The target bound is set to 1e-4 so each step walks the ladder 1e-1→1e-4; weight decreases as accuracy tightens (the design favors low accuracy).")
+	return r
+}
+
+// Fig16 reproduces Fig 16: weak scaling. Tango's recomposition needs no
+// inter-node communication, so per-node average I/O time stays flat from
+// 1 to 4 nodes. Node simulations run on real parallel goroutines.
+func Fig16(cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	r := &Result{
+		ID:     "fig16",
+		Title:  "Weak scaling (p=10, NRMSE 0.01; per-node avg I/O time, s)",
+		Header: []string{"nodes", "mean of per-node avg I/O", "max deviation across nodes"},
+	}
+	app := analytics.XGCApp()
+	h := appHierarchy(app, cfg, defaultOpts())
+	for _, nodes := range []int{1, 2, 3, 4} {
+		means := make([]float64, nodes)
+		var wg sync.WaitGroup
+		for i := 0; i < nodes; i++ {
+			i := i
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				sc := core.Config{Policy: core.CrossLayer, ErrorControl: true, Bound: 0.01, Priority: 10}
+				sess := runOne(fmt.Sprintf("xgc-node%d", i), 6, h, cfg, sc)
+				means[i] = sess.Summary(cfg.SkipWarmup).MeanIO
+			}()
+		}
+		wg.Wait()
+		var sum, maxDev float64
+		for _, m := range means {
+			sum += m
+		}
+		mean := sum / float64(nodes)
+		for _, m := range means {
+			if d := math.Abs(m - mean); d > maxDev {
+				maxDev = d
+			}
+		}
+		r.Add(fmt.Sprintf("%d", nodes), fmtS(mean), fmtS(maxDev))
+	}
+	r.Notef("Each node is an independent simulation run on its own goroutine (embarrassingly parallel, as in the paper).")
+	return r
+}
+
+// Headline aggregates the Fig 8 data into the paper's headline claim:
+// I/O performance improvement of cross-layer vs no adaptivity and vs the
+// best single-layer approach.
+func Headline(cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	r := &Result{
+		ID:     "headline",
+		Title:  "Headline improvement (from Fig 8 conditions)",
+		Header: []string{"app", "vs no-adaptivity", "vs best single-layer"},
+	}
+	var aggNo, aggSingle, n float64
+	for _, app := range appsUnderTest() {
+		h := appHierarchy(app, cfg, defaultOpts())
+		s := policySummaries(app, h, cfg, core.Config{})
+		cross := s[core.CrossLayer].MeanIO
+		noAd := s[core.NoAdapt].MeanIO
+		single := math.Min(s[core.StorageOnly].MeanIO, s[core.AppOnly].MeanIO)
+		impNo := 100 * (1 - cross/noAd)
+		impSingle := 100 * (1 - cross/single)
+		aggNo += impNo
+		aggSingle += impSingle
+		n++
+		r.Add(app.Name, fmt.Sprintf("%.0f%%", impNo), fmt.Sprintf("%.0f%%", impSingle))
+	}
+	r.Add("mean", fmt.Sprintf("%.0f%%", aggNo/n), fmt.Sprintf("%.0f%%", aggSingle/n))
+	r.Notef("Paper reports 52%% vs no adaptivity and 36%% vs single-layer on Chameleon; shape (ordering and rough magnitude), not absolute numbers, is the reproduction target.")
+	return r
+}
+
+// AblationNoSeekThrash removes the HDD's concurrency-collapse term: the
+// advantage of application adaptivity over storage-only weight
+// redistribution shrinks, confirming the model ingredient behind Fig 8's
+// explanation ("weight adjustment only re-distributes bandwidth").
+func AblationNoSeekThrash(cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	r := &Result{
+		ID:     "ablation-seek",
+		Title:  "Ablation: HDD seek-thrash term (XGC, no error control)",
+		Header: []string{"HDD model", "storage-only", "cross-layer", "cross/storage"},
+	}
+	app := analytics.XGCApp()
+	h := appHierarchy(app, cfg, defaultOpts())
+	for _, variant := range []string{"with seek thrash", "no seek thrash"} {
+		hdd := hddParamsReal()
+		if variant == "no seek thrash" {
+			hdd = hddParamsNoThrash()
+		}
+		run := func(p core.Policy) core.Summary {
+			scen := newScenarioWithHDD("abl", 6, hdd)
+			sess := runOnScenario(scen, app.Name, h, cfg, core.Config{Policy: p})
+			return sess.Summary(cfg.SkipWarmup)
+		}
+		st := run(core.StorageOnly)
+		cr := run(core.CrossLayer)
+		r.Add(variant, fmtS(st.MeanIO), fmtS(cr.MeanIO), fmt.Sprintf("%.2f", cr.MeanIO/st.MeanIO))
+	}
+	r.Notef("Without the thrash term the gap narrows: weight redistribution alone suffices when total throughput never collapses.")
+	return r
+}
+
+// AblationUnsortedBuckets disables the magnitude ordering of augmentation
+// entries (paper §III-B2 step 3) and measures how many more entries each
+// bound needs — the ingredient behind Fig 11's feasibility.
+func AblationUnsortedBuckets(cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	r := &Result{
+		ID:     "ablation-sort",
+		Title:  "Ablation: magnitude-ordered buckets (XGC, NRMSE ladder)",
+		Header: []string{"bound", "sorted DoF%", "unsorted DoF%", "inflation"},
+	}
+	app := analytics.XGCApp()
+	sorted := appHierarchy(app, cfg, defaultOpts())
+	opts := defaultOpts()
+	opts.NoSort = true
+	unsorted := appHierarchy(app, cfg, opts)
+	for _, bound := range []float64{1e-1, 1e-2, 1e-3} {
+		cs, err := sorted.CursorForBound(bound)
+		if err != nil {
+			panic(err)
+		}
+		cu, err := unsorted.CursorForBound(bound)
+		if err != nil {
+			panic(err)
+		}
+		ds, du := sorted.DoFFraction(cs), unsorted.DoFFraction(cu)
+		r.Add(fmt.Sprintf("%g", bound),
+			fmt.Sprintf("%.1f%%", 100*ds), fmt.Sprintf("%.1f%%", 100*du),
+			fmt.Sprintf("%.2fx", du/ds))
+	}
+	r.Notef("Descending-|value| ordering reaches each bound with fewer retrieved entries.")
+	return r
+}

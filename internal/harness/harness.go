@@ -1,0 +1,241 @@
+// Package harness defines one runnable experiment per table and figure of
+// the paper's evaluation (§IV), sharing a common scenario builder: a
+// two-tier node (SSD + HDD), the Table IV interference set, and the three
+// applications' refactored datasets. Each experiment returns a Result —
+// the same rows/series the paper reports — that cmd/tangobench prints and
+// the root bench suite regenerates.
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"tango/internal/analytics"
+	"tango/internal/errmetric"
+	"tango/internal/refactor"
+	"tango/internal/tensor"
+)
+
+// Config sets experiment scale. Zero values take defaults tuned so the
+// full suite runs in seconds while preserving the paper's operating
+// regime (per-step retrievals of a few MB against multi-hundred-MB
+// periodic checkpoints on a ~100 MB/s capacity tier).
+type Config struct {
+	// GridN is the side of the (GridN × GridN) analysis fields
+	// (default 513; use 1025+ for paper-scale runs).
+	GridN int
+	// Seed drives all synthetic data and noise randomness (default 42).
+	Seed int64
+	// Steps is the number of analysis steps per session (default 90:
+	// 30 warm-up + 60 measured at the paper's 60 s period).
+	Steps int
+	// SkipWarmup drops this many leading steps from summaries
+	// (default 30, the paper's estimation period).
+	SkipWarmup int
+	// DatasetMB is the staged on-disk size of each application's
+	// refactored dataset (default 2048 MB — the paper's production
+	// meshes hold ~60–95M elements, i.e. GB-scale payloads whose
+	// retrieval occupies a significant part of each 60 s analysis
+	// period). The grid is staged at the payload scale that reaches
+	// this size; see staging.StageScaled.
+	DatasetMB float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.GridN == 0 {
+		c.GridN = 513
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Steps == 0 {
+		c.Steps = 90
+	}
+	if c.SkipWarmup == 0 {
+		c.SkipWarmup = 30
+	}
+	if c.DatasetMB == 0 {
+		c.DatasetMB = 2048
+	}
+	return c
+}
+
+// Default NRMSE and PSNR ladders used across experiments.
+var (
+	NRMSEBounds = []float64{1e-1, 1e-2, 1e-3, 1e-4, 1e-5}
+	PSNRBounds  = []float64{30, 40, 50, 60, 70, 80}
+)
+
+// Result is a generic experiment output table.
+type Result struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Add appends a row.
+func (r *Result) Add(cells ...string) { r.Rows = append(r.Rows, cells) }
+
+// Notef appends a formatted note.
+func (r *Result) Notef(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the result as an aligned text table.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(r.Header)
+	sep := make([]string, len(r.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Experiment is a named, runnable reproduction of one table or figure.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Config) *Result
+}
+
+// Experiments returns the full suite in the paper's order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"table1", "QoS in HPC file systems (survey, Table I)", Table1},
+		{"fig1", "Equal static blkio weights do not isolate (Fig 1)", Fig01},
+		{"fig2", "Accuracy of reduced representations (Fig 2)", Fig02},
+		{"fig7", "DFT-based interference estimation (Fig 7)", Fig07},
+		{"fig8", "Cross-layer vs single-layer, no error control (Fig 8)", Fig08},
+		{"fig9", "Interference mitigation with error control (Fig 9)", Fig09},
+		{"fig10", "Data quality of analysis outcomes (Fig 10)", Fig10},
+		{"fig11", "Degrees of freedom vs error bound (Fig 11)", Fig11},
+		{"fig12", "Sensitivity to noise intensity (Fig 12)", Fig12},
+		{"fig13", "Weight-function ablation latency (Fig 13)", Fig13},
+		{"fig14a", "Impact of priority (Fig 14a)", Fig14a},
+		{"fig14b", "Impact of error bound (Fig 14b)", Fig14b},
+		{"fig15", "Weight assignment across time (Fig 15)", Fig15},
+		{"fig16", "Weak scaling across nodes (Fig 16)", Fig16},
+		{"headline", "Headline improvement vs baselines (§I, §IV)", Headline},
+		{"ablation-seek", "Ablation: HDD seek-thrash model (DESIGN.md #1)", AblationNoSeekThrash},
+		{"ablation-sort", "Ablation: magnitude-ordered buckets (DESIGN.md #3)", AblationUnsortedBuckets},
+		{"ablation-parallel", "Extension: parallel tier reads", AblationParallelReads},
+		{"coexist", "Extension: concurrent analytics with priorities", Coexist},
+		{"regime", "Extension: interference regime change", Regime},
+		{"throttle", "Extension: static throttling vs Tango", ThrottleVsTango},
+		{"coordinated", "Extension: node-level weight coordination", Coordinated},
+		{"ablation-fifo", "Ablation: FIFO vs proportional-share scheduling", AblationFIFO},
+		{"random-noise", "Extension: DFT robustness to aperiodic noise", RandomNoiseRobustness},
+		{"tracking", "Extension: blob dynamics on reduced data", Tracking},
+	}
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// hierKey memoizes decompositions: they are deterministic, read-only at
+// analysis time, and by far the most expensive setup step.
+type hierKey struct {
+	app    string
+	n      int
+	seed   int64
+	levels int
+	metric errmetric.Kind
+	bounds string
+	noSort bool
+}
+
+var (
+	hierMu    sync.Mutex
+	hierCache = map[hierKey]*refactor.Hierarchy{}
+	origCache = map[hierKey]*tensor.Tensor{}
+)
+
+// appField returns the app's (memoized) synthetic field.
+func appField(app analytics.App, cfg Config) *tensor.Tensor {
+	key := hierKey{app: app.Name, n: cfg.GridN, seed: cfg.Seed}
+	hierMu.Lock()
+	defer hierMu.Unlock()
+	if t, ok := origCache[key]; ok {
+		return t
+	}
+	t := app.Generate(cfg.GridN, cfg.Seed)
+	origCache[key] = t
+	return t
+}
+
+// appHierarchy decomposes (memoized) the app's field.
+func appHierarchy(app analytics.App, cfg Config, opts refactor.Options) *refactor.Hierarchy {
+	key := hierKey{
+		app: app.Name, n: cfg.GridN, seed: cfg.Seed,
+		levels: opts.Levels, metric: opts.Metric,
+		bounds: fmt.Sprint(opts.Bounds), noSort: opts.NoSort,
+	}
+	hierMu.Lock()
+	if h, ok := hierCache[key]; ok {
+		hierMu.Unlock()
+		return h
+	}
+	hierMu.Unlock()
+
+	orig := appField(app, cfg)
+	h, err := refactor.Decompose(orig, opts)
+	if err != nil {
+		panic(fmt.Sprintf("harness: decompose %s: %v", app.Name, err))
+	}
+	hierMu.Lock()
+	hierCache[key] = h
+	hierMu.Unlock()
+	return h
+}
+
+// fmtMB formats bytes/s as MB/s.
+func fmtMB(bps float64) string { return fmt.Sprintf("%.1f", bps/(1024*1024)) }
+
+// fmtS formats seconds.
+func fmtS(s float64) string { return fmt.Sprintf("%.4f", s) }

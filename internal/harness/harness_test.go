@@ -1,0 +1,134 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// smallCfg keeps unit tests fast; experiments still exercise the full
+// pipeline.
+func smallCfg() Config {
+	return Config{GridN: 129, Seed: 7, Steps: 40, SkipWarmup: 30}
+}
+
+func TestResultFormatting(t *testing.T) {
+	r := &Result{ID: "x", Title: "demo", Header: []string{"a", "bb"}}
+	r.Add("1", "2")
+	r.Add("333", "4")
+	r.Notef("hello %d", 5)
+	s := r.String()
+	for _, want := range []string{"== x: demo ==", "a", "bb", "333", "note: hello 5"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("missing %q in:\n%s", want, s)
+		}
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("fig8"); !ok {
+		t.Fatal("fig8 missing")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("bogus id found")
+	}
+	seen := map[string]bool{}
+	for _, e := range Experiments() {
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment id %s", e.ID)
+		}
+		seen[e.ID] = true
+		if e.Run == nil || e.Title == "" {
+			t.Fatalf("experiment %s incomplete", e.ID)
+		}
+	}
+}
+
+func TestTable1Static(t *testing.T) {
+	r := Table1(smallCfg())
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// Only ext4+cgroups has per-app runtime control.
+	if r.Rows[4][1] != "yes" || r.Rows[4][2] != "yes" {
+		t.Fatalf("ext4 row wrong: %v", r.Rows[4])
+	}
+	for i := 0; i < 4; i++ {
+		if r.Rows[i][1] != "no" {
+			t.Fatalf("row %d should lack per-app control", i)
+		}
+	}
+}
+
+func TestFig01ShowsInterferenceDrop(t *testing.T) {
+	r := Fig01(smallCfg())
+	if len(r.Rows) != 30 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	if len(r.Notes) == 0 || !strings.Contains(r.Notes[0], "drop") {
+		t.Fatalf("expected drop note, got %v", r.Notes)
+	}
+}
+
+func TestFig02ErrorsGrowWithDecimation(t *testing.T) {
+	r := Fig02(smallCfg())
+	if len(r.Rows) < 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	// PSNR should decrease from the first to the last ratio for XGC.
+	first, last := r.Rows[0][1], r.Rows[len(r.Rows)-1][1]
+	var f, l float64
+	if _, err := fmtSscan(first, &f); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmtSscan(last, &l); err != nil {
+		t.Fatal(err)
+	}
+	if !(l < f) {
+		t.Fatalf("PSNR should fall with decimation: %v -> %v", f, l)
+	}
+}
+
+func TestFig07EstimationAccuracy(t *testing.T) {
+	r := Fig07(smallCfg())
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+}
+
+func TestFig11DoFMonotone(t *testing.T) {
+	r := Fig11(smallCfg())
+	// Within the NRMSE block (first 5 rows), DoF% must not decrease as
+	// bounds tighten.
+	var prev float64 = -1
+	for i := 0; i < 5; i++ {
+		var v float64
+		if _, err := fmtSscan(strings.TrimSuffix(r.Rows[i][2], "%"), &v); err != nil {
+			t.Fatal(err)
+		}
+		if v < prev-1e-9 {
+			t.Fatalf("DoF%% decreased at row %d: %v < %v", i, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestAblationUnsorted(t *testing.T) {
+	r := AblationUnsortedBuckets(smallCfg())
+	for _, row := range r.Rows {
+		var inf float64
+		if _, err := fmtSscan(strings.TrimSuffix(row[3], "x"), &inf); err != nil {
+			t.Fatal(err)
+		}
+		if inf < 1 {
+			t.Fatalf("unsorted should not need fewer entries: %v", row)
+		}
+	}
+}
+
+// fmtSscan wraps fmt.Sscan for floats.
+func fmtSscan(s string, v *float64) (int, error) {
+	return sscan(s, v)
+}
+
+func sscan(s string, v *float64) (int, error) { return fmt.Sscan(s, v) }

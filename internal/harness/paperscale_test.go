@@ -1,0 +1,41 @@
+package harness
+
+import (
+	"testing"
+
+	"tango/internal/analytics"
+	"tango/internal/core"
+)
+
+// TestPaperScaleOrdering runs the headline comparison at paper scale
+// (1025×1025 fields, 4 GB staged datasets, full Table IV noise) and
+// checks the Fig 8 policy ordering holds there too. Heavier than the
+// other tests (seconds); skipped under -short.
+func TestPaperScaleOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale run skipped in -short mode")
+	}
+	cfg := Config{GridN: 1025, Seed: 42, Steps: 60, SkipWarmup: 30, DatasetMB: 4096}
+	app := analytics.XGCApp()
+	h := appHierarchy(app, cfg, defaultOpts())
+
+	run := func(p core.Policy) core.Summary {
+		return runOne(app.Name, 6, h, cfg, core.Config{Policy: p}).Summary(cfg.SkipWarmup)
+	}
+	noAdapt := run(core.NoAdapt)
+	appOnly := run(core.AppOnly)
+	cross := run(core.CrossLayer)
+
+	if !(cross.MeanIO < noAdapt.MeanIO) {
+		t.Fatalf("paper scale: cross %.3f !< no-adapt %.3f", cross.MeanIO, noAdapt.MeanIO)
+	}
+	if !(cross.MeanIO < appOnly.MeanIO*1.02) {
+		t.Fatalf("paper scale: cross %.3f should not lose to app-only %.3f", cross.MeanIO, appOnly.MeanIO)
+	}
+	improvement := 100 * (1 - cross.MeanIO/noAdapt.MeanIO)
+	t.Logf("paper scale: no-adapt %.2fs, app-only %.2fs, cross %.2fs (%.0f%% vs no-adapt)",
+		noAdapt.MeanIO, appOnly.MeanIO, cross.MeanIO, improvement)
+	if improvement < 5 {
+		t.Fatalf("paper scale improvement only %.1f%%", improvement)
+	}
+}

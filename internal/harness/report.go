@@ -1,0 +1,85 @@
+package harness
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteCSV emits the result as RFC-4180 CSV (header row first). Notes are
+// appended as comment-style rows prefixed with "#" in the first column.
+func (r *Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Header); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	for _, n := range r.Notes {
+		if err := cw.Write([]string{"# " + n}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// resultJSON is the stable JSON shape of a Result.
+type resultJSON struct {
+	ID     string              `json:"id"`
+	Title  string              `json:"title"`
+	Header []string            `json:"header"`
+	Rows   []map[string]string `json:"rows"`
+	Notes  []string            `json:"notes,omitempty"`
+}
+
+// WriteJSON emits the result as a JSON object whose rows are keyed by the
+// header names (duplicate headers get positional suffixes).
+func (r *Result) WriteJSON(w io.Writer) error {
+	keys := make([]string, len(r.Header))
+	seen := map[string]int{}
+	for i, h := range r.Header {
+		k := h
+		if n := seen[h]; n > 0 {
+			k = fmt.Sprintf("%s_%d", h, n)
+		}
+		seen[h]++
+		keys[i] = k
+	}
+	out := resultJSON{ID: r.ID, Title: r.Title, Header: r.Header, Notes: r.Notes}
+	for _, row := range r.Rows {
+		m := make(map[string]string, len(row))
+		for i, cell := range row {
+			key := fmt.Sprintf("col%d", i)
+			if i < len(keys) {
+				key = keys[i]
+			}
+			m[key] = cell
+		}
+		out.Rows = append(out.Rows, m)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// Format renders the result in the named format: "table" (default),
+// "csv", or "json".
+func (r *Result) Format(w io.Writer, format string) error {
+	switch strings.ToLower(format) {
+	case "", "table", "text":
+		_, err := io.WriteString(w, r.String())
+		return err
+	case "csv":
+		return r.WriteCSV(w)
+	case "json":
+		return r.WriteJSON(w)
+	default:
+		return fmt.Errorf("harness: unknown format %q (table|csv|json)", format)
+	}
+}

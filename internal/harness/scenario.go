@@ -1,0 +1,125 @@
+package harness
+
+import (
+	"fmt"
+
+	"tango/internal/analytics"
+	"tango/internal/container"
+	"tango/internal/core"
+	"tango/internal/device"
+	"tango/internal/refactor"
+	"tango/internal/staging"
+	"tango/internal/workload"
+)
+
+// Scenario is one simulated node set up per §IV-A: an SSD performance
+// tier, an HDD capacity tier, and the Table IV interference containers
+// targeting the HDD.
+type Scenario struct {
+	Node *container.Node
+	SSD  *device.Device
+	HDD  *device.Device
+}
+
+// NewScenario builds the node and launches the first nNoise interferers
+// of Table IV (0–6).
+func NewScenario(name string, nNoise int) *Scenario {
+	node := container.NewNode(name)
+	s := &Scenario{
+		Node: node,
+		SSD:  node.MustAddDevice(device.SSD("ssd")),
+		HDD:  node.MustAddDevice(device.HDD("hdd")),
+	}
+	set := workload.PaperNoiseSet()
+	if nNoise > len(set) {
+		nNoise = len(set)
+	}
+	workload.LaunchNoiseSet(node, s.HDD, set[:nNoise])
+	return s
+}
+
+// hddParamsReal returns the calibrated HDD preset.
+func hddParamsReal() device.Params { return device.HDD("hdd") }
+
+// hddParamsNoThrash returns the HDD preset with the seek-thrash term
+// removed (ablation #1).
+func hddParamsNoThrash() device.Params {
+	p := device.HDD("hdd")
+	p.SeekThrash = 0
+	p.MinEfficiency = 1
+	return p
+}
+
+// newScenarioWithHDD builds a scenario with custom HDD parameters.
+func newScenarioWithHDD(name string, nNoise int, hdd device.Params) *Scenario {
+	node := container.NewNode(name)
+	s := &Scenario{
+		Node: node,
+		SSD:  node.MustAddDevice(device.SSD("ssd")),
+		HDD:  node.MustAddDevice(hdd),
+	}
+	set := workload.PaperNoiseSet()
+	if nNoise > len(set) {
+		nNoise = len(set)
+	}
+	workload.LaunchNoiseSet(node, s.HDD, set[:nNoise])
+	return s
+}
+
+// Stage places a hierarchy on this scenario's tiers at the payload scale
+// that makes the whole staged dataset datasetMB large — the paper's
+// production datasets and checkpoints are hundreds of MB to GB, and the
+// adaptivity phenomena only appear when the analytics' retrieval is a
+// first-class load on the capacity tier.
+func (s *Scenario) Stage(h *refactor.Hierarchy, datasetMB float64) *staging.Store {
+	scale := datasetMB * 1024 * 1024 / float64(h.BaseBytes()+h.TotalAugBytes())
+	if scale < 1 {
+		scale = 1
+	}
+	st, err := staging.StageScaled(h, s.Node.Tiers(), scale)
+	if err != nil {
+		panic(fmt.Sprintf("harness: staging: %v", err))
+	}
+	return st
+}
+
+// runOne stages h on a fresh scenario, runs a session to completion, and
+// returns it.
+func runOne(name string, nNoise int, h *refactor.Hierarchy, cfg Config, sc core.Config) *core.Session {
+	scen := NewScenario(name, nNoise)
+	return runOnScenario(scen, name, h, cfg, sc)
+}
+
+func runOnScenario(scen *Scenario, name string, h *refactor.Hierarchy, cfg Config, sc core.Config) *core.Session {
+	if sc.Steps == 0 {
+		sc.Steps = cfg.Steps
+	}
+	sess, err := core.NewSession(name, scen.Stage(h, cfg.DatasetMB), sc)
+	if err != nil {
+		panic(fmt.Sprintf("harness: session %s: %v", name, err))
+	}
+	if err := sess.Launch(scen.Node); err != nil {
+		panic(err)
+	}
+	horizon := float64(sc.Steps)*60 + 3600
+	if err := scen.Node.Engine().Run(horizon); err != nil {
+		panic(err)
+	}
+	if got := len(sess.Stats()); got != sc.Steps {
+		panic(fmt.Sprintf("harness: %s finished %d of %d steps", name, got, sc.Steps))
+	}
+	return sess
+}
+
+// defaultOpts is the decomposition used by the performance experiments:
+// the paper's default decimation ratio of 16 (two augmentation levels in
+// 2D with d=2) and the NRMSE ladder.
+func defaultOpts() refactor.Options {
+	return refactor.Options{
+		Levels: refactor.LevelsForRatio(16, 2, 2),
+		Bounds: NRMSEBounds,
+	}
+}
+
+// appsUnderTest lists the paper's three applications.
+func appsUnderTest() []analytics.App { return analytics.Apps() }

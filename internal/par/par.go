@@ -1,0 +1,90 @@
+// Package par provides deterministic data-parallel helpers for the
+// compute-heavy kernels (restriction, prolongation, metric scans). Work
+// is split into contiguous index ranges, so results are bit-identical to
+// the sequential execution as long as workers write disjoint ranges.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Threshold is the minimum problem size worth parallelizing; below it
+// goroutine overhead dominates.
+const Threshold = 1 << 15
+
+// maxWorkers returns the worker count for a problem of size n.
+func maxWorkers(n int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// For runs fn over [0, n) split into contiguous chunks, one per worker.
+// fn must only write state derived from its own range. Small problems run
+// inline on the calling goroutine.
+func For(n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := maxWorkers(n)
+	if n < Threshold || w == 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + w - 1) / w
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MapReduce runs fn over [0, n) in chunks, each returning a partial
+// value, and folds the partials IN CHUNK ORDER with combine — keeping
+// floating-point reductions deterministic.
+func MapReduce[T any](n int, fn func(lo, hi int) T, combine func(a, b T) T) T {
+	var zero T
+	if n <= 0 {
+		return zero
+	}
+	w := maxWorkers(n)
+	if n < Threshold || w == 1 {
+		return fn(0, n)
+	}
+	chunk := (n + w - 1) / w
+	nChunks := (n + chunk - 1) / chunk
+	partials := make([]T, nChunks)
+	var wg sync.WaitGroup
+	for i := 0; i < nChunks; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(i, lo, hi int) {
+			defer wg.Done()
+			partials[i] = fn(lo, hi)
+		}(i, lo, hi)
+	}
+	wg.Wait()
+	acc := partials[0]
+	for _, p := range partials[1:] {
+		acc = combine(acc, p)
+	}
+	return acc
+}

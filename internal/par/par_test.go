@@ -1,0 +1,126 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversRangeExactlyOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 7, Threshold - 1, Threshold, Threshold + 13, 1 << 18} {
+		marks := make([]int32, n)
+		For(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&marks[i], 1)
+			}
+		})
+		for i, m := range marks {
+			if m != 1 {
+				t.Fatalf("n=%d index %d visited %d times", n, i, m)
+			}
+		}
+	}
+}
+
+func TestForDisjointChunks(t *testing.T) {
+	n := 1 << 17
+	out := make([]int, n)
+	For(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = i * 3
+		}
+	})
+	for i, v := range out {
+		if v != i*3 {
+			t.Fatalf("index %d = %d", i, v)
+		}
+	}
+}
+
+func TestForNegativeAndZero(t *testing.T) {
+	called := false
+	For(0, func(lo, hi int) { called = true })
+	For(-5, func(lo, hi int) { called = true })
+	if called {
+		t.Fatal("fn called for empty range")
+	}
+}
+
+func TestMapReduceSum(t *testing.T) {
+	n := 1 << 17
+	got := MapReduce(n, func(lo, hi int) int64 {
+		var s int64
+		for i := lo; i < hi; i++ {
+			s += int64(i)
+		}
+		return s
+	}, func(a, b int64) int64 { return a + b })
+	want := int64(n) * int64(n-1) / 2
+	if got != want {
+		t.Fatalf("sum = %d, want %d", got, want)
+	}
+}
+
+func TestMapReduceDeterministicFloatOrder(t *testing.T) {
+	// Chunk-ordered combining must give identical bits across runs.
+	n := 1<<16 + 37
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = 1.0 / float64(i+1)
+	}
+	run := func() float64 {
+		return MapReduce(n, func(lo, hi int) float64 {
+			var s float64
+			for i := lo; i < hi; i++ {
+				s += vals[i]
+			}
+			return s
+		}, func(a, b float64) float64 { return a + b })
+	}
+	first := run()
+	for i := 0; i < 10; i++ {
+		if run() != first {
+			t.Fatal("nondeterministic float reduction")
+		}
+	}
+}
+
+func TestMapReduceEmpty(t *testing.T) {
+	got := MapReduce(0, func(lo, hi int) int { return 1 }, func(a, b int) int { return a + b })
+	if got != 0 {
+		t.Fatalf("empty reduce = %d", got)
+	}
+}
+
+func TestMapReduceSmallInline(t *testing.T) {
+	got := MapReduce(5, func(lo, hi int) int { return hi - lo }, func(a, b int) int { return a + b })
+	if got != 5 {
+		t.Fatalf("inline reduce = %d", got)
+	}
+}
+
+func TestForMatchesSequentialProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		n := int(seed%100000 + 100000)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		fn := func(dst []float64) func(lo, hi int) {
+			return func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					dst[i] = float64(i) * 1.000001
+				}
+			}
+		}
+		fn(a)(0, n)
+		For(n, fn(b))
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,103 @@
+package refactor
+
+import (
+	"math"
+	"testing"
+
+	"tango/internal/tensor"
+)
+
+func benchGrid(n int) *tensor.Tensor {
+	t := tensor.New(n, n)
+	d := t.Data()
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			d[r*n+c] = math.Sin(8*math.Pi*float64(r)/float64(n)) +
+				math.Cos(6*math.Pi*float64(c)/float64(n))
+		}
+	}
+	return t
+}
+
+func BenchmarkRestrict1025(b *testing.B) {
+	f := benchGrid(1025)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Restrict(f, 2)
+	}
+}
+
+func BenchmarkProlongate1025(b *testing.B) {
+	f := benchGrid(1025)
+	c := Restrict(f, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Prolongate(c, []int{1025, 1025}, 2)
+	}
+}
+
+func BenchmarkProlongate3D(b *testing.B) {
+	f := tensor.New(65, 65, 65)
+	for i := range f.Data() {
+		f.Data()[i] = float64(i % 17)
+	}
+	c := Restrict(f, 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Prolongate(c, []int{65, 65, 65}, 2)
+	}
+}
+
+func BenchmarkLadderSearch513(b *testing.B) {
+	f := benchGrid(513)
+	opts := Options{Levels: 3, Bounds: []float64{1e-1, 1e-2, 1e-3}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompose(f, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSegmentsQuery(b *testing.B) {
+	f := benchGrid(513)
+	h, err := Decompose(f, Options{Levels: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	total := h.TotalEntries()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Segments(total/4, 3*total/4)
+	}
+}
+
+func BenchmarkEncodeDecode(b *testing.B) {
+	f := benchGrid(257)
+	h, err := Decompose(f, Options{Levels: 3})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf writeCounter
+		if err := h.Encode(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// writeCounter is an io.Writer that only counts (avoids buffer growth in
+// the encode benchmark).
+type writeCounter int64
+
+func (w *writeCounter) Write(p []byte) (int, error) {
+	*w += writeCounter(len(p))
+	return len(p), nil
+}

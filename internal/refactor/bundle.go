@@ -1,0 +1,215 @@
+package refactor
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+
+	"tango/internal/tensor"
+)
+
+// Var is one named variable of a multi-variable dataset (production
+// simulation outputs carry several physics fields on the same mesh —
+// e.g. XGC's potential, density, and temperature).
+type Var struct {
+	Name string
+	Data *tensor.Tensor
+}
+
+// Bundle refactors several variables together under one ladder of error
+// bounds: a bound ε then addresses every variable at accuracy ε, so an
+// analysis spanning variables gets a uniform guarantee and one retrieval
+// plan.
+type Bundle struct {
+	names []string
+	hs    map[string]*Hierarchy
+	opts  Options
+}
+
+// DecomposeBundle refactors each variable with the same options. Variable
+// names must be unique and non-empty; order is preserved. Variables are
+// decomposed on parallel goroutines (they are independent, and
+// decomposition dominates offline refactorization cost).
+func DecomposeBundle(vars []Var, opts Options) (*Bundle, error) {
+	if len(vars) == 0 {
+		return nil, fmt.Errorf("refactor: empty bundle")
+	}
+	b := &Bundle{hs: make(map[string]*Hierarchy, len(vars)), opts: opts.withDefaults()}
+	for _, v := range vars {
+		if v.Name == "" {
+			return nil, fmt.Errorf("refactor: bundle variable with empty name")
+		}
+		if _, dup := b.hs[v.Name]; dup {
+			return nil, fmt.Errorf("refactor: duplicate bundle variable %q", v.Name)
+		}
+		b.names = append(b.names, v.Name)
+		b.hs[v.Name] = nil // reserve slot; filled below
+	}
+
+	hs := make([]*Hierarchy, len(vars))
+	errs := make([]error, len(vars))
+	var wg sync.WaitGroup
+	for i, v := range vars {
+		i, v := i, v
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			hs[i], errs[i] = Decompose(v.Data, opts)
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("refactor: variable %q: %w", vars[i].Name, err)
+		}
+		b.hs[vars[i].Name] = hs[i]
+	}
+	return b, nil
+}
+
+// Names returns the variable names in declaration order.
+func (b *Bundle) Names() []string { return append([]string(nil), b.names...) }
+
+// Hierarchy returns the hierarchy of one variable, or nil.
+func (b *Bundle) Hierarchy(name string) *Hierarchy { return b.hs[name] }
+
+// Len returns the number of variables.
+func (b *Bundle) Len() int { return len(b.names) }
+
+// TotalBytes returns the staged size of all variables (bases plus full
+// augmentation streams).
+func (b *Bundle) TotalBytes() int64 {
+	var total int64
+	for _, name := range b.names {
+		h := b.hs[name]
+		total += h.BaseBytes() + h.TotalAugBytes()
+	}
+	return total
+}
+
+// CursorsForBound returns, per variable, the cursor achieving the bound.
+// The bound must belong to the bundle's ladder.
+func (b *Bundle) CursorsForBound(bound float64) (map[string]int, error) {
+	out := make(map[string]int, len(b.names))
+	for _, name := range b.names {
+		cur, err := b.hs[name].CursorForBound(bound)
+		if err != nil {
+			return nil, fmt.Errorf("refactor: variable %q: %w", name, err)
+		}
+		out[name] = cur
+	}
+	return out, nil
+}
+
+// RecomposeAll reconstructs every variable at the given bound.
+func (b *Bundle) RecomposeAll(bound float64) (map[string]*tensor.Tensor, error) {
+	cursors, err := b.CursorsForBound(bound)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]*tensor.Tensor, len(b.names))
+	for _, name := range b.names {
+		out[name] = b.hs[name].Recompose(cursors[name])
+	}
+	return out, nil
+}
+
+// WorstAchieved returns the least accurate per-variable achieved accuracy
+// at the given bound — the bundle-level guarantee.
+func (b *Bundle) WorstAchieved(bound float64) (float64, error) {
+	metric := b.opts.Metric
+	worst := 0.0
+	first := true
+	for _, name := range b.names {
+		for _, r := range b.hs[name].Rungs() {
+			if r.Bound == bound {
+				if first || metric.Better(worst, r.Achieved) {
+					worst = r.Achieved
+				}
+				first = false
+			}
+		}
+	}
+	if first {
+		return 0, fmt.Errorf("refactor: bound %v not in bundle ladder", bound)
+	}
+	return worst, nil
+}
+
+const bundleMagic = "TNGB1\n"
+
+// Encode serializes the bundle (all variables).
+func (b *Bundle) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(bundleMagic); err != nil {
+		return err
+	}
+	var lenBuf [binary.MaxVarintLen64]byte
+	writeU := func(v uint64) error {
+		n := binary.PutUvarint(lenBuf[:], v)
+		_, err := bw.Write(lenBuf[:n])
+		return err
+	}
+	if err := writeU(uint64(len(b.names))); err != nil {
+		return err
+	}
+	for _, name := range b.names {
+		if err := writeU(uint64(len(name))); err != nil {
+			return err
+		}
+		if _, err := bw.WriteString(name); err != nil {
+			return err
+		}
+		if err := b.hs[name].Encode(bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DecodeBundle reads a bundle written by Encode.
+func DecodeBundle(r io.Reader) (*Bundle, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(bundleMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("refactor: bundle magic: %w", err)
+	}
+	if string(magic) != bundleMagic {
+		return nil, fmt.Errorf("refactor: bad bundle magic %q", magic)
+	}
+	count, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if count == 0 || count > 1<<16 {
+		return nil, fmt.Errorf("refactor: implausible bundle size %d", count)
+	}
+	b := &Bundle{hs: make(map[string]*Hierarchy, count)}
+	for i := uint64(0); i < count; i++ {
+		nameLen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if nameLen == 0 || nameLen > 4096 {
+			return nil, fmt.Errorf("refactor: implausible name length %d", nameLen)
+		}
+		nameBytes := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, nameBytes); err != nil {
+			return nil, err
+		}
+		h, err := Decode(br)
+		if err != nil {
+			return nil, fmt.Errorf("refactor: variable %q: %w", nameBytes, err)
+		}
+		name := string(nameBytes)
+		if _, dup := b.hs[name]; dup {
+			return nil, fmt.Errorf("refactor: duplicate variable %q in bundle", name)
+		}
+		b.names = append(b.names, name)
+		b.hs[name] = h
+		b.opts = h.Opts()
+	}
+	return b, nil
+}

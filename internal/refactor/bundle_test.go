@@ -1,0 +1,196 @@
+package refactor
+
+import (
+	"bytes"
+	"testing"
+
+	"tango/internal/errmetric"
+	"tango/internal/tensor"
+)
+
+func bundleVars(t *testing.T) []Var {
+	t.Helper()
+	return []Var{
+		{Name: "potential", Data: smoothField(33, 1)},
+		{Name: "density", Data: smoothField(33, 2)},
+		{Name: "temperature", Data: smoothField(33, 3)},
+	}
+}
+
+func bundleOpts() Options {
+	return Options{Levels: 3, Bounds: []float64{0.1, 0.01}}
+}
+
+func TestBundleDecompose(t *testing.T) {
+	b, err := DecomposeBundle(bundleVars(t), bundleOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 3 {
+		t.Fatalf("len = %d", b.Len())
+	}
+	names := b.Names()
+	if names[0] != "potential" || names[2] != "temperature" {
+		t.Fatalf("names = %v", names)
+	}
+	if b.Hierarchy("density") == nil || b.Hierarchy("nope") != nil {
+		t.Fatal("hierarchy lookup broken")
+	}
+	if b.TotalBytes() <= 0 {
+		t.Fatal("no staged bytes")
+	}
+}
+
+func TestBundleValidation(t *testing.T) {
+	if _, err := DecomposeBundle(nil, bundleOpts()); err == nil {
+		t.Fatal("empty bundle accepted")
+	}
+	vars := bundleVars(t)
+	vars[1].Name = ""
+	if _, err := DecomposeBundle(vars, bundleOpts()); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	vars = bundleVars(t)
+	vars[1].Name = vars[0].Name
+	if _, err := DecomposeBundle(vars, bundleOpts()); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+}
+
+func TestBundleUniformBound(t *testing.T) {
+	vars := bundleVars(t)
+	b, err := DecomposeBundle(vars, bundleOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cursors, err := b.CursorsForBound(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cursors) != 3 {
+		t.Fatalf("cursors = %v", cursors)
+	}
+	recs, err := b.RecomposeAll(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vars {
+		rec := recs[v.Name]
+		if rec == nil {
+			t.Fatalf("missing reconstruction for %s", v.Name)
+		}
+		if acc := errmetric.NRMSEOf(v.Data.Data(), rec.Data()); acc > 0.01+1e-12 {
+			t.Fatalf("%s achieved %v > 0.01", v.Name, acc)
+		}
+	}
+	if _, err := b.CursorsForBound(0.5); err == nil {
+		t.Fatal("unknown bound accepted")
+	}
+}
+
+func TestBundleWorstAchieved(t *testing.T) {
+	b, err := DecomposeBundle(bundleVars(t), bundleOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	worst, err := b.WorstAchieved(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst > 0.01+1e-12 || worst <= 0 {
+		t.Fatalf("worst achieved = %v", worst)
+	}
+	// It must equal the max across variables (NRMSE: bigger = worse).
+	var max float64
+	for _, name := range b.Names() {
+		for _, r := range b.Hierarchy(name).Rungs() {
+			if r.Bound == 0.01 && r.Achieved > max {
+				max = r.Achieved
+			}
+		}
+	}
+	if worst != max {
+		t.Fatalf("worst = %v, want %v", worst, max)
+	}
+	if _, err := b.WorstAchieved(0.123); err == nil {
+		t.Fatal("unknown bound accepted")
+	}
+}
+
+func TestBundleCodecRoundTrip(t *testing.T) {
+	vars := bundleVars(t)
+	b, err := DecomposeBundle(vars, bundleOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := b.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := DecodeBundle(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.Len() != b.Len() {
+		t.Fatalf("len %d vs %d", b2.Len(), b.Len())
+	}
+	for i, n := range b.Names() {
+		if b2.Names()[i] != n {
+			t.Fatalf("names %v vs %v", b2.Names(), b.Names())
+		}
+	}
+	// Reconstructions identical after round trip.
+	r1, err := b.RecomposeAll(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := b2.RecomposeAll(0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name := range r1 {
+		if r1[name].AbsDiffMax(r2[name]) != 0 {
+			t.Fatalf("%s differs after round trip", name)
+		}
+	}
+}
+
+func TestBundleDecodeRejectsGarbage(t *testing.T) {
+	if _, err := DecodeBundle(bytes.NewReader([]byte("garbage stream"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	b, err := DecomposeBundle(bundleVars(t), bundleOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := b.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()*2/3]
+	if _, err := DecodeBundle(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated bundle accepted")
+	}
+}
+
+func TestSingleVarBundleMatchesPlainHierarchy(t *testing.T) {
+	data := smoothField(33, 9)
+	b, err := DecomposeBundle([]Var{{Name: "only", Data: data}}, bundleOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := Decompose(data, bundleOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb := b.Hierarchy("only")
+	if hb.TotalEntries() != h.TotalEntries() {
+		t.Fatal("bundle hierarchy differs from plain decomposition")
+	}
+	c1, _ := hb.CursorForBound(0.01)
+	c2, _ := h.CursorForBound(0.01)
+	if c1 != c2 {
+		t.Fatalf("cursors differ: %d vs %d", c1, c2)
+	}
+	var _ = tensor.New // keep tensor import if unused elsewhere
+}

@@ -1,0 +1,301 @@
+package refactor
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"tango/internal/errmetric"
+	"tango/internal/tensor"
+)
+
+// The on-disk layout mirrors the paper's step-3 "shuffle and tag": each
+// level's augmentation stream is stored contiguously in retrieval order
+// (descending magnitude), so any bound's bucket is a contiguous byte
+// range that can be read sequentially from its tier.
+
+// entrySize returns the encoded size of one entry: uvarint index plus 8
+// value bytes.
+func entrySize(e Entry) int {
+	var buf [binary.MaxVarintLen64]byte
+	return binary.PutUvarint(buf[:], uint64(e.Index)) + 8
+}
+
+// EncodeEntries writes a run of entries to w.
+func EncodeEntries(w io.Writer, entries []Entry) (int64, error) {
+	var buf [binary.MaxVarintLen64 + 8]byte
+	var total int64
+	for _, e := range entries {
+		n := binary.PutUvarint(buf[:], uint64(e.Index))
+		binary.LittleEndian.PutUint64(buf[n:], math.Float64bits(e.Value))
+		m, err := w.Write(buf[:n+8])
+		total += int64(m)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// DecodeEntries reads exactly n entries from r.
+func DecodeEntries(r io.ByteReader, n int) ([]Entry, error) {
+	entries := make([]Entry, n)
+	for i := 0; i < n; i++ {
+		idx, err := binary.ReadUvarint(r)
+		if err != nil {
+			return nil, fmt.Errorf("refactor: entry %d index: %w", i, err)
+		}
+		var vb [8]byte
+		for j := 0; j < 8; j++ {
+			b, err := r.ReadByte()
+			if err != nil {
+				return nil, fmt.Errorf("refactor: entry %d value: %w", i, err)
+			}
+			vb[j] = b
+		}
+		entries[i] = Entry{
+			Index: int(idx),
+			Value: math.Float64frombits(binary.LittleEndian.Uint64(vb[:])),
+		}
+	}
+	return entries, nil
+}
+
+const fileMagic = "TNGO1\n"
+
+// Encode serializes the hierarchy (options, ladder, base, augmentation
+// streams) to w. The format is self-contained: Decode reconstructs an
+// equivalent hierarchy without access to the original data.
+func (h *Hierarchy) Encode(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(fileMagic); err != nil {
+		return err
+	}
+	writeU := func(v uint64) { var b [binary.MaxVarintLen64]byte; n := binary.PutUvarint(b[:], v); bw.Write(b[:n]) }
+	writeF := func(v float64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+		bw.Write(b[:])
+	}
+
+	writeU(uint64(h.opts.Levels))
+	writeU(uint64(h.opts.Decimation))
+	writeU(uint64(h.opts.Metric))
+	writeU(uint64(len(h.opts.Bounds)))
+	for _, b := range h.opts.Bounds {
+		writeF(b)
+	}
+
+	dims := h.levelDims[0]
+	writeU(uint64(len(dims)))
+	for _, d := range dims {
+		writeU(uint64(d))
+	}
+	writeU(uint64(h.origLen))
+	writeF(h.baseAcc)
+
+	writeU(uint64(h.base.Len()))
+	for _, v := range h.base.Data() {
+		writeF(v)
+	}
+
+	writeU(uint64(len(h.augs)))
+	for _, entries := range h.augs {
+		writeU(uint64(len(entries)))
+		if _, err := EncodeEntries(bw, entries); err != nil {
+			return err
+		}
+	}
+
+	writeU(uint64(len(h.rungs)))
+	for _, r := range h.rungs {
+		writeF(r.Bound)
+		writeF(r.Achieved)
+		writeU(uint64(r.Cursor))
+		writeU(uint64(r.Cardinality))
+		writeU(uint64(r.Bytes))
+		writeU(uint64(r.Level))
+	}
+	return bw.Flush()
+}
+
+// Decode reads a hierarchy previously written by Encode. When r is
+// already a *bufio.Reader it is used directly (no read-ahead beyond the
+// hierarchy's own bytes is introduced), so hierarchies can be decoded
+// back-to-back from one stream (see DecodeBundle).
+func Decode(r io.Reader) (*Hierarchy, error) {
+	br, ok := r.(*bufio.Reader)
+	if !ok {
+		br = bufio.NewReader(r)
+	}
+	magic := make([]byte, len(fileMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("refactor: reading magic: %w", err)
+	}
+	if string(magic) != fileMagic {
+		return nil, fmt.Errorf("refactor: bad magic %q", magic)
+	}
+	var firstErr error
+	readU := func() uint64 {
+		v, err := binary.ReadUvarint(br)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		return v
+	}
+	readF := func() float64 {
+		var b [8]byte
+		if _, err := io.ReadFull(br, b[:]); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(b[:]))
+	}
+
+	h := &Hierarchy{}
+	h.opts.Levels = int(readU())
+	h.opts.Decimation = int(readU())
+	h.opts.Metric = errmetric.Kind(readU())
+	nb := int(readU())
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if nb < 0 || nb > 1<<20 {
+		return nil, fmt.Errorf("refactor: implausible bound count %d", nb)
+	}
+	h.opts.Bounds = make([]float64, nb)
+	for i := range h.opts.Bounds {
+		h.opts.Bounds[i] = readF()
+	}
+
+	rank := int(readU())
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if rank <= 0 || rank > 8 {
+		return nil, fmt.Errorf("refactor: implausible rank %d", rank)
+	}
+	if h.opts.Levels < 1 || h.opts.Levels > 64 {
+		return nil, fmt.Errorf("refactor: implausible level count %d", h.opts.Levels)
+	}
+	if h.opts.Decimation < 2 || h.opts.Decimation > 1<<16 {
+		return nil, fmt.Errorf("refactor: implausible decimation %d", h.opts.Decimation)
+	}
+	dims := make([]int, rank)
+	points := 1
+	for i := range dims {
+		dims[i] = int(readU())
+		if dims[i] <= 0 || dims[i] > 1<<24 {
+			return nil, fmt.Errorf("refactor: implausible dimension %d", dims[i])
+		}
+		points *= dims[i]
+		if points > 1<<28 {
+			return nil, fmt.Errorf("refactor: grid too large (> 2^28 points)")
+		}
+	}
+	h.origLen = int(readU())
+	if h.origLen != points {
+		return nil, fmt.Errorf("refactor: origLen %d does not match dims %v", h.origLen, dims)
+	}
+	h.baseAcc = readF()
+
+	// Rebuild level dims from the original dims.
+	h.levelDims = [][]int{append([]int(nil), dims...)}
+	for l := 1; l < h.opts.Levels; l++ {
+		h.levelDims = append(h.levelDims, CoarseDims(h.levelDims[l-1], h.opts.Decimation))
+	}
+
+	baseLen := int(readU())
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	want := 1
+	for _, d := range h.levelDims[len(h.levelDims)-1] {
+		want *= d
+	}
+	if baseLen != want {
+		return nil, fmt.Errorf("refactor: base length %d does not match dims (want %d)", baseLen, want)
+	}
+	baseData := make([]float64, baseLen)
+	for i := range baseData {
+		baseData[i] = readF()
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	h.base = tensor.FromData(baseData, h.levelDims[len(h.levelDims)-1]...)
+
+	nAugs := int(readU())
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if nAugs != h.opts.Levels-1 {
+		return nil, fmt.Errorf("refactor: aug level count %d, want %d", nAugs, h.opts.Levels-1)
+	}
+	h.augs = make([][]Entry, nAugs)
+	for l := range h.augs {
+		n := int(readU())
+		if firstErr != nil {
+			return nil, firstErr
+		}
+		levelLen := 1
+		for _, d := range h.levelDims[l] {
+			levelLen *= d
+		}
+		if n < 0 || n > levelLen {
+			return nil, fmt.Errorf("refactor: level %d entry count %d exceeds grid size %d", l, n, levelLen)
+		}
+		entries, err := DecodeEntries(br, n)
+		if err != nil {
+			return nil, err
+		}
+		for i, e := range entries {
+			if e.Index < 0 || e.Index >= levelLen {
+				return nil, fmt.Errorf("refactor: level %d entry %d index %d out of grid", l, i, e.Index)
+			}
+		}
+		h.augs[l] = entries
+	}
+
+	for l := h.opts.Levels - 2; l >= 0; l-- {
+		h.order = append(h.order, l)
+	}
+	h.cum = make([]int, len(h.order))
+	c := 0
+	for i, l := range h.order {
+		c += len(h.augs[l])
+		h.cum[i] = c
+	}
+	h.byteCum = make([][]int64, nAugs)
+	for l := 0; l < nAugs; l++ {
+		pre := make([]int64, len(h.augs[l])+1)
+		for i, e := range h.augs[l] {
+			pre[i+1] = pre[i] + int64(entrySize(e))
+		}
+		h.byteCum[l] = pre
+	}
+
+	nRungs := int(readU())
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if nRungs < 0 || nRungs > 1<<20 {
+		return nil, fmt.Errorf("refactor: implausible rung count %d", nRungs)
+	}
+	h.rungs = make([]Rung, nRungs)
+	for i := range h.rungs {
+		h.rungs[i] = Rung{
+			Bound:       readF(),
+			Achieved:    readF(),
+			Cursor:      int(readU()),
+			Cardinality: int(readU()),
+			Bytes:       int64(readU()),
+			Level:       int(readU()),
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return h, nil
+}

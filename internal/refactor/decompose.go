@@ -1,0 +1,195 @@
+package refactor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"tango/internal/errmetric"
+	"tango/internal/tensor"
+)
+
+// Decompose refactors orig into a Hierarchy per opts. The decomposition
+// is lossless at full augmentation: applying every entry reconstructs
+// orig up to floating-point rounding (a few ulps — entries store the
+// difference fine − prolongated, and (a−b)+b is not bit-exact in IEEE
+// arithmetic). Complexity is O(n·L) for the level pyramid plus
+// O(n log n) for magnitude sorting, matching the paper's O(n log n).
+func Decompose(orig *tensor.Tensor, opts Options) (*Hierarchy, error) {
+	opts = opts.withDefaults()
+	if opts.Levels < 1 {
+		return nil, fmt.Errorf("refactor: Levels %d < 1", opts.Levels)
+	}
+	if opts.Decimation < 2 {
+		return nil, fmt.Errorf("refactor: Decimation %d < 2", opts.Decimation)
+	}
+	if err := validateBounds(opts.Metric, opts.Bounds); err != nil {
+		return nil, err
+	}
+
+	// Clamp levels: restricting a grid whose dims are all 1 is useless.
+	maxL := 1
+	dims := orig.Dims()
+	for !allOnes(dims) {
+		dims = CoarseDims(dims, opts.Decimation)
+		maxL++
+	}
+	if opts.Levels > maxL {
+		opts.Levels = maxL
+	}
+	L := opts.Levels
+
+	// Build the level pyramid and augmentations.
+	levels := make([]*tensor.Tensor, L)
+	levels[0] = orig
+	levelDims := make([][]int, L)
+	levelDims[0] = append([]int(nil), orig.Dims()...)
+	for l := 1; l < L; l++ {
+		levels[l] = Restrict(levels[l-1], opts.Decimation)
+		levelDims[l] = append([]int(nil), levels[l].Dims()...)
+	}
+
+	h := &Hierarchy{
+		opts:      opts,
+		levelDims: levelDims,
+		base:      levels[L-1].Clone(),
+		augs:      make([][]Entry, maxInt(L-1, 0)),
+		origLen:   orig.Len(),
+	}
+
+	for l := 0; l < L-1; l++ {
+		pro := Prolongate(levels[l+1], levelDims[l], opts.Decimation)
+		fine := levels[l].Data()
+		pd := pro.Data()
+		var entries []Entry
+		for i := range fine {
+			diff := fine[i] - pd[i]
+			if diff != 0 {
+				entries = append(entries, Entry{Index: i, Value: diff})
+			}
+		}
+		// Descending |value|; ties broken by index for determinism.
+		// (NoSort keeps index order — ablation of §III-B2 step 3.)
+		if !opts.NoSort {
+			sort.Slice(entries, func(a, b int) bool {
+				av, bv := math.Abs(entries[a].Value), math.Abs(entries[b].Value)
+				if av != bv {
+					return av > bv
+				}
+				return entries[a].Index < entries[b].Index
+			})
+		}
+		h.augs[l] = entries
+	}
+
+	// Retrieval order: coarsest augmentation first.
+	for l := L - 2; l >= 0; l-- {
+		h.order = append(h.order, l)
+	}
+	h.cum = make([]int, len(h.order))
+	c := 0
+	for i, l := range h.order {
+		c += len(h.augs[l])
+		h.cum[i] = c
+	}
+
+	// Per-level encoded-size prefix sums.
+	h.byteCum = make([][]int64, maxInt(L-1, 0))
+	for l := 0; l < L-1; l++ {
+		pre := make([]int64, len(h.augs[l])+1)
+		for i, e := range h.augs[l] {
+			pre[i+1] = pre[i] + int64(entrySize(e))
+		}
+		h.byteCum[l] = pre
+	}
+
+	h.baseAcc = h.Achieved(orig, 0)
+	if err := h.buildLadder(orig); err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+func allOnes(dims []int) bool {
+	for _, d := range dims {
+		if d > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func validateBounds(k errmetric.Kind, bounds []float64) error {
+	for i, b := range bounds {
+		if math.IsNaN(b) {
+			return fmt.Errorf("refactor: bound %d is NaN", i)
+		}
+		if k == errmetric.NRMSE && b <= 0 {
+			return fmt.Errorf("refactor: NRMSE bound %v must be > 0", b)
+		}
+		if i > 0 && !k.Better(b, bounds[i-1]) {
+			return fmt.Errorf("refactor: bounds must be ordered loose→tight; %v does not tighten %v under %s",
+				b, bounds[i-1], k)
+		}
+	}
+	return nil
+}
+
+// buildLadder finds, for each bound, the smallest cursor whose
+// reconstruction satisfies it. Because entries are magnitude-ordered the
+// achieved error is (near-)monotone in the cursor; we binary-search and
+// then verify, advancing if local non-monotonicity fooled the search.
+func (h *Hierarchy) buildLadder(orig *tensor.Tensor) error {
+	h.rungs = h.rungs[:0]
+	prevCursor := 0
+	total := h.TotalEntries()
+	for _, bound := range h.opts.Bounds {
+		lo, hi := prevCursor, total
+		// Early out: previous rung (or base) may already satisfy.
+		if acc := h.Achieved(orig, lo); h.opts.Metric.Satisfies(acc, bound) {
+			h.pushRung(bound, acc, lo, prevCursor)
+			prevCursor = lo
+			continue
+		}
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if h.opts.Metric.Satisfies(h.Achieved(orig, mid), bound) {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		cursor := lo
+		// Verify; on rare non-monotone wobble, advance in coarse steps.
+		step := maxInt(1, total/256)
+		acc := h.Achieved(orig, cursor)
+		for !h.opts.Metric.Satisfies(acc, bound) && cursor < total {
+			cursor = min(cursor+step, total)
+			acc = h.Achieved(orig, cursor)
+		}
+		if !h.opts.Metric.Satisfies(acc, bound) {
+			return fmt.Errorf("refactor: bound %v unreachable (full reconstruction achieves %v)", bound, acc)
+		}
+		h.pushRung(bound, acc, cursor, prevCursor)
+		prevCursor = cursor
+	}
+	return nil
+}
+
+func (h *Hierarchy) pushRung(bound, achieved float64, cursor, prevCursor int) {
+	h.rungs = append(h.rungs, Rung{
+		Bound:       bound,
+		Achieved:    achieved,
+		Cursor:      cursor,
+		Cardinality: cursor - prevCursor,
+		Bytes:       h.BytesForRange(prevCursor, cursor),
+		Level:       h.LevelOfCursor(cursor),
+	})
+}

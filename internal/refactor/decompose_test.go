@@ -1,0 +1,516 @@
+package refactor
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"tango/internal/errmetric"
+	"tango/internal/tensor"
+)
+
+// smoothField builds a 2D field with large-scale structure plus detail,
+// representative of analysis output.
+func smoothField(n int, seed int64) *tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	t := tensor.New(n, n)
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			v := math.Sin(4*math.Pi*float64(r)/float64(n))*math.Cos(2*math.Pi*float64(c)/float64(n)) +
+				0.3*math.Sin(16*math.Pi*float64(c)/float64(n)) +
+				0.05*rng.NormFloat64()
+			t.Set(v, r, c)
+		}
+	}
+	return t
+}
+
+func mustDecompose(t *testing.T, orig *tensor.Tensor, opts Options) *Hierarchy {
+	t.Helper()
+	h, err := Decompose(orig, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestFullRecompositionIsLossless(t *testing.T) {
+	orig := smoothField(33, 1)
+	h := mustDecompose(t, orig, Options{Levels: 4})
+	rec := h.Recompose(h.TotalEntries())
+	// Lossless up to IEEE rounding of (a−b)+b.
+	if d := rec.AbsDiffMax(orig); d > 1e-12*orig.Range() {
+		t.Fatalf("full recomposition not exact: max diff %v", d)
+	}
+}
+
+func TestBaseOnlyRecomposition(t *testing.T) {
+	orig := smoothField(33, 2)
+	h := mustDecompose(t, orig, Options{Levels: 3})
+	rec := h.Recompose(0)
+	if !sameInts(rec.Dims(), orig.Dims()) {
+		t.Fatalf("recomposed dims %v", rec.Dims())
+	}
+	// Base-only must equal iterated prolongation of the base.
+	want := h.Base().Clone()
+	want = Prolongate(want, h.levelDims[1], 2)
+	want = Prolongate(want, h.levelDims[0], 2)
+	if rec.AbsDiffMax(want) != 0 {
+		t.Fatal("base-only recomposition differs from prolongated base")
+	}
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestErrorDecreasesWithCursor(t *testing.T) {
+	orig := smoothField(33, 3)
+	h := mustDecompose(t, orig, Options{Levels: 4})
+	total := h.TotalEntries()
+	prev := math.Inf(1)
+	for _, frac := range []float64{0, 0.1, 0.25, 0.5, 0.75, 1} {
+		acc := h.Achieved(orig, int(frac*float64(total)))
+		if acc > prev+1e-12 {
+			t.Fatalf("error increased at fraction %v: %v > %v", frac, acc, prev)
+		}
+		prev = acc
+	}
+}
+
+func TestLadderSatisfiesBoundsNRMSE(t *testing.T) {
+	orig := smoothField(65, 4)
+	bounds := []float64{0.1, 0.03, 0.01, 0.003, 0.001}
+	h := mustDecompose(t, orig, Options{Levels: 4, Metric: errmetric.NRMSE, Bounds: bounds})
+	rungs := h.Rungs()
+	if len(rungs) != len(bounds) {
+		t.Fatalf("rungs = %d", len(rungs))
+	}
+	prevCursor := -1
+	for i, r := range rungs {
+		if !errmetric.NRMSE.Satisfies(r.Achieved, r.Bound) {
+			t.Errorf("rung %d: achieved %v does not satisfy %v", i, r.Achieved, r.Bound)
+		}
+		// Re-measure to confirm the recorded accuracy.
+		if acc := h.Achieved(orig, r.Cursor); !errmetric.NRMSE.Satisfies(acc, r.Bound) {
+			t.Errorf("rung %d: re-measured %v violates %v", i, acc, r.Bound)
+		}
+		if r.Cursor < prevCursor {
+			t.Errorf("rung %d cursor %d not monotone", i, r.Cursor)
+		}
+		prevCursor = r.Cursor
+	}
+	// Tighter bounds need at least as many entries.
+	for i := 1; i < len(rungs); i++ {
+		if rungs[i].Cursor < rungs[i-1].Cursor {
+			t.Fatal("ladder not monotone")
+		}
+	}
+}
+
+func TestLadderSatisfiesBoundsPSNR(t *testing.T) {
+	orig := smoothField(65, 5)
+	bounds := []float64{30, 40, 50, 60}
+	h := mustDecompose(t, orig, Options{Levels: 4, Metric: errmetric.PSNR, Bounds: bounds})
+	for i, r := range h.Rungs() {
+		if !errmetric.PSNR.Satisfies(r.Achieved, r.Bound) {
+			t.Errorf("rung %d: %v dB does not satisfy %v dB", i, r.Achieved, r.Bound)
+		}
+	}
+}
+
+func TestMinimalityOfLadderCursor(t *testing.T) {
+	orig := smoothField(33, 6)
+	h := mustDecompose(t, orig, Options{Levels: 3, Metric: errmetric.NRMSE, Bounds: []float64{0.01}})
+	r := h.Rungs()[0]
+	if r.Cursor == 0 {
+		t.Skip("base already satisfies the bound; nothing to minimize")
+	}
+	// One fewer entry must violate the bound (true when error is locally
+	// monotone, which magnitude ordering gives us here).
+	if acc := h.Achieved(orig, r.Cursor-1); errmetric.NRMSE.Satisfies(acc, r.Bound) &&
+		math.Abs(acc-r.Bound) > r.Bound*0.01 {
+		t.Fatalf("cursor %d not minimal: %v still well under %v", r.Cursor, acc, r.Bound)
+	}
+}
+
+func TestBoundsValidation(t *testing.T) {
+	orig := smoothField(17, 7)
+	// Wrong order for NRMSE (tight -> loose).
+	if _, err := Decompose(orig, Options{Levels: 3, Metric: errmetric.NRMSE, Bounds: []float64{0.01, 0.1}}); err == nil {
+		t.Fatal("unordered NRMSE bounds accepted")
+	}
+	// Wrong order for PSNR.
+	if _, err := Decompose(orig, Options{Levels: 3, Metric: errmetric.PSNR, Bounds: []float64{50, 30}}); err == nil {
+		t.Fatal("unordered PSNR bounds accepted")
+	}
+	// Non-positive NRMSE bound.
+	if _, err := Decompose(orig, Options{Levels: 3, Metric: errmetric.NRMSE, Bounds: []float64{0}}); err == nil {
+		t.Fatal("zero NRMSE bound accepted")
+	}
+	// NaN bound.
+	if _, err := Decompose(orig, Options{Levels: 3, Bounds: []float64{math.NaN()}}); err == nil {
+		t.Fatal("NaN bound accepted")
+	}
+	// Bad decimation.
+	if _, err := Decompose(orig, Options{Levels: 3, Decimation: 1}); err == nil {
+		t.Fatal("decimation 1 accepted")
+	}
+}
+
+func TestLevelsClampedToGrid(t *testing.T) {
+	orig := tensor.FromData([]float64{1, 2, 3, 4, 5}, 5)
+	h := mustDecompose(t, orig, Options{Levels: 50})
+	// 5 -> 3 -> 2 -> 1: at most 4 levels.
+	if h.Levels() > 4 {
+		t.Fatalf("levels = %d", h.Levels())
+	}
+	rec := h.Recompose(h.TotalEntries())
+	if rec.AbsDiffMax(orig) != 0 {
+		t.Fatal("clamped hierarchy not lossless")
+	}
+}
+
+func TestAugsSortedByMagnitude(t *testing.T) {
+	orig := smoothField(33, 8)
+	h := mustDecompose(t, orig, Options{Levels: 3})
+	for l, entries := range h.augs {
+		for i := 1; i < len(entries); i++ {
+			if math.Abs(entries[i].Value) > math.Abs(entries[i-1].Value) {
+				t.Fatalf("level %d entries not sorted at %d", l, i)
+			}
+		}
+	}
+}
+
+func TestCoarseLevelsRetrievedFirst(t *testing.T) {
+	orig := smoothField(33, 9)
+	h := mustDecompose(t, orig, Options{Levels: 4})
+	// order must be L-2, ..., 0
+	want := []int{2, 1, 0}
+	for i, l := range h.order {
+		if l != want[i] {
+			t.Fatalf("order = %v", h.order)
+		}
+	}
+	// LevelOfCursor: cursor 0 -> base level (L-1).
+	if got := h.LevelOfCursor(0); got != 3 {
+		t.Fatalf("LevelOfCursor(0) = %d", got)
+	}
+	// A cursor inside the first block is at level L-2.
+	if h.cum[0] > 0 {
+		if got := h.LevelOfCursor(1); got != 2 {
+			t.Fatalf("LevelOfCursor(1) = %d", got)
+		}
+	}
+	// Last cursor is at level 0.
+	if got := h.LevelOfCursor(h.TotalEntries()); got != 0 {
+		t.Fatalf("LevelOfCursor(total) = %d", got)
+	}
+}
+
+func TestSegmentsPartitionRange(t *testing.T) {
+	orig := smoothField(33, 10)
+	h := mustDecompose(t, orig, Options{Levels: 4})
+	total := h.TotalEntries()
+	segs := h.Segments(0, total)
+	var count int
+	var bytes int64
+	for _, s := range segs {
+		count += s.End - s.Start
+		bytes += s.Bytes
+	}
+	if count != total {
+		t.Fatalf("segments cover %d of %d entries", count, total)
+	}
+	if bytes != h.TotalAugBytes() {
+		t.Fatalf("segment bytes %d != total %d", bytes, h.TotalAugBytes())
+	}
+	// Split ranges must add up.
+	mid := total / 3
+	if h.BytesForRange(0, mid)+h.BytesForRange(mid, total) != h.TotalAugBytes() {
+		t.Fatal("byte ranges not additive")
+	}
+	if len(h.Segments(5, 5)) != 0 {
+		t.Fatal("empty range should have no segments")
+	}
+}
+
+func TestCursorForFraction(t *testing.T) {
+	orig := smoothField(17, 11)
+	h := mustDecompose(t, orig, Options{Levels: 3})
+	if h.CursorForFraction(0) != 0 || h.CursorForFraction(-1) != 0 {
+		t.Fatal("fraction 0")
+	}
+	if h.CursorForFraction(1) != h.TotalEntries() || h.CursorForFraction(2) != h.TotalEntries() {
+		t.Fatal("fraction 1")
+	}
+	half := h.CursorForFraction(0.5)
+	if half <= 0 || half >= h.TotalEntries() {
+		t.Fatalf("fraction 0.5 -> %d", half)
+	}
+}
+
+func TestDoFFraction(t *testing.T) {
+	orig := smoothField(33, 12)
+	h := mustDecompose(t, orig, Options{Levels: 3})
+	f0 := h.DoFFraction(0)
+	if f0 <= 0 || f0 >= 1 {
+		t.Fatalf("base DoF fraction = %v", f0)
+	}
+	fFull := h.DoFFraction(h.TotalEntries())
+	// Base + all entries ≈ all points (entries exclude exact zeros).
+	if fFull > 1.0001 || fFull < 0.9 {
+		t.Fatalf("full DoF fraction = %v", fFull)
+	}
+	if !(f0 < fFull) {
+		t.Fatal("DoF not increasing")
+	}
+}
+
+func TestCursorForBound(t *testing.T) {
+	orig := smoothField(33, 13)
+	h := mustDecompose(t, orig, Options{Levels: 3, Bounds: []float64{0.1, 0.01}})
+	if _, err := h.CursorForBound(0.1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.CursorForBound(0.5); err == nil {
+		t.Fatal("unknown bound accepted")
+	}
+}
+
+func TestLevelsForRatio(t *testing.T) {
+	// 2D, d=2: each level shrinks by 4. ratio 16 -> 2 aug levels + base.
+	if got := LevelsForRatio(16, 2, 2); got != 3 {
+		t.Fatalf("LevelsForRatio(16,2,2) = %d", got)
+	}
+	if got := LevelsForRatio(1, 2, 2); got != 1 {
+		t.Fatalf("ratio 1 -> %d", got)
+	}
+	// 8192 in 2D: log4(8192) = 6.5 -> 7 aug levels (rounds to nearest).
+	if got := LevelsForRatio(8192, 2, 2); got < 7 || got > 8 {
+		t.Fatalf("LevelsForRatio(8192,2,2) = %d", got)
+	}
+	// Monotone in ratio.
+	if !(LevelsForRatio(512, 2, 2) <= LevelsForRatio(8192, 2, 2)) {
+		t.Fatal("not monotone")
+	}
+}
+
+func TestBaseAccuracyRecorded(t *testing.T) {
+	orig := smoothField(33, 14)
+	h := mustDecompose(t, orig, Options{Levels: 4})
+	if got := h.Achieved(orig, 0); got != h.BaseAccuracy() {
+		t.Fatalf("base accuracy %v vs recorded %v", got, h.BaseAccuracy())
+	}
+	if h.BaseAccuracy() <= 0 {
+		t.Fatalf("base accuracy = %v (decimated base should not be exact)", h.BaseAccuracy())
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	orig := smoothField(33, 15)
+	h := mustDecompose(t, orig, Options{Levels: 3, Bounds: []float64{0.05, 0.01}})
+	var buf bytes.Buffer
+	if err := h.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.TotalEntries() != h.TotalEntries() {
+		t.Fatalf("entries %d vs %d", h2.TotalEntries(), h.TotalEntries())
+	}
+	if h2.BaseAccuracy() != h.BaseAccuracy() {
+		t.Fatal("base accuracy mismatch")
+	}
+	if len(h2.Rungs()) != len(h.Rungs()) {
+		t.Fatal("rung count mismatch")
+	}
+	for i := range h.Rungs() {
+		if h.Rungs()[i] != h2.Rungs()[i] {
+			t.Fatalf("rung %d mismatch: %+v vs %+v", i, h.Rungs()[i], h2.Rungs()[i])
+		}
+	}
+	a := h.Recompose(h.TotalEntries())
+	b := h2.Recompose(h2.TotalEntries())
+	if a.AbsDiffMax(b) != 0 {
+		t.Fatal("recomposition differs after round trip")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode(bytes.NewReader([]byte("not a tango file"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Decode(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	// Truncated valid prefix.
+	orig := smoothField(17, 16)
+	h := mustDecompose(t, orig, Options{Levels: 3})
+	var buf bytes.Buffer
+	if err := h.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := Decode(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated input accepted")
+	}
+}
+
+func TestEntryCodecRoundTrip(t *testing.T) {
+	entries := []Entry{{0, 1.5}, {1000000, -2.25}, {7, 0}, {42, math.Pi}}
+	var buf bytes.Buffer
+	n, err := EncodeEntries(&buf, entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(buf.Len()) != n {
+		t.Fatalf("reported %d wrote %d", n, buf.Len())
+	}
+	got, err := DecodeEntries(&buf, len(entries))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range entries {
+		if got[i] != entries[i] {
+			t.Fatalf("entry %d: %+v vs %+v", i, got[i], entries[i])
+		}
+	}
+}
+
+func TestLosslessProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 9 + rng.Intn(24)
+		orig := tensor.New(n, n)
+		for i := range orig.Data() {
+			orig.Data()[i] = rng.NormFloat64() * 100
+		}
+		h, err := Decompose(orig, Options{Levels: 2 + rng.Intn(3)})
+		if err != nil {
+			return false
+		}
+		return h.Recompose(h.TotalEntries()).AbsDiffMax(orig) <= 1e-11*orig.Range()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterministicDecomposition(t *testing.T) {
+	orig := smoothField(33, 17)
+	h1 := mustDecompose(t, orig, Options{Levels: 3, Bounds: []float64{0.01}})
+	h2 := mustDecompose(t, orig, Options{Levels: 3, Bounds: []float64{0.01}})
+	if h1.Rungs()[0] != h2.Rungs()[0] {
+		t.Fatal("nondeterministic ladder")
+	}
+	for l := range h1.augs {
+		if len(h1.augs[l]) != len(h2.augs[l]) {
+			t.Fatal("aug lengths differ")
+		}
+		for i := range h1.augs[l] {
+			if h1.augs[l][i] != h2.augs[l][i] {
+				t.Fatal("aug entries differ")
+			}
+		}
+	}
+}
+
+func TestSingleLevelHierarchy(t *testing.T) {
+	orig := smoothField(17, 18)
+	h := mustDecompose(t, orig, Options{Levels: 1})
+	if h.TotalEntries() != 0 {
+		t.Fatalf("L=1 should have no augmentations, got %d", h.TotalEntries())
+	}
+	rec := h.Recompose(0)
+	if rec.AbsDiffMax(orig) != 0 {
+		t.Fatal("L=1 base must equal original")
+	}
+	if h.BaseAccuracy() != 0 {
+		t.Fatalf("L=1 base accuracy = %v", h.BaseAccuracy())
+	}
+}
+
+func TestRecomposeAtLevel(t *testing.T) {
+	orig := smoothField(33, 30)
+	h := mustDecompose(t, orig, Options{Levels: 4})
+
+	// Level 0 with full cursor equals the standard recomposition.
+	full := h.RecomposeAtLevel(h.TotalEntries(), 0)
+	if full.AbsDiffMax(h.Recompose(h.TotalEntries())) != 0 {
+		t.Fatal("level-0 recomposition differs from Recompose")
+	}
+
+	// Level L-1 is the base itself regardless of cursor.
+	base := h.RecomposeAtLevel(h.TotalEntries(), h.Levels()-1)
+	if base.AbsDiffMax(h.Base()) != 0 {
+		t.Fatal("base-level recomposition differs from Base()")
+	}
+
+	// An intermediate level with full augmentation equals the exact
+	// restriction chain of the original (the decomposition's Ω^l).
+	lvl := 1
+	inter := h.RecomposeAtLevel(h.TotalEntries(), lvl)
+	want := orig.Clone()
+	for l := 0; l < lvl; l++ {
+		want = Restrict(want, 2)
+	}
+	if d := inter.AbsDiffMax(want); d > 1e-12*orig.Range() {
+		t.Fatalf("intermediate level diff %v", d)
+	}
+
+	// Dims match the level's grid.
+	if !sameInts(inter.Dims(), h.levelDims[lvl]) {
+		t.Fatalf("dims %v, want %v", inter.Dims(), h.levelDims[lvl])
+	}
+}
+
+func TestRecomposeAtLevelPanicsOutOfRange(t *testing.T) {
+	orig := smoothField(17, 31)
+	h := mustDecompose(t, orig, Options{Levels: 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	h.RecomposeAtLevel(0, 5)
+}
+
+func TestLadderBoundsPropertyAcrossRandomFields(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 17 + 2*rng.Intn(12)
+		orig := tensor.New(n, n)
+		for i := range orig.Data() {
+			// Smooth base + noise so the ladder is nontrivial.
+			orig.Data()[i] = math.Sin(float64(i)/13) + 0.1*rng.NormFloat64()
+		}
+		bounds := []float64{0.2, 0.05, 0.01}
+		h, err := Decompose(orig, Options{Levels: 2 + rng.Intn(2), Bounds: bounds})
+		if err != nil {
+			return false
+		}
+		for _, r := range h.Rungs() {
+			if !errmetric.NRMSE.Satisfies(h.Achieved(orig, r.Cursor), r.Bound+1e-12) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,163 @@
+// Package refactor implements the paper's error-bounded refactorization
+// (§III-B): hierarchical decomposition of a tensor into a base
+// representation plus per-level augmentations, with augmentation data
+// points sorted by magnitude and bucketed so that any prescribed NRMSE or
+// PSNR bound maps to a contiguous prefix of the stored stream, and the
+// inverse recomposition used at analysis time (§III-C, Algorithm 1).
+package refactor
+
+import (
+	"fmt"
+
+	"tango/internal/par"
+	"tango/internal/tensor"
+)
+
+// unravel fills idx with the multi-index of flat offset off for dims.
+func unravel(off int, dims, idx []int) {
+	for i := len(dims) - 1; i >= 0; i-- {
+		idx[i] = off % dims[i]
+		off /= dims[i]
+	}
+}
+
+// increment advances idx to the next row-major multi-index within dims.
+func increment(idx, dims []int) {
+	for i := len(dims) - 1; i >= 0; i-- {
+		idx[i]++
+		if idx[i] < dims[i] {
+			return
+		}
+		idx[i] = 0
+	}
+}
+
+// CoarseDims returns the dimensions of the restriction of a grid with
+// dims by decimation factor d: indices {0, d, 2d, …} are retained along
+// each dimension.
+func CoarseDims(dims []int, d int) []int {
+	out := make([]int, len(dims))
+	for i, n := range dims {
+		out[i] = (n-1)/d + 1
+	}
+	return out
+}
+
+// Restrict retains every d-th data point of t along each dimension
+// (paper §III-B2 step 1). d must be >= 2.
+func Restrict(t *tensor.Tensor, d int) *tensor.Tensor {
+	if d < 2 {
+		panic(fmt.Sprintf("refactor: decimation factor %d must be >= 2", d))
+	}
+	dims := t.Dims()
+	cd := CoarseDims(dims, d)
+	out := tensor.New(cd...)
+	src := t.Data()
+	dst := out.Data()
+
+	rank := len(dims)
+	// Workers own disjoint output ranges, so the parallel execution is
+	// bit-identical to the sequential one.
+	par.For(len(dst), func(lo, hi int) {
+		idx := make([]int, rank) // coarse multi-index
+		unravel(lo, cd, idx)
+		for off := lo; off < hi; off++ {
+			// Map the coarse multi-index to its fine row-major offset.
+			fineOff := 0
+			for i := 0; i < rank; i++ {
+				fineOff = fineOff*dims[i] + idx[i]*d
+			}
+			dst[off] = src[fineOff]
+			increment(idx, cd)
+		}
+	})
+	return out
+}
+
+// Prolongate interpolates a coarse tensor back onto a fine grid with the
+// given dims using multilinear interpolation (paper §III-B2 step 2,
+// "prolongate(·)"). Coarse nodes sit at fine indices {0, d, 2d, …}; fine
+// points beyond the last coarse node along a dimension clamp to it.
+// Prolongation is exact at coarse-node positions, which is what makes
+// augmentation values zero there.
+func Prolongate(coarse *tensor.Tensor, fineDims []int, d int) *tensor.Tensor {
+	if d < 2 {
+		panic(fmt.Sprintf("refactor: decimation factor %d must be >= 2", d))
+	}
+	cd := coarse.Dims()
+	want := CoarseDims(fineDims, d)
+	if len(cd) != len(fineDims) {
+		panic("refactor: rank mismatch in Prolongate")
+	}
+	for i := range cd {
+		if cd[i] != want[i] {
+			panic(fmt.Sprintf("refactor: coarse dims %v incompatible with fine dims %v at d=%d", cd, fineDims, d))
+		}
+	}
+	rank := len(fineDims)
+	out := tensor.New(fineDims...)
+	src := coarse.Data()
+	dst := out.Data()
+
+	// Per-dimension interpolation tables: for each fine coordinate x,
+	// the lower coarse node, and the fractional weight of the upper node.
+	lo := make([][]int, rank)
+	fr := make([][]float64, rank)
+	for i := 0; i < rank; i++ {
+		n := fineDims[i]
+		nc := cd[i]
+		lo[i] = make([]int, n)
+		fr[i] = make([]float64, n)
+		for x := 0; x < n; x++ {
+			p := x / d
+			f := float64(x-p*d) / float64(d)
+			if p >= nc-1 {
+				p = nc - 1
+				f = 0
+			}
+			lo[i][x] = p
+			fr[i][x] = f
+		}
+	}
+
+	cStrides := make([]int, rank)
+	st := 1
+	for i := rank - 1; i >= 0; i-- {
+		cStrides[i] = st
+		st *= cd[i]
+	}
+
+	corners := 1 << rank
+	par.For(len(dst), func(from, to int) {
+		idx := make([]int, rank)
+		unravel(from, fineDims, idx)
+		for off := from; off < to; off++ {
+			var v float64
+			for c := 0; c < corners; c++ {
+				w := 1.0
+				cOff := 0
+				for i := 0; i < rank; i++ {
+					x := idx[i]
+					if c&(1<<i) != 0 {
+						f := fr[i][x]
+						if f == 0 {
+							w = 0
+							break
+						}
+						w *= f
+						cOff += (lo[i][x] + 1) * cStrides[i]
+					} else {
+						w *= 1 - fr[i][x]
+						cOff += lo[i][x] * cStrides[i]
+					}
+				}
+				if w != 0 {
+					v += w * src[cOff]
+				}
+			}
+			dst[off] = v
+			increment(idx, fineDims)
+		}
+	})
+	return out
+}

@@ -1,0 +1,176 @@
+package refactor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tango/internal/tensor"
+)
+
+func TestCoarseDims(t *testing.T) {
+	cases := []struct {
+		dims []int
+		d    int
+		want []int
+	}{
+		{[]int{5}, 2, []int{3}},
+		{[]int{4}, 2, []int{2}},
+		{[]int{9, 9}, 2, []int{5, 5}},
+		{[]int{1}, 2, []int{1}},
+		{[]int{10, 7}, 3, []int{4, 3}},
+	}
+	for _, c := range cases {
+		got := CoarseDims(c.dims, c.d)
+		for i := range c.want {
+			if got[i] != c.want[i] {
+				t.Errorf("CoarseDims(%v,%d) = %v, want %v", c.dims, c.d, got, c.want)
+			}
+		}
+	}
+}
+
+func TestRestrict1D(t *testing.T) {
+	f := tensor.FromData([]float64{0, 1, 2, 3, 4, 5, 6}, 7)
+	c := Restrict(f, 2)
+	want := []float64{0, 2, 4, 6}
+	if c.Len() != 4 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	for i, w := range want {
+		if c.Data()[i] != w {
+			t.Fatalf("restrict = %v, want %v", c.Data(), want)
+		}
+	}
+}
+
+func TestRestrict2D(t *testing.T) {
+	f := tensor.New(5, 5)
+	for r := 0; r < 5; r++ {
+		for cc := 0; cc < 5; cc++ {
+			f.Set(float64(r*10+cc), r, cc)
+		}
+	}
+	c := Restrict(f, 2)
+	if c.Dims()[0] != 3 || c.Dims()[1] != 3 {
+		t.Fatalf("dims = %v", c.Dims())
+	}
+	// Kept rows/cols: 0, 2, 4.
+	if c.At(1, 2) != 24 || c.At(2, 0) != 40 || c.At(0, 0) != 0 {
+		t.Fatalf("restricted values wrong: %v", c.Data())
+	}
+}
+
+func TestRestrictPanicsOnBadFactor(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Restrict(tensor.New(4), 1)
+}
+
+func TestProlongateExactAtNodes(t *testing.T) {
+	f := tensor.FromData([]float64{3, 0, 7, 0, -2}, 5)
+	c := Restrict(f, 2) // [3 7 -2]
+	p := Prolongate(c, []int{5}, 2)
+	for _, i := range []int{0, 2, 4} {
+		if p.Data()[i] != f.Data()[i] {
+			t.Fatalf("prolongation not exact at node %d: %v", i, p.Data())
+		}
+	}
+	// Midpoints are averages.
+	if p.Data()[1] != 5 || p.Data()[3] != 2.5 {
+		t.Fatalf("midpoints wrong: %v", p.Data())
+	}
+}
+
+func TestProlongateReproducesLinearField(t *testing.T) {
+	// Multilinear interpolation is exact for affine functions (within
+	// the span of coarse nodes).
+	f := tensor.New(9, 9)
+	for r := 0; r < 9; r++ {
+		for c := 0; c < 9; c++ {
+			f.Set(2*float64(r)-3*float64(c)+1, r, c)
+		}
+	}
+	c := Restrict(f, 2)
+	p := Prolongate(c, []int{9, 9}, 2)
+	if p.AbsDiffMax(f) > 1e-12 {
+		t.Fatalf("linear field not reproduced: max err %v", p.AbsDiffMax(f))
+	}
+}
+
+func TestProlongateClampsTail(t *testing.T) {
+	// n=6, d=2: coarse nodes at 0,2,4; indices 5 is beyond the last node
+	// and must clamp to it.
+	f := tensor.FromData([]float64{0, 0, 0, 0, 8, 0}, 6)
+	c := Restrict(f, 2) // values at 0,2,4 -> [0 0 8]
+	p := Prolongate(c, []int{6}, 2)
+	if p.Data()[5] != 8 {
+		t.Fatalf("tail clamp: %v", p.Data())
+	}
+	if p.Data()[4] != 8 || p.Data()[3] != 4 {
+		t.Fatalf("interior: %v", p.Data())
+	}
+}
+
+func TestProlongate3D(t *testing.T) {
+	f := tensor.New(5, 5, 5)
+	rng := rand.New(rand.NewSource(1))
+	for i := range f.Data() {
+		f.Data()[i] = rng.NormFloat64()
+	}
+	c := Restrict(f, 2)
+	p := Prolongate(c, []int{5, 5, 5}, 2)
+	// Exact at all kept points.
+	for r := 0; r < 5; r += 2 {
+		for s := 0; s < 5; s += 2 {
+			for u := 0; u < 5; u += 2 {
+				if p.At(r, s, u) != f.At(r, s, u) {
+					t.Fatalf("3D node (%d,%d,%d) mismatch", r, s, u)
+				}
+			}
+		}
+	}
+	// Center point (1,1,1) is the mean of the 8 surrounding nodes.
+	var sum float64
+	for _, r := range []int{0, 2} {
+		for _, s := range []int{0, 2} {
+			for _, u := range []int{0, 2} {
+				sum += f.At(r, s, u)
+			}
+		}
+	}
+	if math.Abs(p.At(1, 1, 1)-sum/8) > 1e-12 {
+		t.Fatalf("trilinear center wrong: %v vs %v", p.At(1, 1, 1), sum/8)
+	}
+}
+
+func TestProlongateShapeMismatchPanics(t *testing.T) {
+	c := tensor.New(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Prolongate(c, []int{100}, 2) // CoarseDims(100,2)=50 != 3
+}
+
+func TestRestrictDecimation4(t *testing.T) {
+	f := tensor.New(9)
+	for i := range f.Data() {
+		f.Data()[i] = float64(i)
+	}
+	c := Restrict(f, 4)
+	want := []float64{0, 4, 8}
+	for i, w := range want {
+		if c.Data()[i] != w {
+			t.Fatalf("d=4 restrict: %v", c.Data())
+		}
+	}
+	p := Prolongate(c, []int{9}, 4)
+	if p.Data()[2] != 2 { // linear between 0 and 4
+		t.Fatalf("d=4 prolongate: %v", p.Data())
+	}
+}

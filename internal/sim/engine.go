@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Engine is a discrete-event scheduler over a virtual clock measured in
+// seconds. The zero value is not usable; construct with NewEngine.
+//
+// Engine methods must only be called from the goroutine that owns the
+// engine (the one calling Run) or from within a simulated process or event
+// callback; the engine is not safe for concurrent use from unrelated
+// goroutines. Independent engines are fully isolated and may run on
+// separate goroutines in parallel (this is how multi-node weak scaling is
+// simulated).
+type Engine struct {
+	now    float64
+	seq    int64
+	events eventHeap
+	procs  int // live (not yet finished) processes
+	err    error
+	trace  func(t float64, msg string)
+}
+
+// NewEngine returns an engine with the clock at t=0.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// SetTrace installs a trace hook invoked for engine-level events. A nil
+// hook disables tracing.
+func (e *Engine) SetTrace(fn func(t float64, msg string)) { e.trace = fn }
+
+func (e *Engine) tracef(format string, args ...any) {
+	if e.trace != nil {
+		e.trace(e.now, fmt.Sprintf(format, args...))
+	}
+}
+
+// Err returns the first process failure observed by the engine, if any.
+func (e *Engine) Err() error { return e.err }
+
+// At schedules fn to run at virtual time t. Times in the past are clamped
+// to the present (the event still fires, after already-scheduled events at
+// the current instant). Returns a handle that can cancel the event.
+func (e *Engine) At(t float64, fn func()) *Timer {
+	if t < e.now {
+		t = e.now
+	}
+	if math.IsNaN(t) {
+		panic("sim: event scheduled at NaN time")
+	}
+	ev := &event{t: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return &Timer{ev: ev}
+}
+
+// After schedules fn to run d seconds from now.
+func (e *Engine) After(d float64, fn func()) *Timer {
+	return e.At(e.now+d, fn)
+}
+
+// Timer is a handle to a scheduled event.
+type Timer struct {
+	ev *event
+}
+
+// Stop cancels the event if it has not fired. It reports whether the event
+// was still pending. Cancellation is implemented by neutering the callback,
+// so the heap entry drains harmlessly.
+func (t *Timer) Stop() bool {
+	if t.ev == nil || t.ev.fn == nil {
+		return false
+	}
+	t.ev.fn = nil
+	return true
+}
+
+// When returns the virtual time at which the timer fires (or fired).
+func (t *Timer) When() float64 { return t.ev.t }
+
+// Run processes events in order until the clock would pass `until`, then
+// sets the clock to `until` and returns. Events scheduled exactly at
+// `until` do fire. Returns the first process error, if any.
+func (e *Engine) Run(until float64) error {
+	for len(e.events) > 0 && e.err == nil {
+		ev := e.events[0]
+		if ev.t > until {
+			break
+		}
+		heap.Pop(&e.events)
+		e.now = ev.t
+		if ev.fn != nil {
+			ev.fn()
+		}
+	}
+	if e.err == nil && e.now < until {
+		e.now = until
+	}
+	return e.err
+}
+
+// RunAll processes events until no events remain (all processes have
+// finished or parked indefinitely). Returns the first process error.
+func (e *Engine) RunAll() error {
+	for len(e.events) > 0 && e.err == nil {
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.t
+		if ev.fn != nil {
+			ev.fn()
+		}
+	}
+	return e.err
+}
+
+// Pending reports the number of scheduled (possibly cancelled) events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// LiveProcs reports the number of spawned processes that have not finished.
+func (e *Engine) LiveProcs() int { return e.procs }
+
+func (e *Engine) fail(err error) {
+	if e.err == nil {
+		e.err = err
+	}
+}

@@ -1,0 +1,48 @@
+// Package sim implements a deterministic, process-oriented discrete-event
+// simulation engine. It is the substrate on which the storage devices,
+// cgroup controllers, interfering workloads, and data analytics of this
+// repository run in virtual time.
+//
+// The engine follows the SimPy coroutine model: each simulated process is a
+// goroutine that is parked and resumed by a single scheduler goroutine, so
+// at any instant exactly one goroutine (either the engine or one process)
+// is running. All simulation state is therefore serialized without locks,
+// and runs are bit-deterministic for a given seed and spawn order.
+package sim
+
+import "container/heap"
+
+// event is a scheduled callback. Events fire in (time, seq) order; seq is a
+// monotone counter that breaks ties deterministically in FIFO order.
+type event struct {
+	t   float64
+	seq int64
+	fn  func()
+}
+
+// eventHeap is a min-heap of events ordered by time then sequence.
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+var _ heap.Interface = (*eventHeap)(nil)

@@ -1,0 +1,115 @@
+package sim
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// Proc is a simulated process: a goroutine that runs user code and yields
+// control back to the engine whenever it blocks on virtual time (Sleep) or
+// on an external wake-up (Suspend). A Proc must only call its blocking
+// methods from its own body function.
+type Proc struct {
+	eng  *Engine
+	name string
+
+	wake chan struct{} // engine -> proc: run until next yield
+	yld  chan struct{} // proc -> engine: parked or finished
+
+	done      bool
+	suspended bool
+	err       error
+}
+
+// Spawn starts fn as a new simulated process. The process begins executing
+// at the current virtual time, after events already scheduled at this
+// instant. A panic inside fn is captured and surfaces via Engine.Err.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:  e,
+		name: name,
+		wake: make(chan struct{}),
+		yld:  make(chan struct{}),
+	}
+	e.procs++
+	e.tracef("spawn %q", name)
+	go func() {
+		<-p.wake // wait for first resume
+		defer func() {
+			if r := recover(); r != nil {
+				p.err = fmt.Errorf("sim: process %q panicked: %v\n%s", p.name, r, debug.Stack())
+			}
+			p.done = true
+			p.eng.procs--
+			p.yld <- struct{}{}
+		}()
+		fn(p)
+	}()
+	e.At(e.now, func() { e.resume(p) })
+	return p
+}
+
+// resume transfers control to p and blocks until p yields or finishes.
+// It must be called from the engine context (an event callback).
+func (e *Engine) resume(p *Proc) {
+	if p.done {
+		return
+	}
+	p.wake <- struct{}{}
+	<-p.yld
+	if p.err != nil {
+		e.fail(p.err)
+	}
+}
+
+// yield transfers control back to the engine and blocks until resumed.
+func (p *Proc) yield() {
+	p.yld <- struct{}{}
+	<-p.wake
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() float64 { return p.eng.now }
+
+// Done reports whether the process body has returned.
+func (p *Proc) Done() bool { return p.done }
+
+// Sleep blocks the process for d seconds of virtual time. Negative
+// durations are treated as zero (the process still yields, letting other
+// events at the same instant run first).
+func (p *Proc) Sleep(d float64) {
+	if d < 0 {
+		d = 0
+	}
+	e := p.eng
+	e.At(e.now+d, func() { e.resume(p) })
+	p.yield()
+}
+
+// Suspend parks the process until some other process or event callback
+// calls Engine.Wake (or p.Wake) on it. Suspend returns at the virtual time
+// of the wake-up.
+func (p *Proc) Suspend() {
+	p.suspended = true
+	p.yield()
+}
+
+// Wake schedules a suspended process to resume at the current virtual
+// time. Waking a process that is not suspended (or already woken at this
+// instant) is a no-op; this makes completion notifications idempotent.
+func (e *Engine) Wake(p *Proc) {
+	if p == nil || p.done || !p.suspended {
+		return
+	}
+	p.suspended = false
+	e.At(e.now, func() { e.resume(p) })
+}
+
+// Wake is a convenience for Engine.Wake from another process context.
+func (p *Proc) Wake(other *Proc) { p.eng.Wake(other) }

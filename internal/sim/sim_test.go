@@ -1,0 +1,352 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestEventOrdering(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	e.At(2.0, func() { got = append(got, 2) })
+	e.At(1.0, func() { got = append(got, 1) })
+	e.At(3.0, func() { got = append(got, 3) })
+	e.At(1.0, func() { got = append(got, 10) }) // same time: FIFO
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 10, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v want %v", got, want)
+		}
+	}
+}
+
+func TestRunUntilStopsClock(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.At(5.0, func() { fired = true })
+	if err := e.Run(3.0); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("event at t=5 fired during Run(3)")
+	}
+	if e.Now() != 3.0 {
+		t.Fatalf("Now() = %v, want 3.0", e.Now())
+	}
+	if err := e.Run(5.0); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("event at t=5 did not fire during Run(5)")
+	}
+}
+
+func TestEventAtBoundaryFires(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	e.At(3.0, func() { fired = true })
+	if err := e.Run(3.0); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("event exactly at until-time must fire")
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	tm := e.At(1.0, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop on pending timer should report true")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop should report false")
+	}
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestPastEventClampsToNow(t *testing.T) {
+	e := NewEngine()
+	e.Run(10)
+	var at float64 = -1
+	e.At(5.0, func() { at = e.Now() })
+	e.RunAll()
+	if at != 10.0 {
+		t.Fatalf("past event fired at %v, want clamped to 10", at)
+	}
+}
+
+func TestProcSleepAdvancesClock(t *testing.T) {
+	e := NewEngine()
+	var times []float64
+	e.Spawn("sleeper", func(p *Proc) {
+		for i := 0; i < 3; i++ {
+			p.Sleep(1.5)
+			times = append(times, p.Now())
+		}
+	})
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1.5, 3.0, 4.5}
+	for i, w := range want {
+		if times[i] != w {
+			t.Fatalf("times = %v, want %v", times, want)
+		}
+	}
+	if e.LiveProcs() != 0 {
+		t.Fatalf("LiveProcs = %d, want 0", e.LiveProcs())
+	}
+}
+
+func TestInterleavingDeterministic(t *testing.T) {
+	run := func() []string {
+		e := NewEngine()
+		var log []string
+		for i, d := range []float64{3, 1, 2} {
+			name := string(rune('A' + i))
+			dd := d
+			e.Spawn(name, func(p *Proc) {
+				for j := 0; j < 3; j++ {
+					p.Sleep(dd)
+					log = append(log, name)
+				}
+			})
+		}
+		if err := e.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+		return log
+	}
+	first := run()
+	for i := 0; i < 5; i++ {
+		again := run()
+		for j := range first {
+			if first[j] != again[j] {
+				t.Fatalf("nondeterministic interleaving: %v vs %v", first, again)
+			}
+		}
+	}
+	// B wakes at 1,2,3; C at 2,4,6; A at 3,6,9. At t=2, C's event was
+	// scheduled earlier (t=0) than B's (t=1), so FIFO puts C first.
+	want := []string{"B", "C", "B", "A", "B", "C", "A", "C", "A"}
+	for i := range want {
+		if first[i] != want[i] {
+			t.Fatalf("unexpected order: %v, want %v", first, want)
+		}
+	}
+}
+
+func TestSuspendWake(t *testing.T) {
+	e := NewEngine()
+	var wokenAt float64 = -1
+	sleeper := e.Spawn("sleeper", func(p *Proc) {
+		p.Suspend()
+		wokenAt = p.Now()
+	})
+	e.Spawn("waker", func(p *Proc) {
+		p.Sleep(7)
+		p.Wake(sleeper)
+	})
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if wokenAt != 7 {
+		t.Fatalf("woken at %v, want 7", wokenAt)
+	}
+}
+
+func TestDoubleWakeIsIdempotent(t *testing.T) {
+	e := NewEngine()
+	resumes := 0
+	sleeper := e.Spawn("sleeper", func(p *Proc) {
+		p.Suspend()
+		resumes++
+		p.Sleep(100) // stay alive so a stray second resume would be visible
+	})
+	e.Spawn("waker", func(p *Proc) {
+		p.Sleep(1)
+		p.Wake(sleeper)
+		p.Wake(sleeper) // duplicate at the same instant
+	})
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if resumes != 1 {
+		t.Fatalf("resumes = %d, want 1", resumes)
+	}
+}
+
+func TestWakeFinishedProcIsNoop(t *testing.T) {
+	e := NewEngine()
+	done := e.Spawn("quick", func(p *Proc) {})
+	e.Spawn("waker", func(p *Proc) {
+		p.Sleep(1)
+		p.Wake(done) // must not hang or panic
+	})
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProcPanicSurfacesAsError(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("bad", func(p *Proc) {
+		p.Sleep(1)
+		panic("boom")
+	})
+	err := e.RunAll()
+	if err == nil {
+		t.Fatal("expected error from panicking process")
+	}
+}
+
+func TestManyProcsStressDeterminism(t *testing.T) {
+	run := func(seed int64) []float64 {
+		e := NewEngine()
+		rng := rand.New(rand.NewSource(seed))
+		var finish []float64
+		for i := 0; i < 100; i++ {
+			n := 1 + rng.Intn(5)
+			d := 0.1 + rng.Float64()
+			e.Spawn("p", func(p *Proc) {
+				for j := 0; j < n; j++ {
+					p.Sleep(d)
+				}
+				finish = append(finish, p.Now())
+			})
+		}
+		if err := e.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+		return finish
+	}
+	a := run(42)
+	b := run(42)
+	if len(a) != 100 || len(b) != 100 {
+		t.Fatalf("lengths %d %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic finish times at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if !sort.Float64sAreSorted(append([]float64(nil), a...)) {
+		// finish times are appended in completion order, so they must be sorted
+		t.Fatal("finish order not monotone in time")
+	}
+}
+
+func TestAfterHelper(t *testing.T) {
+	e := NewEngine()
+	e.Run(2)
+	var at float64
+	e.After(3, func() { at = e.Now() })
+	e.RunAll()
+	if at != 5 {
+		t.Fatalf("After fired at %v, want 5", at)
+	}
+}
+
+func TestNestedSpawnFromProc(t *testing.T) {
+	e := NewEngine()
+	var childAt float64
+	e.Spawn("parent", func(p *Proc) {
+		p.Sleep(2)
+		e.Spawn("child", func(c *Proc) {
+			c.Sleep(3)
+			childAt = c.Now()
+		})
+		p.Sleep(10)
+	})
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if childAt != 5 {
+		t.Fatalf("child finished at %v, want 5", childAt)
+	}
+}
+
+func TestTraceHook(t *testing.T) {
+	e := NewEngine()
+	var lines []string
+	e.SetTrace(func(tm float64, msg string) { lines = append(lines, msg) })
+	e.Spawn("worker", func(p *Proc) { p.Sleep(1) })
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) == 0 {
+		t.Fatal("no trace lines emitted")
+	}
+	found := false
+	for _, l := range lines {
+		if l == `spawn "worker"` {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("spawn trace missing: %v", lines)
+	}
+	e.SetTrace(nil) // disabling must be safe
+	e.Spawn("w2", func(p *Proc) {})
+	if err := e.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimerWhen(t *testing.T) {
+	e := NewEngine()
+	tm := e.At(7.5, func() {})
+	if tm.When() != 7.5 {
+		t.Fatalf("When = %v", tm.When())
+	}
+}
+
+func BenchmarkEventThroughput(b *testing.B) {
+	// Measures raw event scheduling/dispatch cost.
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		n := 0
+		var tick func()
+		tick = func() {
+			n++
+			if n < 10000 {
+				e.After(1, tick)
+			}
+		}
+		e.After(1, tick)
+		if err := e.RunAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkProcessSwitch(b *testing.B) {
+	// Cost of a full park/resume round trip per simulated process step.
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		e.Spawn("p", func(p *Proc) {
+			for j := 0; j < 1000; j++ {
+				p.Sleep(1)
+			}
+		})
+		if err := e.RunAll(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,296 @@
+// Package staging places a refactored dataset onto the local ephemeral
+// storage hierarchy and provides the tier-aware read path used during
+// analysis. Placement follows the paper's Fig 3: the base representation
+// Ω^{L-1} lives on the fastest tier, and the augmentation of level l is
+// staged on tier ST^l — finest (largest) augmentation on the slowest
+// (capacity) tier, coarser augmentations on faster tiers. Before a job
+// starts the data is staged in; after it exits, Release erases it
+// (ephemeral storage).
+package staging
+
+import (
+	"fmt"
+
+	"tango/internal/blkio"
+	"tango/internal/device"
+	"tango/internal/refactor"
+	"tango/internal/sim"
+)
+
+// Store is a staged hierarchy: every piece has a tier assignment and the
+// capacity has been reserved on the devices.
+type Store struct {
+	h        *refactor.Hierarchy
+	baseDev  *device.Device
+	levelDev []*device.Device // aug level -> device
+	scale    float64
+	released bool
+}
+
+// Stage places h across the given tiers (fastest first, as returned by
+// container.Node.Tiers) and reserves capacity. It fails if any tier would
+// exceed its capacity.
+func Stage(h *refactor.Hierarchy, tiers []*device.Device) (*Store, error) {
+	return StageScaled(h, tiers, 1)
+}
+
+// StageScaled is Stage with a per-point payload scale factor: every byte
+// count (reservation and reads) is multiplied by scale. This models
+// datasets whose points carry more than one float64 — the paper's
+// production meshes hold tens of millions of elements with multiple
+// variables, so a simulated grid of n points staged at scale s behaves
+// like an n·s-byte-per-8 dataset on the I/O path while keeping the
+// decomposition arithmetic at grid scale. Entry cardinalities (used by
+// the weight function) are unaffected.
+func StageScaled(h *refactor.Hierarchy, tiers []*device.Device, scale float64) (*Store, error) {
+	if len(tiers) == 0 {
+		return nil, fmt.Errorf("staging: no tiers")
+	}
+	if scale <= 0 {
+		return nil, fmt.Errorf("staging: scale %v must be > 0", scale)
+	}
+	s := &Store{h: h, baseDev: tiers[0], scale: scale}
+	augLevels := h.Levels() - 1
+	s.levelDev = make([]*device.Device, augLevels)
+	for l := 0; l < augLevels; l++ {
+		// Paper tier indexing: ST^0 is the slowest. tiers[] is fastest
+		// first, so aug level l (0 = finest) maps to tiers[len-1-l],
+		// clamped to the fastest tier for deep hierarchies.
+		ti := len(tiers) - 1 - l
+		if ti < 0 {
+			ti = 0
+		}
+		s.levelDev[l] = tiers[ti]
+	}
+
+	// Reserve capacity; roll back on failure.
+	type reservation struct {
+		dev   *device.Device
+		bytes float64
+	}
+	var done []reservation
+	reserve := func(dev *device.Device, bytes float64) error {
+		if err := dev.Reserve(bytes); err != nil {
+			return err
+		}
+		done = append(done, reservation{dev, bytes})
+		return nil
+	}
+	rollback := func() {
+		for _, r := range done {
+			r.dev.Release(r.bytes)
+		}
+	}
+	if err := reserve(s.baseDev, float64(h.BaseBytes())*scale); err != nil {
+		rollback()
+		return nil, fmt.Errorf("staging: base: %w", err)
+	}
+	for l := 0; l < augLevels; l++ {
+		bytes := s.levelBytes(l)
+		if err := reserve(s.levelDev[l], bytes); err != nil {
+			rollback()
+			return nil, fmt.Errorf("staging: aug level %d: %w", l, err)
+		}
+	}
+	return s, nil
+}
+
+// levelBytes returns the staged size of one level's full augmentation.
+func (s *Store) levelBytes(level int) float64 {
+	var total float64
+	for _, seg := range s.h.Segments(0, s.h.TotalEntries()) {
+		if seg.Level == level {
+			total += float64(seg.Bytes)
+		}
+	}
+	return total * s.scale
+}
+
+// Scale returns the store's payload scale factor.
+func (s *Store) Scale() float64 { return s.scale }
+
+// Hierarchy returns the staged hierarchy.
+func (s *Store) Hierarchy() *refactor.Hierarchy { return s.h }
+
+// BaseDevice returns the tier holding the base representation.
+func (s *Store) BaseDevice() *device.Device { return s.baseDev }
+
+// DeviceForLevel returns the tier holding augmentation level l.
+func (s *Store) DeviceForLevel(l int) *device.Device {
+	if l < 0 || l >= len(s.levelDev) {
+		panic(fmt.Sprintf("staging: no augmentation level %d", l))
+	}
+	return s.levelDev[l]
+}
+
+// SlowestDevice returns the slowest tier used by this store (the device
+// holding the finest augmentation, or the base device if L == 1).
+func (s *Store) SlowestDevice() *device.Device {
+	if len(s.levelDev) == 0 {
+		return s.baseDev
+	}
+	return s.levelDev[0]
+}
+
+// TierStats is the per-read breakdown returned by the read methods. It
+// accumulates in insertion order (not map order) so downstream float
+// arithmetic stays deterministic across runs.
+type TierStats struct {
+	entries []tierEntry
+}
+
+type tierEntry struct {
+	dev         *device.Device
+	bytes, time float64
+}
+
+func newTierStats() *TierStats { return &TierStats{} }
+
+func (ts *TierStats) add(dev *device.Device, bytes, t float64) {
+	for i := range ts.entries {
+		if ts.entries[i].dev == dev {
+			ts.entries[i].bytes += bytes
+			ts.entries[i].time += t
+			return
+		}
+	}
+	ts.entries = append(ts.entries, tierEntry{dev, bytes, t})
+}
+
+// Merge folds other into ts.
+func (ts *TierStats) Merge(other *TierStats) {
+	for _, e := range other.entries {
+		ts.add(e.dev, e.bytes, e.time)
+	}
+}
+
+// BytesOn returns the bytes read from dev.
+func (ts *TierStats) BytesOn(dev *device.Device) float64 {
+	for _, e := range ts.entries {
+		if e.dev == dev {
+			return e.bytes
+		}
+	}
+	return 0
+}
+
+// TimeOn returns the time spent reading from dev.
+func (ts *TierStats) TimeOn(dev *device.Device) float64 {
+	for _, e := range ts.entries {
+		if e.dev == dev {
+			return e.time
+		}
+	}
+	return 0
+}
+
+// Total returns the summed bytes and time across tiers.
+func (ts *TierStats) Total() (bytes, t float64) {
+	for _, e := range ts.entries {
+		bytes += e.bytes
+		t += e.time
+	}
+	return bytes, t
+}
+
+// ReadBase reads the base representation under cg, blocking p. Returns
+// per-tier stats.
+func (s *Store) ReadBase(p *sim.Proc, cg *blkio.Cgroup) *TierStats {
+	ts := newTierStats()
+	bytes := float64(s.h.BaseBytes()) * s.scale
+	el := s.baseDev.Read(p, cg, bytes)
+	ts.add(s.baseDev, bytes, el)
+	return ts
+}
+
+// ReadRange reads the augmentation cursor range [from, to) under cg,
+// visiting tiers coarse-level first (the order Algorithm 1 retrieves
+// buckets). Returns per-tier stats.
+func (s *Store) ReadRange(p *sim.Proc, cg *blkio.Cgroup, from, to int) *TierStats {
+	ts := newTierStats()
+	for _, seg := range s.h.Segments(from, to) {
+		dev := s.DeviceForLevel(seg.Level)
+		bytes := float64(seg.Bytes) * s.scale
+		el := dev.Read(p, cg, bytes)
+		ts.add(dev, bytes, el)
+	}
+	return ts
+}
+
+// ReadRangeParallel reads the augmentation cursor range [from, to) with
+// one concurrent reader per tier, overlapping fast- and capacity-tier
+// transfers. The caller's process blocks until every tier finishes. This
+// is an optimization beyond the paper's sequential Algorithm 1 loop
+// (evaluated by the ablation-parallel experiment): it shortens the total
+// step time but gives up the coarse-first completion order that the
+// sequential path provides.
+func (s *Store) ReadRangeParallel(p *sim.Proc, cg *blkio.Cgroup, from, to int) *TierStats {
+	type group struct {
+		dev  *device.Device
+		segs []refactor.Segment
+	}
+	var groups []*group
+	byDev := map[*device.Device]*group{}
+	for _, seg := range s.h.Segments(from, to) {
+		dev := s.DeviceForLevel(seg.Level)
+		g, ok := byDev[dev]
+		if !ok {
+			g = &group{dev: dev}
+			byDev[dev] = g
+			groups = append(groups, g)
+		}
+		g.segs = append(g.segs, seg)
+	}
+	ts := newTierStats()
+	if len(groups) == 0 {
+		return ts
+	}
+	if len(groups) == 1 {
+		// Single tier: no concurrency to exploit.
+		return s.ReadRange(p, cg, from, to)
+	}
+	eng := p.Engine()
+	results := make([]*TierStats, len(groups))
+	wg := sim.NewWaitGroup(eng)
+	for i, g := range groups {
+		i, g := i, g
+		wg.Go("tier-read", func(cp *sim.Proc) {
+			r := newTierStats()
+			for _, seg := range g.segs {
+				bytes := float64(seg.Bytes) * s.scale
+				el := g.dev.Read(cp, cg, bytes)
+				r.add(g.dev, bytes, el)
+			}
+			results[i] = r
+		})
+	}
+	wg.Wait(p)
+	for _, r := range results {
+		ts.Merge(r)
+	}
+	return ts
+}
+
+// Probe reads `bytes` from the slowest tier to sample its available
+// bandwidth; used by the controller when a step retrieved nothing from
+// the capacity tier but the estimator still needs a measurement.
+func (s *Store) Probe(p *sim.Proc, cg *blkio.Cgroup, bytes float64) *TierStats {
+	ts := newTierStats()
+	dev := s.SlowestDevice()
+	el := dev.Read(p, cg, bytes)
+	ts.add(dev, bytes, el)
+	return ts
+}
+
+// Release frees the reserved capacity (the ephemeral data is erased when
+// the job exits). Release is idempotent.
+func (s *Store) Release() {
+	if s.released {
+		return
+	}
+	s.released = true
+	s.baseDev.Release(float64(s.h.BaseBytes()) * s.scale)
+	for l, dev := range s.levelDev {
+		dev.Release(s.levelBytes(l))
+	}
+}

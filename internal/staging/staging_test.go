@@ -1,0 +1,225 @@
+package staging
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"tango/internal/blkio"
+	"tango/internal/device"
+	"tango/internal/refactor"
+	"tango/internal/sim"
+	"tango/internal/tensor"
+)
+
+func field(n int, seed int64) *tensor.Tensor {
+	rng := rand.New(rand.NewSource(seed))
+	t := tensor.New(n, n)
+	for r := 0; r < n; r++ {
+		for c := 0; c < n; c++ {
+			t.Set(math.Sin(float64(r)/3)*math.Cos(float64(c)/5)+0.1*rng.NormFloat64(), r, c)
+		}
+	}
+	return t
+}
+
+func twoTier(eng *sim.Engine) (ssd, hdd *device.Device) {
+	sp := device.Params{Name: "ssd", PeakBandwidth: 500 * device.MB, MinEfficiency: 1}
+	hp := device.Params{Name: "hdd", PeakBandwidth: 100 * device.MB, MinEfficiency: 1}
+	return device.New(eng, sp), device.New(eng, hp)
+}
+
+func TestStagePlacementFollowsFig3(t *testing.T) {
+	eng := sim.NewEngine()
+	ssd, hdd := twoTier(eng)
+	h, err := refactor.Decompose(field(33, 1), refactor.Options{Levels: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Stage(h, []*device.Device{ssd, hdd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.BaseDevice() != ssd {
+		t.Fatal("base must live on the fastest tier")
+	}
+	// Finest augmentation (level 0) on the slowest tier.
+	if s.DeviceForLevel(0) != hdd {
+		t.Fatal("finest augmentation must live on the capacity tier")
+	}
+	// Coarser augmentations on the fast tier (clamped).
+	if s.DeviceForLevel(1) != ssd || s.DeviceForLevel(2) != ssd {
+		t.Fatal("coarse augmentations should live on the fast tier")
+	}
+	if s.SlowestDevice() != hdd {
+		t.Fatal("slowest device should be the hdd")
+	}
+}
+
+func TestStageReservesAndReleases(t *testing.T) {
+	eng := sim.NewEngine()
+	ssd, hdd := twoTier(eng)
+	h, err := refactor.Decompose(field(33, 2), refactor.Options{Levels: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Stage(h, []*device.Device{ssd, hdd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ssd.Used() == 0 || hdd.Used() == 0 {
+		t.Fatalf("reservations missing: ssd=%v hdd=%v", ssd.Used(), hdd.Used())
+	}
+	s.Release()
+	if ssd.Used() != 0 || hdd.Used() != 0 {
+		t.Fatalf("release incomplete: ssd=%v hdd=%v", ssd.Used(), hdd.Used())
+	}
+	s.Release() // idempotent
+	if ssd.Used() != 0 {
+		t.Fatal("double release corrupted accounting")
+	}
+}
+
+func TestStageCapacityFailureRollsBack(t *testing.T) {
+	eng := sim.NewEngine()
+	sp := device.Params{Name: "ssd", PeakBandwidth: 500, MinEfficiency: 1, Capacity: 64} // tiny
+	ssd := device.New(eng, sp)
+	_, hdd := twoTier(eng)
+	h, err := refactor.Decompose(field(33, 3), refactor.Options{Levels: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Stage(h, []*device.Device{ssd, hdd}); err == nil {
+		t.Fatal("staging should fail on tiny fast tier")
+	}
+	if ssd.Used() != 0 || hdd.Used() != 0 {
+		t.Fatalf("rollback incomplete: ssd=%v hdd=%v", ssd.Used(), hdd.Used())
+	}
+}
+
+func TestStageNoTiers(t *testing.T) {
+	h, err := refactor.Decompose(field(17, 4), refactor.Options{Levels: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Stage(h, nil); err == nil {
+		t.Fatal("no tiers accepted")
+	}
+}
+
+func TestReadBaseTouchesOnlyFastTier(t *testing.T) {
+	eng := sim.NewEngine()
+	ssd, hdd := twoTier(eng)
+	h, err := refactor.Decompose(field(33, 5), refactor.Options{Levels: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Stage(h, []*device.Device{ssd, hdd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg := blkio.NewCgroup("a")
+	var ts *TierStats
+	eng.Spawn("r", func(p *sim.Proc) { ts = s.ReadBase(p, cg) })
+	if err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if ts.BytesOn(ssd) != float64(h.BaseBytes()) {
+		t.Fatalf("base bytes on ssd = %v, want %v", ts.BytesOn(ssd), h.BaseBytes())
+	}
+	if ts.BytesOn(hdd) != 0 {
+		t.Fatal("base read touched the capacity tier")
+	}
+	bytes, tm := ts.Total()
+	if bytes != float64(h.BaseBytes()) || tm <= 0 {
+		t.Fatalf("total = %v, %v", bytes, tm)
+	}
+}
+
+func TestReadRangeSplitsAcrossTiers(t *testing.T) {
+	eng := sim.NewEngine()
+	ssd, hdd := twoTier(eng)
+	h, err := refactor.Decompose(field(33, 6), refactor.Options{Levels: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Stage(h, []*device.Device{ssd, hdd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg := blkio.NewCgroup("a")
+	var ts *TierStats
+	eng.Spawn("r", func(p *sim.Proc) { ts = s.ReadRange(p, cg, 0, h.TotalEntries()) })
+	if err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Level-1 entries (coarse) come from ssd, level-0 (fine) from hdd.
+	if ts.BytesOn(ssd) == 0 || ts.BytesOn(hdd) == 0 {
+		t.Fatalf("range should touch both tiers: ssd=%v hdd=%v", ts.BytesOn(ssd), ts.BytesOn(hdd))
+	}
+	if got, want := ts.BytesOn(ssd)+ts.BytesOn(hdd), float64(h.TotalAugBytes()); got != want {
+		t.Fatalf("total range bytes %v, want %v", got, want)
+	}
+}
+
+func TestProbeReadsSlowTier(t *testing.T) {
+	eng := sim.NewEngine()
+	ssd, hdd := twoTier(eng)
+	h, err := refactor.Decompose(field(17, 7), refactor.Options{Levels: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Stage(h, []*device.Device{ssd, hdd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg := blkio.NewCgroup("a")
+	var ts *TierStats
+	eng.Spawn("r", func(p *sim.Proc) { ts = s.Probe(p, cg, 1024) })
+	if err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if ts.BytesOn(hdd) != 1024 || ts.BytesOn(ssd) != 0 {
+		t.Fatal("probe must read from the slowest tier only")
+	}
+}
+
+func TestTierStatsMerge(t *testing.T) {
+	eng := sim.NewEngine()
+	ssd, hdd := twoTier(eng)
+	a, b := newTierStats(), newTierStats()
+	a.add(ssd, 10, 1)
+	b.add(ssd, 5, 0.5)
+	b.add(hdd, 20, 2)
+	a.Merge(b)
+	if a.BytesOn(ssd) != 15 || a.BytesOn(hdd) != 20 {
+		t.Fatalf("merge: ssd=%v hdd=%v", a.BytesOn(ssd), a.BytesOn(hdd))
+	}
+	if a.TimeOn(ssd) != 1.5 || a.TimeOn(hdd) != 2 {
+		t.Fatal("merge times wrong")
+	}
+	bytes, tm := a.Total()
+	if bytes != 35 || tm != 3.5 {
+		t.Fatalf("total = %v %v", bytes, tm)
+	}
+	_ = eng
+}
+
+func TestDeviceForLevelPanicsOutOfRange(t *testing.T) {
+	eng := sim.NewEngine()
+	ssd, hdd := twoTier(eng)
+	h, err := refactor.Decompose(field(17, 8), refactor.Options{Levels: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Stage(h, []*device.Device{ssd, hdd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.DeviceForLevel(5)
+}

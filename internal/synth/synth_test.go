@@ -1,0 +1,95 @@
+package synth
+
+import (
+	"math"
+	"testing"
+)
+
+func TestXGCDeterministicPerSeed(t *testing.T) {
+	a, ba := XGC(DefaultXGC(128, 7))
+	b, bb := XGC(DefaultXGC(128, 7))
+	if a.AbsDiffMax(b) != 0 {
+		t.Fatal("same seed produced different fields")
+	}
+	if len(ba) != len(bb) {
+		t.Fatal("blob lists differ")
+	}
+	c, _ := XGC(DefaultXGC(128, 8))
+	if a.AbsDiffMax(c) == 0 {
+		t.Fatal("different seeds produced identical fields")
+	}
+}
+
+func TestXGCBlobsAreVisible(t *testing.T) {
+	f, blobs := XGC(DefaultXGC(256, 1))
+	if len(blobs) == 0 {
+		t.Fatal("no blobs injected")
+	}
+	// Field values at blob centers should greatly exceed the background
+	// (amplitudes are >= 6 sigma).
+	min, max := f.MinMax()
+	if !(max > 5) {
+		t.Fatalf("max %v too low for blob amplitudes", max)
+	}
+	if min > 0 {
+		t.Fatalf("background should fluctuate below zero, min %v", min)
+	}
+	for _, b := range blobs {
+		v := f.At(int(b.Row), int(b.Col))
+		if v < b.Amplitude*0.5 {
+			t.Fatalf("blob at (%v,%v) amp %v not visible: field %v", b.Row, b.Col, b.Amplitude, v)
+		}
+	}
+}
+
+func TestXGCBlobsSeparated(t *testing.T) {
+	_, blobs := XGC(DefaultXGC(256, 2))
+	for i := range blobs {
+		for j := i + 1; j < len(blobs); j++ {
+			d := math.Hypot(blobs[i].Row-blobs[j].Row, blobs[i].Col-blobs[j].Col)
+			if d < 2*(blobs[i].Radius+blobs[j].Radius) {
+				t.Fatalf("blobs %d and %d overlap (distance %v)", i, j, d)
+			}
+		}
+	}
+}
+
+func TestGenASiSShockStructure(t *testing.T) {
+	n := 128
+	f := GenASiS(n, 3)
+	// Velocity near the center (inside the shock) must exceed the far
+	// exterior.
+	inner := f.At(n/2, n/2+n/8)
+	outer := f.At(2, 2)
+	if !(inner > 2*outer) {
+		t.Fatalf("no shock contrast: inner %v outer %v", inner, outer)
+	}
+	if f.AbsDiffMax(GenASiS(n, 3)) != 0 {
+		t.Fatal("not deterministic")
+	}
+}
+
+func TestCFDStagnationPressure(t *testing.T) {
+	n := 128
+	f := CFD(n, 4)
+	// Pressure at the nose exceeds free stream (≈1) substantially.
+	nose := f.At(n/2, n/5)
+	far := f.At(2, n-3)
+	if !(nose > far+1) {
+		t.Fatalf("no stagnation bump: nose %v far %v", nose, far)
+	}
+	if f.AbsDiffMax(CFD(n, 4)) != 0 {
+		t.Fatal("not deterministic")
+	}
+}
+
+func TestGeneratorsFiniteValues(t *testing.T) {
+	x, _ := XGC(DefaultXGC(64, 5))
+	for _, f := range []interface{ Data() []float64 }{x, GenASiS(64, 5), CFD(64, 5)} {
+		for i, v := range f.Data() {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("non-finite value at %d: %v", i, v)
+			}
+		}
+	}
+}

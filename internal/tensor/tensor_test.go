@@ -1,0 +1,193 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewAndShape(t *testing.T) {
+	a := New(3, 4, 5)
+	if a.Rank() != 3 || a.Len() != 60 {
+		t.Fatalf("rank %d len %d", a.Rank(), a.Len())
+	}
+	d := a.Dims()
+	if d[0] != 3 || d[1] != 4 || d[2] != 5 {
+		t.Fatalf("dims %v", d)
+	}
+	if a.Bytes() != 480 {
+		t.Fatalf("bytes %v", a.Bytes())
+	}
+}
+
+func TestNewPanicsOnBadDims(t *testing.T) {
+	for _, dims := range [][]int{{}, {0}, {-1, 3}, {3, 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%v) should panic", dims)
+				}
+			}()
+			New(dims...)
+		}()
+	}
+}
+
+func TestFromDataChecksLength(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	FromData([]float64{1, 2, 3}, 2, 2)
+}
+
+func TestRowMajorLayout(t *testing.T) {
+	a := New(2, 3)
+	a.Set(42, 1, 2)
+	if a.Data()[5] != 42 {
+		t.Fatalf("row-major offset wrong: %v", a.Data())
+	}
+	if a.At(1, 2) != 42 {
+		t.Fatalf("At(1,2) = %v", a.At(1, 2))
+	}
+	if a.Offset(1, 2) != 5 {
+		t.Fatalf("Offset = %d", a.Offset(1, 2))
+	}
+}
+
+func TestOffsetUnravelRoundTrip(t *testing.T) {
+	a := New(3, 5, 7)
+	for off := 0; off < a.Len(); off++ {
+		idx := a.Unravel(off)
+		if got := a.Offset(idx...); got != off {
+			t.Fatalf("round trip %d -> %v -> %d", off, idx, got)
+		}
+	}
+}
+
+func TestIndexBoundsPanic(t *testing.T) {
+	a := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on out-of-bounds")
+		}
+	}()
+	a.At(2, 0)
+}
+
+func TestRankMismatchPanic(t *testing.T) {
+	a := New(2, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on rank mismatch")
+		}
+	}()
+	a.At(1)
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	a := New(2, 2)
+	a.Set(1, 0, 0)
+	b := a.Clone()
+	b.Set(99, 0, 0)
+	if a.At(0, 0) != 1 {
+		t.Fatal("clone aliases original")
+	}
+	if !a.SameShape(b) {
+		t.Fatal("clone shape differs")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	a := FromData([]float64{1, 2, 3, 4}, 2, 2)
+	b := FromData([]float64{10, 20, 30, 40}, 2, 2)
+	a.Add(b)
+	if a.At(1, 1) != 44 {
+		t.Fatalf("add: %v", a.Data())
+	}
+	a.Sub(b)
+	if a.At(0, 0) != 1 {
+		t.Fatalf("sub: %v", a.Data())
+	}
+	a.Scale(2)
+	if a.At(0, 1) != 4 {
+		t.Fatalf("scale: %v", a.Data())
+	}
+	a.Fill(7)
+	if a.At(1, 0) != 7 {
+		t.Fatalf("fill: %v", a.Data())
+	}
+}
+
+func TestAddShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, 2).Add(New(4))
+}
+
+func TestMinMaxRange(t *testing.T) {
+	a := FromData([]float64{3, -1, 4, 1.5}, 4)
+	min, max := a.MinMax()
+	if min != -1 || max != 4 {
+		t.Fatalf("minmax = %v %v", min, max)
+	}
+	if a.Range() != 5 {
+		t.Fatalf("range = %v", a.Range())
+	}
+}
+
+func TestEqualAndAbsDiffMax(t *testing.T) {
+	a := FromData([]float64{1, 2}, 2)
+	b := FromData([]float64{1, 2.5}, 2)
+	if a.Equal(b) {
+		t.Fatal("unequal tensors compare equal")
+	}
+	if a.Equal(New(3)) {
+		t.Fatal("different shapes compare equal")
+	}
+	if got := a.AbsDiffMax(b); got != 0.5 {
+		t.Fatalf("absdiffmax = %v", got)
+	}
+	if !a.Equal(a.Clone()) {
+		t.Fatal("clone not equal")
+	}
+}
+
+func TestAddSubInverseProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		a := FromData(append([]float64(nil), vals...), len(vals))
+		orig := a.Clone()
+		b := New(len(vals))
+		rng := rand.New(rand.NewSource(1))
+		for i := range b.Data() {
+			b.Data()[i] = rng.NormFloat64()
+		}
+		a.Add(b)
+		a.Sub(b)
+		return a.AbsDiffMax(orig) < 1e-9*(1+orig.Range())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	a := FromData([]float64{1, 2, 3, 4}, 2, 2)
+	s := a.String()
+	if s == "" {
+		t.Fatal("empty summary")
+	}
+}

@@ -1,0 +1,127 @@
+// Package trace records structured events from a simulation run — weight
+// adjustments, bucket retrievals, estimator refits — for debugging and
+// for experiments that plot controller behavior over time (e.g. Fig 15).
+// A Recorder is a bounded ring buffer: cheap enough to leave enabled, and
+// safe for the concurrent multi-node runs of the weak-scaling experiment.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Event is one recorded occurrence at virtual time T.
+type Event struct {
+	T      float64
+	Source string // e.g. the session or device name
+	Kind   string // e.g. "step", "weight", "bucket", "refit"
+	Msg    string
+}
+
+// Recorder is a bounded event buffer. The zero value is inert (Disabled);
+// construct with New.
+type Recorder struct {
+	mu     sync.Mutex
+	events []Event
+	next   int
+	filled bool
+	cap    int
+	subs   []func(Event)
+}
+
+// New creates a recorder retaining the most recent max events (max <= 0
+// defaults to 4096).
+func New(max int) *Recorder {
+	if max <= 0 {
+		max = 4096
+	}
+	return &Recorder{events: make([]Event, 0, max), cap: max}
+}
+
+// Subscribe registers fn to be invoked synchronously on every event.
+func (r *Recorder) Subscribe(fn func(Event)) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.subs = append(r.subs, fn)
+}
+
+// Emit records an event. A nil recorder ignores it, so call sites do not
+// need to guard.
+func (r *Recorder) Emit(t float64, source, kind, format string, args ...any) {
+	if r == nil {
+		return
+	}
+	ev := Event{T: t, Source: source, Kind: kind, Msg: fmt.Sprintf(format, args...)}
+	r.mu.Lock()
+	if len(r.events) < r.cap {
+		r.events = append(r.events, ev)
+	} else {
+		r.events[r.next] = ev
+		r.next = (r.next + 1) % r.cap
+		r.filled = true
+	}
+	subs := r.subs
+	r.mu.Unlock()
+	for _, fn := range subs {
+		fn(ev)
+	}
+}
+
+// Events returns the retained events in chronological order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.filled {
+		out := make([]Event, len(r.events))
+		copy(out, r.events)
+		return out
+	}
+	out := make([]Event, 0, r.cap)
+	out = append(out, r.events[r.next:]...)
+	out = append(out, r.events[:r.next]...)
+	return out
+}
+
+// Filter returns retained events of one kind.
+func (r *Recorder) Filter(kind string) []Event {
+	var out []Event
+	for _, ev := range r.Events() {
+		if ev.Kind == kind {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Len reports the number of retained events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.filled {
+		return r.cap
+	}
+	return len(r.events)
+}
+
+// WriteTo dumps the retained events as text lines.
+func (r *Recorder) WriteTo(w io.Writer) (int64, error) {
+	var total int64
+	for _, ev := range r.Events() {
+		n, err := fmt.Fprintf(w, "%10.3f %-12s %-8s %s\n", ev.T, ev.Source, ev.Kind, ev.Msg)
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

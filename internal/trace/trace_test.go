@@ -1,0 +1,116 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Emit(1, "x", "k", "msg %d", 1) // must not panic
+	if r.Events() != nil || r.Len() != 0 {
+		t.Fatal("nil recorder should be empty")
+	}
+	r.Subscribe(func(Event) {})
+}
+
+func TestEmitAndEvents(t *testing.T) {
+	r := New(10)
+	r.Emit(1.5, "sess", "step", "step %d", 0)
+	r.Emit(2.5, "sess", "weight", "w=%d", 300)
+	evs := r.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events = %d", len(evs))
+	}
+	if evs[0].Msg != "step 0" || evs[1].Msg != "w=300" {
+		t.Fatalf("messages: %+v", evs)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("len = %d", r.Len())
+	}
+}
+
+func TestRingWrapKeepsMostRecent(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 7; i++ {
+		r.Emit(float64(i), "s", "k", "%d", i)
+	}
+	evs := r.Events()
+	if len(evs) != 3 {
+		t.Fatalf("retained = %d", len(evs))
+	}
+	want := []string{"4", "5", "6"}
+	for i, w := range want {
+		if evs[i].Msg != w {
+			t.Fatalf("events = %+v", evs)
+		}
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len = %d", r.Len())
+	}
+}
+
+func TestFilter(t *testing.T) {
+	r := New(10)
+	r.Emit(1, "s", "a", "x")
+	r.Emit(2, "s", "b", "y")
+	r.Emit(3, "s", "a", "z")
+	as := r.Filter("a")
+	if len(as) != 2 || as[1].Msg != "z" {
+		t.Fatalf("filter = %+v", as)
+	}
+	if len(r.Filter("missing")) != 0 {
+		t.Fatal("bogus kind matched")
+	}
+}
+
+func TestSubscribe(t *testing.T) {
+	r := New(10)
+	var got []Event
+	r.Subscribe(func(ev Event) { got = append(got, ev) })
+	r.Emit(1, "s", "k", "hello")
+	if len(got) != 1 || got[0].Msg != "hello" {
+		t.Fatalf("subscriber: %+v", got)
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	r := New(0)
+	for i := 0; i < 5000; i++ {
+		r.Emit(float64(i), "s", "k", "")
+	}
+	if r.Len() != 4096 {
+		t.Fatalf("default cap = %d", r.Len())
+	}
+}
+
+func TestWriteTo(t *testing.T) {
+	r := New(4)
+	r.Emit(1.25, "dev", "flow", "done")
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "dev") || !strings.Contains(sb.String(), "done") {
+		t.Fatalf("output: %q", sb.String())
+	}
+}
+
+func TestConcurrentEmit(t *testing.T) {
+	r := New(128)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Emit(float64(i), "g", "k", "%d", g)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Len() != 128 {
+		t.Fatalf("len = %d", r.Len())
+	}
+}

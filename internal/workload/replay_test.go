@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tango/internal/device"
+)
+
+func TestParseTrace(t *testing.T) {
+	in := `# comment
+10,1000,w
+5, 500 ,r
+
+20,2000
+`
+	ops, err := ParseTrace(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ops) != 3 {
+		t.Fatalf("ops = %d", len(ops))
+	}
+	// Sorted by time.
+	if ops[0].T != 5 || !ops[0].Read || ops[0].Bytes != 500 {
+		t.Fatalf("op0 = %+v", ops[0])
+	}
+	if ops[1].T != 10 || ops[1].Read {
+		t.Fatalf("op1 = %+v", ops[1])
+	}
+	if ops[2].T != 20 || ops[2].Bytes != 2000 {
+		t.Fatalf("op2 = %+v", ops[2])
+	}
+}
+
+func TestParseTraceErrors(t *testing.T) {
+	for _, bad := range []string{
+		"x,100",
+		"5,y",
+		"5,100,z",
+		"5",
+		"5,100,w,extra",
+		"-1,100",
+		"5,-100",
+	} {
+		if _, err := ParseTrace(strings.NewReader(bad)); err == nil {
+			t.Errorf("ParseTrace(%q) accepted", bad)
+		}
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	ops := []TraceOp{{T: 1, Bytes: 100}, {T: 2.5, Bytes: 200, Read: true}}
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, ops); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != ops[0] || got[1] != ops[1] {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestReplayMatchesLaunchNoise(t *testing.T) {
+	// A synthesized trace of a jitter-free noise must produce the same
+	// device activity as LaunchNoise with Jitter=0 (periods are long
+	// enough that checkpoints never overrun).
+	spec := Noise{Name: "nz", Period: 100, CheckpointBytes: 10 * device.MB, Phase: 7}
+	runLive := func() float64 {
+		n, hdd := newTestNode()
+		LaunchNoise(n, hdd, spec)
+		if err := n.Engine().Run(1000); err != nil {
+			t.Fatal(err)
+		}
+		return n.Container("nz").Cgroup().BytesWritten()
+	}
+	runReplay := func() float64 {
+		n, hdd := newTestNode()
+		ops := SynthesizeTrace(spec, 10)
+		ReplayTrace(n, hdd, "rp", ops)
+		if err := n.Engine().Run(1000); err != nil {
+			t.Fatal(err)
+		}
+		return n.Container("rp").Cgroup().BytesWritten()
+	}
+	if a, b := runLive(), runReplay(); a != b {
+		t.Fatalf("live %v vs replay %v", a, b)
+	}
+}
+
+func TestReplayOpenLoopCatchesUp(t *testing.T) {
+	// Ops scheduled faster than the device can serve must be issued
+	// back-to-back, not dropped.
+	n, hdd := newTestNode() // 100 MB/s
+	ops := []TraceOp{
+		{T: 0, Bytes: 500 * device.MB}, // takes 5s
+		{T: 1, Bytes: 500 * device.MB}, // arrives during op 1
+		{T: 2, Bytes: 500 * device.MB}, // ditto
+	}
+	c := ReplayTrace(n, hdd, "rp", ops)
+	if err := n.Engine().RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Cgroup().BytesWritten(); got != 1500*float64(device.MB) {
+		t.Fatalf("bytes = %v", got)
+	}
+	if now := n.Engine().Now(); now < 14.9 || now > 15.5 {
+		t.Fatalf("replay finished at %v, want ~15s", now)
+	}
+}
+
+func TestSynthesizeTraceShape(t *testing.T) {
+	ops := SynthesizeTrace(Noise{Period: 60, CheckpointBytes: 42, Phase: 3}, 4)
+	if len(ops) != 4 {
+		t.Fatalf("ops = %d", len(ops))
+	}
+	for i, op := range ops {
+		if op.T != 3+float64(i)*60 || op.Bytes != 42 || op.Read {
+			t.Fatalf("op %d = %+v", i, op)
+		}
+	}
+}

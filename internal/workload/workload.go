@@ -1,0 +1,150 @@
+// Package workload generates the I/O workloads of the paper's evaluation:
+// periodic checkpointing interferers (Table IV), the generic HPC
+// application pattern I(C^x W)* F (§II "HPC application pattern"), and
+// non-periodic random noise (compilation, shell commands) that the DFT
+// estimator is supposed to filter out.
+package workload
+
+import (
+	"math/rand"
+
+	"tango/internal/container"
+	"tango/internal/device"
+	"tango/internal/sim"
+)
+
+// Noise describes one periodic interfering container: every Period
+// seconds it writes CheckpointBytes to the target device, mimicking
+// simulation checkpointing activity.
+type Noise struct {
+	Name            string
+	Period          float64 // seconds
+	CheckpointBytes float64
+	Phase           float64 // initial offset before the first checkpoint
+	// Jitter is the per-interval timing spread as a fraction of Period
+	// (0 = strictly periodic). Real checkpoint loops drift — compute
+	// phases are data-dependent — so intervals are Period·(1 ± Jitter),
+	// drawn deterministically from Seed. Without drift, a period that is
+	// an exact multiple of an analytics period would alias (the burst
+	// always lands at the same offset inside the analysis step).
+	Jitter float64
+	Seed   int64
+}
+
+// PaperNoiseSet returns the six interfering containers of Table IV.
+// Phases are staggered and a small drift is applied so the aggregate
+// interference is a rich quasi-periodic signal, as on a real node.
+func PaperNoiseSet() []Noise {
+	return []Noise{
+		{Name: "noise1", Period: 200, CheckpointBytes: 768 * device.MB, Phase: 13, Jitter: 0.08, Seed: 1001},
+		{Name: "noise2", Period: 225, CheckpointBytes: 512 * device.MB, Phase: 47, Jitter: 0.08, Seed: 1002},
+		{Name: "noise3", Period: 360, CheckpointBytes: 512 * device.MB, Phase: 89, Jitter: 0.08, Seed: 1003},
+		{Name: "noise4", Period: 180, CheckpointBytes: 1024 * device.MB, Phase: 31, Jitter: 0.08, Seed: 1004},
+		{Name: "noise5", Period: 150, CheckpointBytes: 1024 * device.MB, Phase: 67, Jitter: 0.08, Seed: 1005},
+		{Name: "noise6", Period: 120, CheckpointBytes: 1024 * device.MB, Phase: 101, Jitter: 0.08, Seed: 1006},
+	}
+}
+
+// LaunchNoise starts one interfering container on node writing to dev.
+// The period is measured start-to-start: if a checkpoint takes longer than
+// the period under contention, the next one starts immediately after
+// (back-to-back), which is how checkpointing loops behave in practice.
+func LaunchNoise(node *container.Node, dev *device.Device, n Noise) *container.Container {
+	rng := rand.New(rand.NewSource(n.Seed))
+	return node.MustLaunch(n.Name, func(c *container.Container, p *sim.Proc) {
+		p.Sleep(n.Phase)
+		for {
+			start := p.Now()
+			c.Write(p, dev, n.CheckpointBytes)
+			period := n.Period
+			if n.Jitter > 0 {
+				period *= 1 + n.Jitter*(2*rng.Float64()-1)
+			}
+			wait := period - (p.Now() - start)
+			if wait > 0 {
+				p.Sleep(wait)
+			}
+		}
+	})
+}
+
+// LaunchNoiseSet starts the given interferers and returns their containers.
+func LaunchNoiseSet(node *container.Node, dev *device.Device, set []Noise) []*container.Container {
+	out := make([]*container.Container, 0, len(set))
+	for _, n := range set {
+		out = append(out, LaunchNoise(node, dev, n))
+	}
+	return out
+}
+
+// RandomNoise launches a container issuing small, aperiodic writes
+// (compilation artifacts, shell commands). Inter-arrival times are
+// exponential with the given mean; sizes are uniform in [minB, maxB].
+// This is the low-intensity random activity the paper says can be
+// neglected / filtered by DFT thresholding.
+func RandomNoise(node *container.Node, dev *device.Device, name string, meanGap, minB, maxB float64, seed int64) *container.Container {
+	rng := rand.New(rand.NewSource(seed))
+	return node.MustLaunch(name, func(c *container.Container, p *sim.Proc) {
+		for {
+			p.Sleep(rng.ExpFloat64() * meanGap)
+			size := minB + rng.Float64()*(maxB-minB)
+			c.Write(p, dev, size)
+		}
+	})
+}
+
+// PhasedApp runs the canonical HPC pattern I(C^x W)* F: an init phase,
+// then rounds of x compute iterations (each ComputeIter seconds) followed
+// by an I/O phase writing WriteBytes, for Rounds rounds, then a finalize
+// phase.
+type PhasedApp struct {
+	Name        string
+	InitTime    float64
+	ComputeIter float64
+	X           int // compute iterations per I/O phase
+	WriteBytes  float64
+	Rounds      int // 0 = run forever
+	FinalTime   float64
+}
+
+// Launch starts the phased application writing to dev.
+func (a PhasedApp) Launch(node *container.Node, dev *device.Device) *container.Container {
+	return node.MustLaunch(a.Name, func(c *container.Container, p *sim.Proc) {
+		p.Sleep(a.InitTime)
+		for r := 0; a.Rounds == 0 || r < a.Rounds; r++ {
+			for i := 0; i < a.X; i++ {
+				p.Sleep(a.ComputeIter)
+			}
+			c.Write(p, dev, a.WriteBytes)
+		}
+		p.Sleep(a.FinalTime)
+	})
+}
+
+// StepFunc is invoked once per analytics step with the step index; it
+// returns the number of bytes the step wants to read.
+type StepFunc func(step int) float64
+
+// PeriodicReader launches a container that performs one read of
+// bytesFn(step) from dev every period seconds (period measured
+// start-to-start) and reports each step's perceived bandwidth through
+// observe. This is the shape of the paper's data analytics containers,
+// which "retrieve and analyze data iteratively from the shared disk".
+func PeriodicReader(node *container.Node, dev *device.Device, name string,
+	period float64, steps int, bytesFn StepFunc,
+	observe func(step int, start, ioTime, bytes float64)) *container.Container {
+	return node.MustLaunch(name, func(c *container.Container, p *sim.Proc) {
+		for s := 0; s < steps; s++ {
+			start := p.Now()
+			bytes := bytesFn(s)
+			ioTime := c.Read(p, dev, bytes)
+			if observe != nil {
+				observe(s, start, ioTime, bytes)
+			}
+			wait := period - (p.Now() - start)
+			if wait > 0 {
+				p.Sleep(wait)
+			}
+		}
+	})
+}

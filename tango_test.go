@@ -1,0 +1,157 @@
+package tango_test
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"tango"
+)
+
+// TestPublicAPIWorkflow walks the documented end-to-end workflow through
+// the facade only.
+func TestPublicAPIWorkflow(t *testing.T) {
+	app := tango.XGCApp()
+	field := app.Generate(129, 3)
+
+	h, err := tango.DecomposeTensor(field, tango.RefactorOptions{
+		Levels: 3,
+		Bounds: []float64{0.1, 0.01},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.TotalEntries() == 0 || len(h.Rungs()) != 2 {
+		t.Fatalf("hierarchy: %d entries, %d rungs", h.TotalEntries(), len(h.Rungs()))
+	}
+
+	node := tango.NewNode("node0")
+	node.MustAddDevice(tango.SSD("ssd"))
+	hdd := node.MustAddDevice(tango.HDD("hdd"))
+	tango.LaunchTableIVNoise(node, hdd, 3)
+
+	store, err := tango.StageScaled(h, node.Tiers(), 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := tango.NewSession("analytics", store, tango.SessionConfig{
+		Policy:       tango.CrossLayer,
+		ErrorControl: true,
+		Bound:        0.01,
+		Priority:     tango.PriorityHigh,
+		Steps:        12,
+		Window:       5,
+		RefitEvery:   5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Launch(node); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Engine().Run(12*60 + 600); err != nil {
+		t.Fatal(err)
+	}
+	sum := sess.Summary(5)
+	if sum.Steps != 7 || sum.MeanIO <= 0 {
+		t.Fatalf("summary: %+v", sum)
+	}
+
+	// Error control holds: every step's reconstruction meets the bound.
+	for _, st := range sess.Stats() {
+		if acc := h.Achieved(field, st.Cursor); acc > 0.01+1e-12 {
+			t.Fatalf("step %d achieved %v > bound", st.Step, acc)
+		}
+	}
+}
+
+func TestDecomposeFromRawSlice(t *testing.T) {
+	data := make([]float64, 64*64)
+	for i := range data {
+		data[i] = math.Sin(float64(i) / 17)
+	}
+	h, err := tango.Decompose(data, []int{64, 64}, tango.RefactorOptions{Levels: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := h.Recompose(h.TotalEntries())
+	orig := tango.TensorFromData(data, 64, 64)
+	if rec.AbsDiffMax(orig) > 1e-12 {
+		t.Fatal("round trip failed")
+	}
+}
+
+func TestHierarchySerializationViaFacade(t *testing.T) {
+	field := tango.GenASiSApp().Generate(65, 1)
+	h, err := tango.DecomposeTensor(field, tango.RefactorOptions{Levels: 3, Bounds: []float64{0.05}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := h.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	h2, err := tango.DecodeHierarchy(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2.TotalEntries() != h.TotalEntries() {
+		t.Fatal("mismatch after decode")
+	}
+}
+
+func TestAppsViaFacade(t *testing.T) {
+	if len(tango.Apps()) != 3 {
+		t.Fatal("want 3 apps")
+	}
+	for _, app := range tango.Apps() {
+		f := app.Generate(64, 9)
+		if app.OutcomeErr(f, f.Clone()) > 1e-9 {
+			t.Fatalf("%s: nonzero self outcome error", app.Name)
+		}
+	}
+}
+
+func TestTableIVNoiseClamped(t *testing.T) {
+	if got := len(tango.TableIVNoise()); got != 6 {
+		t.Fatalf("noise set = %d", got)
+	}
+	node := tango.NewNode("n")
+	hdd := node.MustAddDevice(tango.HDD("hdd"))
+	if got := len(tango.LaunchTableIVNoise(node, hdd, 99)); got != 6 {
+		t.Fatalf("launched %d", got)
+	}
+}
+
+func TestLevelsForRatioFacade(t *testing.T) {
+	if tango.LevelsForRatio(16, 2, 2) != 3 {
+		t.Fatal("LevelsForRatio")
+	}
+}
+
+func TestBundleViaFacade(t *testing.T) {
+	b, err := tango.DecomposeBundle([]tango.Var{
+		{Name: "dpot", Data: tango.XGCApp().Generate(65, 1)},
+		{Name: "density", Data: tango.XGCApp().Generate(65, 2)},
+	}, tango.RefactorOptions{Levels: 3, Bounds: []float64{0.1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 2 {
+		t.Fatalf("len = %d", b.Len())
+	}
+	recs, err := b.RecomposeAll(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("recs = %d", len(recs))
+	}
+	var buf bytes.Buffer
+	if err := b.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tango.DecodeBundle(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
