@@ -1,0 +1,32 @@
+# Tango build/check targets. `make check` is what CI runs
+# (.github/workflows/ci.yml); scripts/check.sh is the same sequence for
+# environments without make.
+
+GO ?= go
+
+.PHONY: all build vet lint race test check clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# tangolint: the project's own static-analysis suite (internal/lint).
+# See docs/determinism.md for the rules and the //lint:ignore escape
+# hatch.
+lint:
+	$(GO) run ./cmd/tangolint ./...
+
+race:
+	$(GO) test -race ./...
+
+test:
+	$(GO) test ./...
+
+check: build vet lint race
+
+clean:
+	$(GO) clean ./...

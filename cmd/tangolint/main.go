@@ -1,0 +1,121 @@
+// Command tangolint runs the project's static-analysis suite (package
+// internal/lint) over the module source and reports findings as
+//
+//	file:line: [analyzer] message
+//
+// exiting non-zero when anything is found. See docs/determinism.md for
+// the rules and the //lint:ignore escape hatch.
+//
+// Usage:
+//
+//	tangolint [-analyzers a,b] [-list] [-v] [./... | dir ...]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"tango/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	fs := flag.NewFlagSet("tangolint", flag.ExitOnError)
+	analyzersFlag := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	verbose := fs.Bool("v", false, "print a summary even when clean")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: tangolint [-analyzers a,b] [-list] [-v] [./... | dir ...]\n\nanalyzers:\n")
+		for _, name := range lint.AnalyzerNames() {
+			fmt.Fprintf(fs.Output(), "  %-16s %s\n", name, lint.AnalyzerDoc(name))
+		}
+	}
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return 2
+	}
+	if *list {
+		for _, name := range lint.AnalyzerNames() {
+			fmt.Printf("%-16s %s\n", name, lint.AnalyzerDoc(name))
+		}
+		return 0
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tangolint:", err)
+		return 2
+	}
+
+	opts := lint.Options{Root: root}
+	if *analyzersFlag != "" {
+		opts.Analyzers = strings.Split(*analyzersFlag, ",")
+	}
+	for _, arg := range fs.Args() {
+		if arg == "./..." || arg == "..." || arg == "." {
+			opts.Dirs = nil // whole module
+			break
+		}
+		dir := strings.TrimSuffix(arg, "/...")
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tangolint:", err)
+			return 2
+		}
+		rel, err := filepath.Rel(root, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			fmt.Fprintf(os.Stderr, "tangolint: %s is outside module root %s\n", arg, root)
+			return 2
+		}
+		if fi, err := os.Stat(abs); err != nil || !fi.IsDir() {
+			fmt.Fprintf(os.Stderr, "tangolint: no such directory: %s\n", arg)
+			return 2
+		}
+		opts.Dirs = append(opts.Dirs, rel)
+	}
+
+	findings, err := lint.Run(opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tangolint:", err)
+		return 2
+	}
+	for _, f := range findings {
+		rel, err := filepath.Rel(root, f.Pos.Filename)
+		if err != nil {
+			rel = f.Pos.Filename
+		}
+		fmt.Printf("%s:%d: [%s] %s\n", rel, f.Pos.Line, f.Analyzer, f.Message)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "tangolint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	if *verbose {
+		fmt.Println("tangolint: ok")
+	}
+	return 0
+}
+
+// moduleRoot walks up from the working directory to the enclosing
+// go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above the working directory")
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,95 @@
+package tango_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"tango"
+)
+
+// runSmallScenario executes one compact end-to-end run (decompose,
+// stage, interfere, retrieve under the cross-layer policy) and returns
+// every observable output serialized to bytes: the encoded hierarchy,
+// the per-step stats, and the summary.
+func runSmallScenario(t *testing.T) []byte {
+	t.Helper()
+	app := tango.XGCApp()
+	field := app.Generate(65, 3)
+
+	h, err := tango.DecomposeTensor(field, tango.RefactorOptions{
+		Levels: 3,
+		Bounds: []float64{0.1, 0.01},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := h.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	node := tango.NewNode("node0")
+	node.MustAddDevice(tango.SSD("ssd"))
+	hdd := node.MustAddDevice(tango.HDD("hdd"))
+	tango.LaunchTableIVNoise(node, hdd, 3)
+
+	store, err := tango.StageScaled(h, node.Tiers(), 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := tango.NewSession("analytics", store, tango.SessionConfig{
+		Policy:       tango.CrossLayer,
+		ErrorControl: true,
+		Bound:        0.01,
+		Priority:     tango.PriorityHigh,
+		Steps:        8,
+		Window:       5,
+		RefitEvery:   5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Launch(node); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Engine().Run(8*60 + 600); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(&buf, "summary=%+v\n", sess.Summary(2))
+	for _, st := range sess.Stats() {
+		fmt.Fprintf(&buf, "step=%+v\n", st)
+	}
+	return buf.Bytes()
+}
+
+// TestSameSeedByteMatch is the determinism regression test: two
+// independent runs of the same configuration must produce byte-identical
+// outputs. This is the contract docs/determinism.md describes and the
+// simdeterminism analyzer enforces statically — if it ever fails, a
+// wall-clock, global-rand, or map-order dependence has crept in.
+func TestSameSeedByteMatch(t *testing.T) {
+	a := runSmallScenario(t)
+	b := runSmallScenario(t)
+	if !bytes.Equal(a, b) {
+		for i := range a {
+			if i >= len(b) || a[i] != b[i] {
+				t.Fatalf("same-seed runs diverge at output byte %d of %d/%d", i, len(a), len(b))
+			}
+		}
+		t.Fatalf("same-seed runs produced %d and %d bytes", len(a), len(b))
+	}
+}
+
+// TestSyntheticFieldsByteMatch pins generator-level determinism: the
+// synthetic app fields behind every experiment must be bit-identical
+// across calls with the same seed.
+func TestSyntheticFieldsByteMatch(t *testing.T) {
+	for _, app := range tango.Apps() {
+		a := app.Generate(65, 11)
+		b := app.Generate(65, 11)
+		if a.AbsDiffMax(b) != 0 {
+			t.Fatalf("%s: same-seed fields differ", app.Name)
+		}
+	}
+}

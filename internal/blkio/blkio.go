@@ -42,17 +42,17 @@ func ClampWeight(w int) int {
 // proportional shares are recomputed immediately (runtime adjustment).
 type Cgroup struct {
 	mu   sync.Mutex
-	name string
+	name string // immutable after construction
 
-	weight   int
-	readBps  float64 // 0 = unlimited
-	writeBps float64 // 0 = unlimited
+	weight   int     // guarded by mu
+	readBps  float64 // guarded by mu (0 = unlimited)
+	writeBps float64 // guarded by mu (0 = unlimited)
 
-	subs []func()
+	subs []func() // guarded by mu; snapshot before invoking outside the lock
 
 	// accounting
-	bytesRead    float64
-	bytesWritten float64
+	bytesRead    float64 // guarded by mu
+	bytesWritten float64 // guarded by mu
 }
 
 // NewCgroup creates a cgroup with the default weight and no throttles.
@@ -163,7 +163,7 @@ func (c *Cgroup) BytesWritten() float64 {
 // cgroup hierarchy root.
 type Controller struct {
 	mu     sync.Mutex
-	groups map[string]*Cgroup
+	groups map[string]*Cgroup // guarded by mu
 }
 
 // NewController returns an empty cgroup registry.

@@ -95,12 +95,12 @@ func WriteRawFloat64s(path string, data []float64) error {
 	for _, v := range data {
 		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
 		if _, err := bw.Write(b[:]); err != nil {
-			f.Close()
+			_ = f.Close() // best-effort cleanup; the write error wins
 			return err
 		}
 	}
 	if err := bw.Flush(); err != nil {
-		f.Close()
+		_ = f.Close() // best-effort cleanup; the flush error wins
 		return err
 	}
 	return f.Close()

@@ -26,8 +26,8 @@ import (
 // intended deployment).
 type Allocator struct {
 	mu      sync.Mutex
-	names   []string // insertion order: keeps rebalancing deterministic
-	entries map[string]*entry
+	names   []string          // guarded by mu (insertion order: keeps rebalancing deterministic)
+	entries map[string]*entry // guarded by mu
 }
 
 type entry struct {

@@ -192,8 +192,8 @@ type hierKey struct {
 
 var (
 	hierMu    sync.Mutex
-	hierCache = map[hierKey]*refactor.Hierarchy{}
-	origCache = map[hierKey]*tensor.Tensor{}
+	hierCache = map[hierKey]*refactor.Hierarchy{} // guarded by hierMu
+	origCache = map[hierKey]*tensor.Tensor{}      // guarded by hierMu
 )
 
 // appField returns the app's (memoized) synthetic field.

@@ -1,0 +1,577 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// runLockSafety enforces three rules:
+//
+//  1. no lock-bearing value is copied (value receivers/params/results,
+//     dereference copies, range-value copies);
+//  2. every sync.Mutex/RWMutex Lock has a deferred or path-covering
+//     Unlock — no return while a lock is held;
+//  3. struct fields annotated `// guarded by <mu>` are only touched
+//     while <mu> is held (methods named *Locked are assumed to be
+//     called with the lock held, the project's convention).
+func runLockSafety(p *Package, _ *config, report reportFunc) {
+	guards := collectGuards(p)
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkLockCopies(p, fd, report)
+			if fd.Body == nil {
+				continue
+			}
+			sc := &lockScanner{
+				p:           p,
+				report:      report,
+				guards:      guards,
+				checkGuards: !strings.HasSuffix(fd.Name.Name, "Locked"),
+				leaks:       map[token.Pos]string{},
+			}
+			st := newLockState()
+			terminated := sc.scanStmts(fd.Body.List, st)
+			if !terminated {
+				sc.checkExit(st, fd.Body.Rbrace)
+			}
+			sc.flush()
+		}
+	}
+}
+
+// --- rule 1: copied locks ---
+
+func checkLockCopies(p *Package, fd *ast.FuncDecl, report reportFunc) {
+	checkFieldList := func(fl *ast.FieldList, kind string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := p.Info.TypeOf(field.Type)
+			if t == nil || !typeContainsLock(t, nil) {
+				continue
+			}
+			report(field.Pos(), "%s of %s copies a lock; use a pointer", kind, fd.Name.Name)
+		}
+	}
+	checkFieldList(fd.Recv, "value receiver")
+	if fd.Type.Params != nil {
+		checkFieldList(fd.Type.Params, "value parameter")
+	}
+	if fd.Type.Results != nil {
+		checkFieldList(fd.Type.Results, "result")
+	}
+	if fd.Body == nil {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range s.Rhs {
+				// Assigning to the blank identifier is a visible
+				// discard, not a copy anyone can misuse.
+				if i < len(s.Lhs) {
+					if id, ok := s.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+						continue
+					}
+				}
+				switch rhs.(type) {
+				case *ast.StarExpr, *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr:
+					t := p.Info.TypeOf(rhs)
+					if t != nil && typeContainsLock(t, nil) {
+						report(rhs.Pos(), "assignment copies lock-bearing value %s; use a pointer", exprText(rhs))
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if s.Value != nil {
+				t := p.Info.TypeOf(s.Value)
+				if t != nil && typeContainsLock(t, nil) {
+					report(s.Value.Pos(), "range value copies lock-bearing element; range over indices or pointers")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// typeContainsLock reports whether t (held by value) embeds sync
+// primitive state that must not be copied.
+func typeContainsLock(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "sync" {
+			switch obj.Name() {
+			case "Mutex", "RWMutex", "WaitGroup", "Once", "Cond", "Pool", "Map":
+				return true
+			}
+		}
+		return typeContainsLock(named.Underlying(), seen)
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if typeContainsLock(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return typeContainsLock(u.Elem(), seen)
+	}
+	return false
+}
+
+// --- guarded-by annotations ---
+
+// collectGuards maps annotated field objects to the name of the mutex
+// field that guards them. Annotation syntax (field doc or trailing
+// comment): `// guarded by mu`.
+func collectGuards(p *Package) map[types.Object]string {
+	guards := map[types.Object]string{}
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				switch sp := spec.(type) {
+				case *ast.TypeSpec:
+					st, ok := sp.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					for _, field := range st.Fields.List {
+						mu := guardName(field.Doc)
+						if mu == "" {
+							mu = guardName(field.Comment)
+						}
+						if mu == "" {
+							continue
+						}
+						for _, name := range field.Names {
+							if obj := p.Info.Defs[name]; obj != nil {
+								guards[obj] = mu
+							}
+						}
+					}
+				case *ast.ValueSpec:
+					// Package-level vars: `// guarded by <mu>` on the spec.
+					mu := guardName(sp.Doc)
+					if mu == "" {
+						mu = guardName(sp.Comment)
+					}
+					if mu == "" {
+						continue
+					}
+					for _, name := range sp.Names {
+						if obj := p.Info.Defs[name]; obj != nil {
+							guards[obj] = mu
+						}
+					}
+				}
+			}
+		}
+	}
+	return guards
+}
+
+func guardName(cg *ast.CommentGroup) string {
+	if cg == nil {
+		return ""
+	}
+	for _, c := range cg.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if rest, ok := strings.CutPrefix(text, "guarded by "); ok {
+			// The mutex name ends at the first non-identifier character,
+			// so prose may follow: `// guarded by mu; snapshot first`.
+			name := strings.Fields(rest)[0]
+			end := len(name)
+			for i, r := range name {
+				if !(r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9') {
+					end = i
+					break
+				}
+			}
+			return name[:end]
+		}
+	}
+	return ""
+}
+
+// --- rules 2 and 3: the lock-state scanner ---
+
+// lockState is the set of mutexes that MUST be held at a program point
+// (branch merges intersect, so it never over-claims).
+type lockState struct {
+	held     map[string]token.Pos // lock key -> Lock() call position
+	deferred map[string]bool      // keys with a pending deferred unlock
+}
+
+func newLockState() *lockState {
+	return &lockState{held: map[string]token.Pos{}, deferred: map[string]bool{}}
+}
+
+func (s *lockState) clone() *lockState {
+	c := newLockState()
+	for k, v := range s.held {
+		c.held[k] = v
+	}
+	for k := range s.deferred {
+		c.deferred[k] = true
+	}
+	return c
+}
+
+// intersect keeps only keys held in both states.
+func (s *lockState) intersect(o *lockState) {
+	for k := range s.held {
+		if _, ok := o.held[k]; !ok {
+			delete(s.held, k)
+		}
+	}
+	for k := range o.deferred {
+		s.deferred[k] = true
+	}
+}
+
+type lockScanner struct {
+	p           *Package
+	report      reportFunc
+	guards      map[types.Object]string
+	checkGuards bool
+	leaks       map[token.Pos]string // Lock() pos -> message (deduped)
+}
+
+func (sc *lockScanner) flush() {
+	for pos, msg := range sc.leaks {
+		sc.report(pos, "%s", msg)
+	}
+}
+
+// lockOp classifies a call as a sync lock operation on a receiver key.
+// The key encodes the receiver expression and read/write mode.
+func (sc *lockScanner) lockOp(call *ast.CallExpr) (key, op string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	fn, isFn := sc.p.Info.Uses[sel.Sel].(*types.Func)
+	if !isFn {
+		return "", "", false
+	}
+	full := fn.FullName()
+	if !strings.HasPrefix(full, "(*sync.Mutex).") && !strings.HasPrefix(full, "(*sync.RWMutex).") {
+		return "", "", false
+	}
+	name := sel.Sel.Name
+	key = exprText(sel.X)
+	if name == "RLock" || name == "RUnlock" {
+		key += ":r"
+	}
+	switch name {
+	case "Lock", "RLock":
+		return key, "lock", true
+	case "Unlock", "RUnlock":
+		return key, "unlock", true
+	}
+	return "", "", false
+}
+
+// scanStmts walks a statement list updating st; reports guard misuse and
+// records Lock() leaks. Returns true if every path through the list
+// terminates (return/panic).
+func (sc *lockScanner) scanStmts(stmts []ast.Stmt, st *lockState) bool {
+	for _, stmt := range stmts {
+		if sc.scanStmt(stmt, st) {
+			return true
+		}
+	}
+	return false
+}
+
+func (sc *lockScanner) scanStmt(stmt ast.Stmt, st *lockState) bool {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			if key, op, ok := sc.lockOp(call); ok {
+				if op == "lock" {
+					st.held[key] = call.Pos()
+				} else {
+					delete(st.held, key)
+					delete(st.deferred, key)
+				}
+				return false
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				sc.visitExprs(s, st)
+				return true
+			}
+		}
+		sc.visitExprs(s, st)
+	case *ast.DeferStmt:
+		if key, op, ok := sc.lockOp(s.Call); ok && op == "unlock" {
+			st.deferred[key] = true
+			return false
+		}
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			// A deferred closure that unlocks counts as a deferred
+			// unlock for each mutex it releases.
+			ast.Inspect(fl.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if key, op, ok := sc.lockOp(call); ok && op == "unlock" {
+						st.deferred[key] = true
+					}
+				}
+				return true
+			})
+			return false
+		}
+		sc.visitExprs(s, st)
+	case *ast.ReturnStmt:
+		sc.visitExprs(s, st)
+		sc.checkExit(st, s.Pos())
+		return true
+	case *ast.BranchStmt:
+		// break/continue/goto: treat as terminating this path for merge
+		// purposes; loop-level flow is out of scope for the scanner.
+		return true
+	case *ast.BlockStmt:
+		return sc.scanStmts(s.List, st)
+	case *ast.LabeledStmt:
+		return sc.scanStmt(s.Stmt, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			sc.scanStmt(s.Init, st)
+		}
+		sc.visitExprs(s.Cond, st)
+		bodySt := st.clone()
+		bodyTerm := sc.scanStmts(s.Body.List, bodySt)
+		elseSt := st.clone()
+		elseTerm := false
+		if s.Else != nil {
+			elseTerm = sc.scanStmt(s.Else, elseSt)
+		}
+		switch {
+		case bodyTerm && elseTerm:
+			return true
+		case bodyTerm:
+			*st = *elseSt
+		case elseTerm:
+			*st = *bodySt
+		default:
+			bodySt.intersect(elseSt)
+			*st = *bodySt
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			sc.scanStmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			sc.visitExprs(s.Cond, st)
+		}
+		body := st.clone()
+		sc.scanStmts(s.Body.List, body)
+		if s.Post != nil {
+			sc.scanStmt(s.Post, body)
+		}
+	case *ast.RangeStmt:
+		sc.visitExprs(s.X, st)
+		body := st.clone()
+		sc.scanStmts(s.Body.List, body)
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return sc.scanBranches(s, st)
+	case *ast.GoStmt:
+		if fl, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			// Goroutines do not inherit the caller's locks.
+			fresh := newLockState()
+			if !sc.scanStmts(fl.Body.List, fresh) {
+				sc.checkExit(fresh, fl.Body.Rbrace)
+			}
+			for _, arg := range s.Call.Args {
+				sc.visitExprs(arg, st)
+			}
+			return false
+		}
+		sc.visitExprs(s, st)
+	default:
+		sc.visitExprs(stmt, st)
+	}
+	return false
+}
+
+// scanBranches handles switch/type-switch/select: each clause runs on a
+// clone; fall-through state is the intersection of non-terminating
+// clauses (plus the unchanged state when a switch has no default).
+func (sc *lockScanner) scanBranches(stmt ast.Stmt, st *lockState) bool {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch s := stmt.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			sc.scanStmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			sc.visitExprs(s.Tag, st)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			sc.scanStmt(s.Init, st)
+		}
+		sc.visitExprs(s.Assign, st)
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+		hasDefault = true // select always executes exactly one clause
+	}
+	var live []*lockState
+	allTerm := true
+	for _, clause := range body.List {
+		var stmts []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			cs := st.clone()
+			if c.Comm != nil {
+				sc.scanStmt(c.Comm, cs)
+			}
+			if !sc.scanStmts(c.Body, cs) {
+				live = append(live, cs)
+				allTerm = false
+			}
+			continue
+		}
+		cs := st.clone()
+		if !sc.scanStmts(stmts, cs) {
+			live = append(live, cs)
+			allTerm = false
+		}
+	}
+	if !hasDefault {
+		live = append(live, st.clone())
+		allTerm = false
+	}
+	if allTerm && len(body.List) > 0 {
+		return true
+	}
+	if len(live) > 0 {
+		merged := live[0]
+		for _, o := range live[1:] {
+			merged.intersect(o)
+		}
+		*st = *merged
+	}
+	return false
+}
+
+// checkExit records a leak for every mutex still held (and not deferred)
+// at a return or at the end of the function body.
+func (sc *lockScanner) checkExit(st *lockState, _ token.Pos) {
+	for key, lockPos := range st.held {
+		if st.deferred[key] {
+			continue
+		}
+		sc.leaks[lockPos] = "lock " + strings.TrimSuffix(key, ":r") +
+			" is not released on every return path; add `defer " + unlockCallFor(key) + "` or unlock before returning"
+	}
+}
+
+func unlockCallFor(key string) string {
+	if recv, ok := strings.CutSuffix(key, ":r"); ok {
+		return recv + ".RUnlock()"
+	}
+	return key + ".Unlock()"
+}
+
+// visitExprs checks guarded-field accesses in any expression tree and
+// scans nested function literals.
+func (sc *lockScanner) visitExprs(n ast.Node, st *lockState) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch e := m.(type) {
+		case *ast.FuncLit:
+			// A closure invoked in place sees the caller's locks; its own
+			// extra locks must still balance by its end.
+			inner := st.clone()
+			if !sc.scanStmts(e.Body.List, inner) {
+				leaked := newLockState()
+				for k, pos := range inner.held {
+					if _, preHeld := st.held[k]; !preHeld {
+						leaked.held[k] = pos
+					}
+				}
+				leaked.deferred = inner.deferred
+				sc.checkExit(leaked, e.Body.Rbrace)
+			}
+			return false
+		case *ast.SelectorExpr:
+			sc.checkGuardedAccess(e, st)
+		case *ast.Ident:
+			sc.checkGuardedVar(e, st)
+		}
+		return true
+	})
+}
+
+// checkGuardedVar reports an annotated package-level variable touched
+// while its mutex is not held.
+func (sc *lockScanner) checkGuardedVar(id *ast.Ident, st *lockState) {
+	if !sc.checkGuards {
+		return
+	}
+	obj := sc.p.Info.ObjectOf(id)
+	v, isVar := obj.(*types.Var)
+	if !isVar || v.IsField() {
+		return
+	}
+	mu, guarded := sc.guards[obj]
+	if !guarded {
+		return
+	}
+	if _, w := st.held[mu]; w {
+		return
+	}
+	if _, r := st.held[mu+":r"]; r {
+		return
+	}
+	sc.report(id.Pos(), "variable %s is guarded by %s but accessed without holding it", id.Name, mu)
+}
+
+// checkGuardedAccess reports a guarded field touched while its mutex is
+// not (must-)held.
+func (sc *lockScanner) checkGuardedAccess(sel *ast.SelectorExpr, st *lockState) {
+	if !sc.checkGuards {
+		return
+	}
+	obj := sc.p.Info.ObjectOf(sel.Sel)
+	mu, guarded := sc.guards[obj]
+	if !guarded {
+		return
+	}
+	base := exprText(sel.X)
+	key := base + "." + mu
+	if _, w := st.held[key]; w {
+		return
+	}
+	if _, r := st.held[key+":r"]; r {
+		return
+	}
+	sc.report(sel.Pos(), "field %s.%s is guarded by %s.%s but accessed without holding it", base, sel.Sel.Name, base, mu)
+}

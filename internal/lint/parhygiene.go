@@ -1,0 +1,130 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// runParHygiene inspects `go func() { ... }` closures for the two
+// fan-out mistakes that break determinism or race:
+//
+//  1. capturing a loop-header variable instead of passing it as a
+//     parameter or rebinding it in the loop body (explicit per-iteration
+//     ownership is required even under Go 1.22 loopvar semantics — it is
+//     what makes the disjoint-write argument auditable);
+//  2. assigning to a variable declared outside the closure without any
+//     lock in the closure body (indexed writes to disjoint slots, the
+//     par.For idiom, remain allowed).
+func runParHygiene(p *Package, _ *config, report reportFunc) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGoClosures(p, fd.Body, report)
+		}
+	}
+}
+
+func checkGoClosures(p *Package, body *ast.BlockStmt, report reportFunc) {
+	// First index every loop-header variable object in the function to
+	// the loop statement that declares it.
+	loopVars := map[types.Object]ast.Node{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.RangeStmt:
+			for _, e := range []ast.Expr{s.Key, s.Value} {
+				if id, ok := e.(*ast.Ident); ok {
+					if obj := p.Info.Defs[id]; obj != nil {
+						loopVars[obj] = s
+					}
+				}
+			}
+		case *ast.ForStmt:
+			if init, ok := s.Init.(*ast.AssignStmt); ok {
+				for _, lhs := range init.Lhs {
+					if id, ok := lhs.(*ast.Ident); ok {
+						if obj := p.Info.Defs[id]; obj != nil {
+							loopVars[obj] = s
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		fl, ok := gs.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		checkGoClosure(p, gs, fl, loopVars, report)
+		return true
+	})
+}
+
+func checkGoClosure(p *Package, gs *ast.GoStmt, fl *ast.FuncLit, loopVars map[types.Object]ast.Node, report reportFunc) {
+	// Does the closure take a lock? If so, shared writes inside are
+	// presumed synchronized and only loop-capture is checked.
+	locksInside := false
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if sel.Sel.Name == "Lock" || sel.Sel.Name == "RLock" {
+					locksInside = true
+				}
+			}
+		}
+		return !locksInside
+	})
+
+	reportedCapture := map[types.Object]bool{}
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.Ident:
+			obj := p.Info.Uses[e]
+			if obj == nil || reportedCapture[obj] {
+				return true
+			}
+			loop, isLoopVar := loopVars[obj]
+			// Only loops that *enclose* the go statement matter: a loop
+			// inside the closure owns its own variables.
+			if isLoopVar && nodeContains(loop, gs.Pos()) && !nodeContains(fl, obj.Pos()) {
+				reportedCapture[obj] = true
+				report(e.Pos(), "goroutine closure captures loop variable %s; pass it as a parameter or rebind it (`%s := %s`) inside the loop body", e.Name, e.Name, e.Name)
+			}
+		case *ast.AssignStmt:
+			if locksInside {
+				return true
+			}
+			for _, lhs := range e.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				obj := p.Info.Uses[id] // plain assignment to an existing var
+				if obj == nil || nodeContains(fl, obj.Pos()) {
+					continue
+				}
+				report(id.Pos(), "goroutine closure assigns to shared variable %s without synchronization; write to a disjoint index/slot or guard it with a mutex", id.Name)
+			}
+		case *ast.IncDecStmt:
+			if locksInside {
+				return true
+			}
+			if id, ok := e.X.(*ast.Ident); ok {
+				obj := p.Info.Uses[id]
+				if obj != nil && !nodeContains(fl, obj.Pos()) {
+					report(id.Pos(), "goroutine closure mutates shared variable %s without synchronization; write to a disjoint index/slot or guard it with a mutex", id.Name)
+				}
+			}
+		}
+		return true
+	})
+}

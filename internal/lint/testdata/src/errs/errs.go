@@ -1,0 +1,37 @@
+// Package errs is a tangolint fixture: seeded violations of the
+// errdiscard analyzer (silently dropped error returns in internal
+// packages).
+package errs
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return nil }
+
+func twoResults() (int, error) { return 0, nil }
+
+func badDiscards(f *os.File) {
+	mayFail()    // want errdiscard "mayFail is silently discarded"
+	twoResults() // want errdiscard "twoResults is silently discarded"
+	f.Close()    // want errdiscard "Close is silently discarded"
+}
+
+// --- forms that must stay silent ---
+
+func goodHandling(f *os.File) error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	_ = mayFail()   // explicit discard is a visible decision
+	defer f.Close() // defers are conventional cleanup
+
+	fmt.Println("terminal printing is excluded")
+
+	var sb strings.Builder
+	sb.WriteString("strings.Builder never fails")
+	_, err := fmt.Sscan("1", new(int))
+	return err
+}

@@ -1,0 +1,91 @@
+// Package locks is a tangolint fixture: seeded violations of the
+// locksafety analyzer (copied mutexes, unbalanced Lock/Unlock, and
+// `// guarded by <mu>` fields touched outside the critical section).
+package locks
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// A value receiver copies the mutex with the struct.
+func (c counter) badValueReceiver() int { // want locksafety "value receiver"
+	return 0
+}
+
+// A value parameter does too.
+func badParam(c counter) { // want locksafety "value parameter"
+	_ = c
+}
+
+// Dereferencing copies the lock out of the shared value.
+func badDeref(c *counter) {
+	v := *c // want locksafety "assignment copies lock-bearing value"
+	_ = v
+}
+
+// Early return with the lock still held.
+func badEarlyReturn(c *counter, cond bool) int {
+	c.mu.Lock() // want locksafety "not released on every return path"
+	if cond {
+		return 1
+	}
+	c.mu.Unlock()
+	return 0
+}
+
+// Lock never released at all.
+func badLeak(c *counter) {
+	c.mu.Lock() // want locksafety "not released on every return path"
+	c.n++
+}
+
+// Guarded field read outside any critical section.
+func badUnguardedRead(c *counter) int {
+	return c.n // want locksafety "guarded by c.mu but accessed without holding it"
+}
+
+// Guarded field write outside any critical section.
+func badUnguardedWrite(c *counter) {
+	c.n = 42 // want locksafety "guarded by c.mu but accessed without holding it"
+}
+
+// Package-level variables can be annotated too.
+var (
+	tableMu sync.Mutex
+	table   = map[string]int{} // guarded by tableMu
+)
+
+func badVarAccess() int {
+	return len(table) // want locksafety "guarded by tableMu but accessed without holding it"
+}
+
+// --- correct forms, which must stay silent ---
+
+func goodDefer(c *counter) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+func goodPaired(c *counter, cond bool) int {
+	c.mu.Lock()
+	if cond {
+		c.mu.Unlock()
+		return 1
+	}
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+// The *Locked suffix convention: callers hold the lock.
+func bumpLocked(c *counter) { c.n++ }
+
+func goodVarAccess() int {
+	tableMu.Lock()
+	defer tableMu.Unlock()
+	return len(table)
+}

@@ -1,0 +1,108 @@
+// Package parfix is a tangolint fixture: seeded violations of the
+// parhygiene analyzer (goroutine closures capturing loop variables or
+// writing shared state without synchronization).
+package parfix
+
+import "sync"
+
+func badLoopCaptureRange(items []int, sink func(int)) {
+	var wg sync.WaitGroup
+	for i := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sink(items[i]) // want parhygiene "captures loop variable i"
+		}()
+	}
+	wg.Wait()
+}
+
+func badLoopCaptureFor(n int, out []int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out[i] = i * i // want parhygiene "captures loop variable i"
+		}()
+	}
+	wg.Wait()
+}
+
+func badSharedWrite(n int) int {
+	total := 0
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			total += i // want parhygiene "assigns to shared variable total"
+		}()
+	}
+	wg.Wait()
+	return total
+}
+
+func badSharedIncrement(n int) int {
+	count := 0
+	var wg sync.WaitGroup
+	for j := 0; j < n; j++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			count++ // want parhygiene "mutates shared variable count"
+		}()
+	}
+	wg.Wait()
+	return count
+}
+
+// --- correct forms, which must stay silent ---
+
+// Passing the loop variable as a parameter gives the goroutine its own
+// copy (the par.For idiom).
+func goodParamPassing(items, res []int) {
+	var wg sync.WaitGroup
+	for i := range items {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res[i] = items[i] * 2
+		}(i)
+	}
+	wg.Wait()
+}
+
+// Rebinding in the loop body also gives per-iteration ownership.
+func goodRebind(items, res []int) {
+	var wg sync.WaitGroup
+	for i := range items {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res[i] = items[i] * 2
+		}()
+	}
+	wg.Wait()
+}
+
+// Shared writes under a mutex are synchronized.
+func goodMutex(n int) int {
+	var mu sync.Mutex
+	total := 0
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			total += i
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return total
+}

@@ -1,0 +1,75 @@
+// Package simdet is a tangolint fixture: seeded violations of the
+// simdeterminism analyzer. Every `// want <analyzer> "substr"` comment
+// is asserted by lint_test.go, in both directions: each want must be
+// reported, and each report must be wanted.
+package simdet
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Wall-clock reads are forbidden in sim-driven packages: the engine has
+// a virtual clock, and real time makes runs unreproducible.
+func wallClock() float64 {
+	t0 := time.Now()                  // want simdeterminism "wall-clock call time.Now"
+	time.Sleep(10 * time.Millisecond) // want simdeterminism "wall-clock call time.Sleep"
+	return time.Since(t0).Seconds()   // want simdeterminism "wall-clock call time.Since"
+}
+
+// Global math/rand functions draw from shared process-wide state.
+func globalRand() int {
+	x := rand.Intn(10)        // want simdeterminism "global math/rand call rand.Intn"
+	if rand.Float64() > 0.5 { // want simdeterminism "global math/rand call rand.Float64"
+		x++
+	}
+	return x
+}
+
+// Explicit, seeded generators are the allowed form.
+func seededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// Map iteration order must not flow into an appended result.
+func mapOrderLeak(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want simdeterminism "appends to keys in iteration order"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Nor into a channel the consumer will drain in arrival order.
+func mapOrderLeakChan(m map[string]int, out chan<- string) {
+	for k := range m {
+		out <- k // want simdeterminism "leaks iteration order"
+	}
+}
+
+// Sorting after the loop restores a canonical order: allowed.
+func mapOrderSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Order-insensitive folds over a map are allowed.
+func mapCount(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// The escape hatch: an explained ignore silences the finding.
+func suppressed() int64 {
+	//lint:ignore simdeterminism fixture demonstrates the escape hatch
+	return time.Now().UnixNano()
+}

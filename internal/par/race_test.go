@@ -1,0 +1,127 @@
+// Race-detector stress tests for the data-parallel helpers: run with
+// `go test -race` (the CI `race` target). They assert the two halves of
+// par's contract at once — no data races under heavy concurrent use,
+// and results identical to the serial path.
+package par
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func kernel(i int) float64 { return math.Sqrt(float64(i)) * math.Sin(float64(i)/97) }
+
+// TestForConcurrentCallersMatchSerial runs many For invocations from
+// concurrent goroutines, each over a shared read-only input into its own
+// output, and compares every result bitwise against the serial fill.
+func TestForConcurrentCallersMatchSerial(t *testing.T) {
+	const n = Threshold * 4
+	serial := make([]float64, n)
+	for i := range serial {
+		serial[i] = kernel(i)
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out := make([]float64, n)
+			For(n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					out[i] = kernel(i)
+				}
+			})
+			for i := range out {
+				if out[i] != serial[i] {
+					t.Errorf("index %d: parallel %v != serial %v", i, out[i], serial[i])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestMapReduceIntExactVsSerial checks an integer reduction is exactly
+// the serial answer regardless of chunking.
+func TestMapReduceIntExactVsSerial(t *testing.T) {
+	const n = Threshold*3 + 17
+	want := 0
+	for i := 0; i < n; i++ {
+		want += i % 7
+	}
+	got := MapReduce(n, func(lo, hi int) int {
+		s := 0
+		for i := lo; i < hi; i++ {
+			s += i % 7
+		}
+		return s
+	}, func(a, b int) int { return a + b })
+	if got != want {
+		t.Fatalf("MapReduce = %d, want %d", got, want)
+	}
+}
+
+// TestMapReduceFloatBitIdentical checks the documented determinism
+// property: because partials fold in chunk order, two parallel runs of a
+// floating-point reduction are bit-identical.
+func TestMapReduceFloatBitIdentical(t *testing.T) {
+	const n = Threshold * 4
+	run := func() float64 {
+		return MapReduce(n, func(lo, hi int) float64 {
+			s := 0.0
+			for i := lo; i < hi; i++ {
+				s += kernel(i)
+			}
+			return s
+		}, func(a, b float64) float64 { return a + b })
+	}
+	var results [8]float64
+	var wg sync.WaitGroup
+	for g := range results {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			results[g] = run()
+		}()
+	}
+	wg.Wait()
+	for g := 1; g < len(results); g++ {
+		if math.Float64bits(results[g]) != math.Float64bits(results[0]) {
+			t.Fatalf("run %d = %x, run 0 = %x: float reduction not bit-stable", g, math.Float64bits(results[g]), math.Float64bits(results[0]))
+		}
+	}
+}
+
+// TestMapReduceMapMerge stresses map values: each chunk builds its own
+// histogram and the combiner merges in chunk order — the pattern par
+// callers must use instead of sharing one map across goroutines.
+func TestMapReduceMapMerge(t *testing.T) {
+	const n = Threshold * 2
+	serial := map[int]int{}
+	for i := 0; i < n; i++ {
+		serial[i%13]++
+	}
+	got := MapReduce(n, func(lo, hi int) map[int]int {
+		m := map[int]int{}
+		for i := lo; i < hi; i++ {
+			m[i%13]++
+		}
+		return m
+	}, func(a, b map[int]int) map[int]int {
+		for k, v := range b {
+			a[k] += v
+		}
+		return a
+	})
+	if len(got) != len(serial) {
+		t.Fatalf("bucket count %d, want %d", len(got), len(serial))
+	}
+	for k, v := range serial {
+		if got[k] != v {
+			t.Fatalf("bucket %d = %d, want %d", k, got[k], v)
+		}
+	}
+}

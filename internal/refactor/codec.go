@@ -73,11 +73,17 @@ func (h *Hierarchy) Encode(w io.Writer) error {
 	if _, err := bw.WriteString(fileMagic); err != nil {
 		return err
 	}
-	writeU := func(v uint64) { var b [binary.MaxVarintLen64]byte; n := binary.PutUvarint(b[:], v); bw.Write(b[:n]) }
+	// bufio.Writer errors are sticky: the final Flush reports the first
+	// failure, so per-write errors are explicitly discarded here.
+	writeU := func(v uint64) {
+		var b [binary.MaxVarintLen64]byte
+		n := binary.PutUvarint(b[:], v)
+		_, _ = bw.Write(b[:n])
+	}
 	writeF := func(v float64) {
 		var b [8]byte
 		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
-		bw.Write(b[:])
+		_, _ = bw.Write(b[:])
 	}
 
 	writeU(uint64(h.opts.Levels))

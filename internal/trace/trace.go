@@ -23,11 +23,11 @@ type Event struct {
 // construct with New.
 type Recorder struct {
 	mu     sync.Mutex
-	events []Event
-	next   int
-	filled bool
-	cap    int
-	subs   []func(Event)
+	events []Event       // guarded by mu
+	next   int           // guarded by mu
+	filled bool          // guarded by mu
+	cap    int           // immutable after construction
+	subs   []func(Event) // guarded by mu; snapshot before invoking outside the lock
 }
 
 // New creates a recorder retaining the most recent max events (max <= 0

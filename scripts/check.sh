@@ -1,0 +1,20 @@
+#!/bin/sh
+# Full verification sequence — the same steps as `make check` and CI
+# (.github/workflows/ci.yml), for environments without make.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo '>> go build ./...'
+go build ./...
+
+echo '>> go vet ./...'
+go vet ./...
+
+echo '>> tangolint ./...'
+go run ./cmd/tangolint ./...
+
+echo '>> go test -race ./...'
+go test -race ./...
+
+echo 'check: ok'

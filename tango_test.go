@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"tango"
+	"tango/internal/lint"
 )
 
 // TestPublicAPIWorkflow walks the documented end-to-end workflow through
@@ -126,6 +127,23 @@ func TestTableIVNoiseClamped(t *testing.T) {
 func TestLevelsForRatioFacade(t *testing.T) {
 	if tango.LevelsForRatio(16, 2, 2) != 3 {
 		t.Fatal("LevelsForRatio")
+	}
+}
+
+// TestTangolintSelfCheck runs the project's static analyzers (see
+// docs/determinism.md) over the repository's own source and requires
+// zero findings, so the determinism and lock-discipline invariants hold
+// on every `go test ./...` — not only when CI runs tangolint.
+func TestTangolintSelfCheck(t *testing.T) {
+	findings, err := lint.Run(lint.Options{Root: "."})
+	if err != nil {
+		t.Fatalf("tangolint: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Fatalf("tangolint found %d finding(s); fix them or add a reasoned //lint:ignore", len(findings))
 	}
 }
 
