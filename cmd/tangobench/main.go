@@ -28,6 +28,7 @@ func main() {
 		skip    = flag.Int("skip", 0, "warm-up steps excluded from summaries (default 30)")
 		dataset = flag.Float64("dataset", 0, "staged dataset size in MB per app (default 2048)")
 		format  = flag.String("format", "table", "output format: table|csv|json")
+		jsonOut = flag.Bool("json", false, "emit all results of the run as one JSON document")
 	)
 	flag.Parse()
 
@@ -40,9 +41,14 @@ func main() {
 
 	cfg := harness.Config{GridN: *gridN, Seed: *seed, Steps: *steps, SkipWarmup: *skip, DatasetMB: *dataset}
 
+	var collected []*harness.Result
 	run := func(e harness.Experiment) {
 		start := time.Now()
 		res := e.Run(cfg)
+		if *jsonOut {
+			collected = append(collected, res)
+			return
+		}
 		if err := res.Format(os.Stdout, *format); err != nil {
 			fmt.Fprintln(os.Stderr, "tangobench:", err)
 			os.Exit(2)
@@ -59,9 +65,15 @@ func main() {
 			os.Exit(2)
 		}
 		run(e)
-		return
+	} else {
+		for _, e := range harness.Experiments() {
+			run(e)
+		}
 	}
-	for _, e := range harness.Experiments() {
-		run(e)
+	if *jsonOut {
+		if err := harness.WriteSuiteJSON(os.Stdout, collected); err != nil {
+			fmt.Fprintln(os.Stderr, "tangobench:", err)
+			os.Exit(2)
+		}
 	}
 }

@@ -30,6 +30,7 @@ func main() {
 		dataset  = flag.Float64("dataset", 2048, "staged dataset size in MB")
 		verbose  = flag.Bool("v", false, "print every step (default: every 5th)")
 		traceOut = flag.Bool("trace", false, "dump the controller event trace after the run")
+		faults   = flag.String("faults", "", "fault plan spec (docs/faults.md), e.g. 'bw-collapse@900:dev=hdd,factor=0.2,dur=120; leave@2400:name=noise1', or 'auto' for a seed-generated plan")
 	)
 	flag.Parse()
 
@@ -72,7 +73,25 @@ func main() {
 	node := tango.NewNode("node0")
 	node.MustAddDevice(tango.SSD("ssd"))
 	hdd := node.MustAddDevice(tango.HDD("hdd"))
-	tango.LaunchTableIVNoise(node, hdd, *noise)
+	noiseHandles := tango.LaunchTableIVNoiseControlled(node, hdd, *noise)
+
+	var plan *tango.FaultPlan
+	if *faults == "auto" {
+		interferers := make([]string, 0, len(noiseHandles))
+		for i := 1; i <= *noise; i++ {
+			interferers = append(interferers, fmt.Sprintf("noise%d", i))
+		}
+		plan, err = tango.GenerateFaultPlan(*seed, tango.FaultGenerateOptions{
+			Horizon: float64(*steps) * 60, Device: "hdd",
+			Cgroup: app.Name, Interferers: interferers,
+		})
+	} else if *faults != "" {
+		plan, err = tango.ParseFaultPlan(*faults)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tangosim:", err)
+		os.Exit(2)
+	}
 
 	scale := *dataset * 1024 * 1024 / float64(h.BaseBytes()+h.TotalAugBytes())
 	if scale < 1 {
@@ -90,7 +109,7 @@ func main() {
 		Steps:    *steps,
 	}
 	var rec *tango.TraceRecorder
-	if *traceOut {
+	if *traceOut || plan != nil {
 		rec = tango.NewTraceRecorder(1 << 16)
 		cfg.Trace = rec
 	}
@@ -106,6 +125,16 @@ func main() {
 	if err := sess.Launch(node); err != nil {
 		fmt.Fprintln(os.Stderr, "tangosim:", err)
 		os.Exit(1)
+	}
+	var injector *tango.FaultInjector
+	if plan != nil {
+		injector = tango.NewFaultInjector(node, rec, plan)
+		injector.RegisterNoise(noiseHandles)
+		if err := injector.Arm(); err != nil {
+			fmt.Fprintln(os.Stderr, "tangosim:", err)
+			os.Exit(2)
+		}
+		fmt.Printf("fault plan armed: %s\n", plan)
 	}
 	fmt.Printf("running %d steps under %s with %d interferers...\n\n", *steps, pol, *noise)
 	if err := node.Engine().Run(float64(*steps)*60 + 3600); err != nil {
@@ -126,7 +155,16 @@ func main() {
 	sum := sess.Summary(30)
 	fmt.Printf("\nsummary (steps 30+): mean I/O %.3fs  std %.3fs  min %.3fs  max %.3fs  mean %.1f MB/step\n",
 		sum.MeanIO, sum.StdIO, sum.MinIO, sum.MaxIO, sum.MeanBytes/(1024*1024))
-	if rec != nil {
+	if injector != nil {
+		retries := 0
+		for _, st := range sess.Stats() {
+			retries += st.Retries
+		}
+		fmt.Printf("faults: %d injected, %d cleared, %d skipped; %d read retries; %d unpaired\n",
+			injector.Injected(), injector.Cleared(), injector.Skipped(),
+			retries, len(tango.UnpairedFaults(rec.Events())))
+	}
+	if *traceOut {
 		fmt.Printf("\ncontroller trace (%d events):\n", rec.Len())
 		if _, err := rec.WriteTo(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "tangosim:", err)

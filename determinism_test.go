@@ -81,6 +81,96 @@ func TestSameSeedByteMatch(t *testing.T) {
 	}
 }
 
+// runFaultedScenario is runSmallScenario under fire: the same compact
+// run with a fault plan covering every fault group (device degradation,
+// cgroup faults, workload churn) armed against it. It serializes the
+// stats, the full controller/fault trace, and the injector counters.
+func runFaultedScenario(t *testing.T) []byte {
+	t.Helper()
+	app := tango.XGCApp()
+	field := app.Generate(65, 3)
+
+	h, err := tango.DecomposeTensor(field, tango.RefactorOptions{
+		Levels: 3,
+		Bounds: []float64{0.1, 0.01},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	node := tango.NewNode("node0")
+	node.MustAddDevice(tango.SSD("ssd"))
+	hdd := node.MustAddDevice(tango.HDD("hdd"))
+	noises := tango.LaunchTableIVNoiseControlled(node, hdd, 3)
+
+	store, err := tango.StageScaled(h, node.Tiers(), 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := tango.NewTraceRecorder(1 << 14)
+	sess, err := tango.NewSession("analytics", store, tango.SessionConfig{
+		Policy:       tango.CrossLayer,
+		ErrorControl: true,
+		Bound:        0.01,
+		Priority:     tango.PriorityHigh,
+		Steps:        8,
+		Window:       5,
+		RefitEvery:   5,
+		Trace:        rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Launch(node); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := tango.ParseFaultPlan(
+		"latency@100:dev=hdd,add=0.05,dur=60; bw-collapse@150:dev=hdd,factor=0.3,dur=90; " +
+			"read-err@260:dev=hdd,dur=40; weight-fail@300:cg=analytics,dur=60; " +
+			"period@200:name=noise2,period=50; leave@350:name=noise1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := tango.NewFaultInjector(node, rec, plan)
+	in.RegisterNoise(noises)
+	if err := in.Arm(); err != nil {
+		t.Fatal(err)
+	}
+	if err := node.Engine().Run(8*60 + 600); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "summary=%+v\n", sess.Summary(2))
+	for _, st := range sess.Stats() {
+		fmt.Fprintf(&buf, "step=%+v\n", st)
+	}
+	fmt.Fprintf(&buf, "faults=%d/%d/%d unpaired=%d\n",
+		in.Injected(), in.Cleared(), in.Skipped(), len(tango.UnpairedFaults(rec.Events())))
+	if _, err := rec.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestFaultedSameSeedByteMatch extends the determinism contract to the
+// fault path: injection windows, staging retries/backoff, regime refits,
+// and weight re-application all run on the virtual clock, so two runs of
+// the same (seed, plan) must agree byte-for-byte — stats, trace, and
+// injector counters included.
+func TestFaultedSameSeedByteMatch(t *testing.T) {
+	a := runFaultedScenario(t)
+	b := runFaultedScenario(t)
+	if !bytes.Equal(a, b) {
+		for i := range a {
+			if i >= len(b) || a[i] != b[i] {
+				t.Fatalf("same-plan runs diverge at output byte %d of %d/%d", i, len(a), len(b))
+			}
+		}
+		t.Fatalf("same-plan runs produced %d and %d bytes", len(a), len(b))
+	}
+}
+
 // TestSyntheticFieldsByteMatch pins generator-level determinism: the
 // synthetic app fields behind every experiment must be bit-identical
 // across calls with the same seed.

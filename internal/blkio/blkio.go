@@ -13,6 +13,7 @@
 package blkio
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -44,9 +45,10 @@ type Cgroup struct {
 	mu   sync.Mutex
 	name string // immutable after construction
 
-	weight   int     // guarded by mu
-	readBps  float64 // guarded by mu (0 = unlimited)
-	writeBps float64 // guarded by mu (0 = unlimited)
+	weight     int     // guarded by mu
+	readBps    float64 // guarded by mu (0 = unlimited)
+	writeBps   float64 // guarded by mu (0 = unlimited)
+	weightFail bool    // guarded by mu; injected fault: weight writes error
 
 	subs []func() // guarded by mu; snapshot before invoking outside the lock
 
@@ -70,18 +72,54 @@ func (c *Cgroup) Weight() int {
 	return c.weight
 }
 
+// ErrWeightWrite is returned by TrySetWeight while a weight-write fault
+// is injected (the kernel rejecting the blkio.weight write: EIO on the
+// cgroupfs file, a crashed agent, a read-only remount).
+var ErrWeightWrite = errors.New("blkio: weight write failed")
+
 // SetWeight adjusts the proportional weight at runtime, clamping to
-// [MinWeight, MaxWeight], and notifies subscribers. This mirrors writing to
-// blkio.weight: it requires neither administrator access nor a container
-// restart (paper §III-C).
+// [MinWeight, MaxWeight], and notifies subscribers. This mirrors a
+// fire-and-forget write to blkio.weight: it requires neither
+// administrator access nor a container restart (paper §III-C), and —
+// like shell redirection into cgroupfs — it silently does nothing while
+// a weight-write fault is injected. Fault-tolerant callers use
+// TrySetWeight and re-apply.
 func (c *Cgroup) SetWeight(w int) {
+	_ = c.TrySetWeight(w)
+}
+
+// TrySetWeight is SetWeight on a fallible path: while a weight-write
+// fault is injected (SetWeightFailing) it returns ErrWeightWrite and
+// leaves the weight unchanged.
+func (c *Cgroup) TrySetWeight(w int) error {
 	c.mu.Lock()
+	if c.weightFail {
+		c.mu.Unlock()
+		return fmt.Errorf("cgroup %q: %w", c.name, ErrWeightWrite)
+	}
 	c.weight = ClampWeight(w)
 	subs := c.subs
 	c.mu.Unlock()
 	for _, fn := range subs {
 		fn()
 	}
+	return nil
+}
+
+// SetWeightFailing toggles the injected weight-write fault (see
+// internal/fault). While failing, TrySetWeight errors and SetWeight is a
+// silent no-op; reads and throttle writes are unaffected.
+func (c *Cgroup) SetWeightFailing(fail bool) {
+	c.mu.Lock()
+	c.weightFail = fail
+	c.mu.Unlock()
+}
+
+// WeightFailing reports whether weight writes are currently failing.
+func (c *Cgroup) WeightFailing() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.weightFail
 }
 
 // ReadBpsLimit returns the read throttle in bytes/sec (0 = unlimited).

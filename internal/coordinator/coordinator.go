@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"tango/internal/blkio"
+	"tango/internal/trace"
 )
 
 // Allocator coordinates the weights of registered sessions. It is safe
@@ -28,12 +29,15 @@ type Allocator struct {
 	mu      sync.Mutex
 	names   []string          // guarded by mu (insertion order: keeps rebalancing deterministic)
 	entries map[string]*entry // guarded by mu
+	rec     *trace.Recorder   // guarded by mu
+	now     func() float64    // guarded by mu
 }
 
 type entry struct {
 	cg      *blkio.Cgroup
 	desired int
 	active  bool
+	pending bool // last weight write failed; force a re-apply next time
 }
 
 // New returns an empty allocator.
@@ -53,7 +57,31 @@ func (a *Allocator) Attach(name string, cg *blkio.Cgroup) error {
 	return nil
 }
 
-// Detach removes a session (weight reverts to the default).
+// SetTrace routes the allocator's recovery events (tolerated and
+// re-applied weight writes) to rec, timestamped via now (typically the
+// node engine's Now). Either may be nil.
+func (a *Allocator) SetTrace(rec *trace.Recorder, now func() float64) {
+	a.mu.Lock()
+	a.rec = rec
+	a.now = now
+	a.mu.Unlock()
+}
+
+func (a *Allocator) emit(format string, args ...any) {
+	a.mu.Lock()
+	rec, now := a.rec, a.now
+	a.mu.Unlock()
+	t := 0.0
+	if now != nil {
+		t = now()
+	}
+	rec.Emit(t, "allocator", trace.KindRecover, format, args...)
+}
+
+// Detach removes a session: its weight reverts to the default and the
+// remaining active sessions rebalance (without this, the largest
+// departing desired weight would keep the survivors' grants scaled down
+// against interferers until their next Request).
 func (a *Allocator) Detach(name string) {
 	a.mu.Lock()
 	e, ok := a.entries[name]
@@ -64,9 +92,27 @@ func (a *Allocator) Detach(name string) {
 			break
 		}
 	}
+	grants := a.rebalanceLocked()
 	a.mu.Unlock()
 	if ok {
-		e.cg.SetWeight(blkio.DefaultWeight)
+		a.revert(name, e.cg)
+	}
+	a.apply(grants)
+}
+
+// revert returns a departing or released session's cgroup to the
+// default weight, tolerating injected weight-write faults: the failure
+// is recorded and, while the session stays attached, the next rebalance
+// re-applies.
+func (a *Allocator) revert(name string, cg *blkio.Cgroup) {
+	err := cg.TrySetWeight(blkio.DefaultWeight)
+	a.mu.Lock()
+	if e, ok := a.entries[name]; ok {
+		e.pending = err != nil
+	}
+	a.mu.Unlock()
+	if err != nil {
+		a.emit("weight revert failed for %s: tolerated, cgroup keeps w=%d", name, cg.Weight())
 	}
 }
 
@@ -103,7 +149,7 @@ func (a *Allocator) Release(name string) {
 	}
 	a.mu.Unlock()
 	if cg != nil {
-		cg.SetWeight(blkio.DefaultWeight)
+		a.revert(name, cg)
 	}
 	a.apply(grants)
 }
@@ -129,24 +175,41 @@ func (a *Allocator) rebalanceLocked() map[string]int {
 	return grants
 }
 
-// apply pushes grants to the cgroups outside the allocator lock (SetWeight
-// notifies device subscribers).
+// apply pushes grants to the cgroups outside the allocator lock (weight
+// writes notify device subscribers). Failed writes (injected weight
+// faults) are tolerated and recorded: the entry is marked pending so the
+// write is retried on every subsequent rebalance until it lands, at
+// which point the re-apply is recorded as the recovery.
 func (a *Allocator) apply(grants map[string]int) {
 	a.mu.Lock()
 	type target struct {
-		cg *blkio.Cgroup
-		w  int
+		name    string
+		cg      *blkio.Cgroup
+		w       int
+		pending bool
 	}
 	var targets []target
 	for _, name := range a.names {
 		if w, ok := grants[name]; ok {
-			targets = append(targets, target{a.entries[name].cg, w})
+			e := a.entries[name]
+			targets = append(targets, target{name, e.cg, w, e.pending})
 		}
 	}
 	a.mu.Unlock()
 	for _, t := range targets {
-		if t.cg.Weight() != t.w {
-			t.cg.SetWeight(t.w)
+		if t.cg.Weight() == t.w && !t.pending {
+			continue
+		}
+		err := t.cg.TrySetWeight(t.w)
+		a.mu.Lock()
+		if e, ok := a.entries[t.name]; ok {
+			e.pending = err != nil
+		}
+		a.mu.Unlock()
+		if err != nil {
+			a.emit("weight write failed for %s (w=%d): will re-apply", t.name, t.w)
+		} else if t.pending {
+			a.emit("weight write recovered for %s: re-applied w=%d", t.name, t.w)
 		}
 	}
 }

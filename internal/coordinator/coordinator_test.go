@@ -1,9 +1,11 @@
 package coordinator
 
 import (
+	"strings"
 	"testing"
 
 	"tango/internal/blkio"
+	"tango/internal/trace"
 )
 
 func TestAttachDetach(t *testing.T) {
@@ -109,5 +111,123 @@ func TestReleaseUnknownIsNoop(t *testing.T) {
 	a.Detach("ghost")
 	if a.Active() != 0 {
 		t.Fatal("phantom active session")
+	}
+}
+
+// TestDetachRebalancesRemaining covers a session detaching while others
+// are mid-retrieval: without the rebalance in Detach, the departed
+// session's large desired weight would keep the survivors' grants scaled
+// down until their next Request.
+func TestDetachRebalancesRemaining(t *testing.T) {
+	a := New()
+	big, small := blkio.NewCgroup("big"), blkio.NewCgroup("small")
+	if err := a.Attach("big", big); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Attach("small", small); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Request("big", 900); err != nil {
+		t.Fatal(err)
+	}
+	granted, err := a.Request("small", 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if granted >= blkio.MaxWeight/2 {
+		t.Fatalf("small granted %d while big active", granted)
+	}
+	a.Detach("big")
+	if big.Weight() != blkio.DefaultWeight {
+		t.Fatalf("detached weight = %d", big.Weight())
+	}
+	// The surviving retrieval's desired weight is now the largest: it
+	// must have been rescaled to the top of the range immediately.
+	if small.Weight() != blkio.MaxWeight {
+		t.Fatalf("survivor weight = %d, want %d", small.Weight(), blkio.MaxWeight)
+	}
+	if a.Active() != 1 {
+		t.Fatalf("active = %d", a.Active())
+	}
+}
+
+// TestDetachToleratesWeightFault: reverting the departing session's
+// weight can itself fail (injected weight-write fault); Detach must not
+// panic, must still rebalance survivors, and the stale weight is
+// tolerated.
+func TestDetachToleratesWeightFault(t *testing.T) {
+	a := New()
+	rec := trace.New(64)
+	a.SetTrace(rec, func() float64 { return 7 })
+	big, small := blkio.NewCgroup("big"), blkio.NewCgroup("small")
+	if err := a.Attach("big", big); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Attach("small", small); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Request("big", 900); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Request("small", 300); err != nil {
+		t.Fatal(err)
+	}
+	before := big.Weight()
+	big.SetWeightFailing(true)
+	a.Detach("big")
+	if big.Weight() != before {
+		t.Fatalf("faulted revert changed weight to %d", big.Weight())
+	}
+	if small.Weight() != blkio.MaxWeight {
+		t.Fatalf("survivor weight = %d", small.Weight())
+	}
+	if len(rec.Filter(trace.KindRecover)) == 0 {
+		t.Fatal("tolerated revert not recorded")
+	}
+}
+
+// TestApplyReappliesAfterWeightFault: a grant that could not be written
+// while the cgroup's weight writes were failing is re-applied by the
+// next rebalance after the fault clears, and both the toleration and the
+// recovery are recorded.
+func TestApplyReappliesAfterWeightFault(t *testing.T) {
+	a := New()
+	rec := trace.New(64)
+	a.SetTrace(rec, func() float64 { return 7 })
+	cg := blkio.NewCgroup("s1")
+	if err := a.Attach("s1", cg); err != nil {
+		t.Fatal(err)
+	}
+	cg.SetWeightFailing(true)
+	granted, err := a.Request("s1", 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if granted != blkio.MaxWeight {
+		t.Fatalf("granted = %d", granted)
+	}
+	if cg.Weight() == blkio.MaxWeight {
+		t.Fatal("faulted write landed")
+	}
+	if len(rec.Filter(trace.KindRecover)) == 0 {
+		t.Fatal("tolerated write not recorded")
+	}
+	cg.SetWeightFailing(false)
+	// Same desired weight: without the pending flag the rebalance would
+	// skip the unchanged grant and the cgroup would stay at the default.
+	if _, err := a.Request("s1", 300); err != nil {
+		t.Fatal(err)
+	}
+	if cg.Weight() != blkio.MaxWeight {
+		t.Fatalf("weight after fault cleared = %d, want %d", cg.Weight(), blkio.MaxWeight)
+	}
+	found := false
+	for _, ev := range rec.Filter(trace.KindRecover) {
+		if strings.Contains(ev.Msg, "re-applied") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("re-apply not recorded")
 	}
 }

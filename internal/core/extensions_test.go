@@ -42,16 +42,16 @@ func TestTraceRecordsControllerEvents(t *testing.T) {
 		c.Window = 4
 		c.Trace = rec
 	})
-	if got := len(rec.Filter("step")); got != 8 {
+	if got := len(rec.Filter(trace.KindStep)); got != 8 {
 		t.Fatalf("step events = %d, want 8", got)
 	}
-	if len(rec.Filter("weight")) == 0 {
+	if len(rec.Filter(trace.KindWeight)) == 0 {
 		t.Fatal("no weight events")
 	}
-	if len(rec.Filter("bucket")) == 0 {
+	if len(rec.Filter(trace.KindBucket)) == 0 {
 		t.Fatal("no bucket events")
 	}
-	if got := len(rec.Filter("refit")); got != 2 {
+	if got := len(rec.Filter(trace.KindRefit)); got != 2 {
 		t.Fatalf("refit events = %d, want 2", got)
 	}
 	_ = s

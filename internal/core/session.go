@@ -11,6 +11,7 @@ import (
 	"tango/internal/refactor"
 	"tango/internal/sim"
 	"tango/internal/staging"
+	"tango/internal/trace"
 	"tango/internal/weightfn"
 )
 
@@ -36,7 +37,9 @@ type StepStats struct {
 	SlowBW    float64 // measured capacity-tier bandwidth sample (B/s)
 	Predicted float64 // estimator prediction used (0 before the model is ready)
 	Degree    float64 // abplot degree applied (1 when not adapting)
-	Cursor    int     // augmentation entries retrieved
+	Cursor    int     // augmentation entries retrieved (achieved, not planned)
+	Retries   int     // read requests retried after transient errors
+	Degraded  bool    // optional augmentation shed after exhausting retries
 	Buckets   []BucketStat
 }
 
@@ -67,6 +70,9 @@ type Session struct {
 	stats   []StepStats
 	cont    *container.Container
 	stopped bool
+
+	regimeStreak  int  // consecutive mispredicted steps (regime detector)
+	weightPending bool // a weight write failed; re-apply on next success
 }
 
 // NewSession validates the configuration against the staged hierarchy and
@@ -327,6 +333,25 @@ func (s *Session) buckets(cursor int) []bucket {
 	return out
 }
 
+// applyWeight writes w to the container's cgroup, tolerating injected
+// weight-write faults: a failed write leaves the previous weight in
+// force (recorded as a recovery decision), and the first write that
+// lands after a failure is recorded as the re-apply. Returns the weight
+// actually in force.
+func (s *Session) applyWeight(c *container.Container, now float64, w int) int {
+	if err := c.Cgroup().TrySetWeight(w); err != nil {
+		s.weightPending = true
+		s.Config.Trace.Emit(now, s.Name, trace.KindRecover,
+			"weight write failed (w=%d): continuing at w=%d, will re-apply", w, c.Cgroup().Weight())
+		return c.Cgroup().Weight()
+	}
+	if s.weightPending {
+		s.weightPending = false
+		s.Config.Trace.Emit(now, s.Name, trace.KindRecover, "weight write recovered: re-applied w=%d", w)
+	}
+	return w
+}
+
 func (s *Session) runStep(c *container.Container, p *sim.Proc, step int) {
 	cfg := s.Config
 	start := p.Now()
@@ -336,29 +361,44 @@ func (s *Session) runStep(c *container.Container, p *sim.Proc, step int) {
 	st.Cursor, st.Predicted, st.Degree = cursor, predicted, degree
 
 	tier := &staging.TierStats{}
+	notify := func(kind, msg string) { cfg.Trace.Emit(p.Now(), s.Name, kind, "%s", msg) }
+	mandatory := s.mandatoryCursor()
 
 	// Line 1: retrieve the base representation from the fastest tier.
-	baseStats := s.store.ReadBase(p, c.Cgroup())
+	// The base is always mandatory, so its guarded read retries through
+	// transient faults rather than failing.
+	baseStats, baseOut := s.store.ReadBaseGuarded(p, c.Cgroup(), cfg.Retry, notify)
 	_, st.BaseTime = baseStats.Total()
+	st.Retries += baseOut.Retries
 	tier.Merge(baseStats)
 
 	// Lines 9–13: bucket-wise retrieval; CrossLayer additionally applies
 	// the weight function per bucket, StorageOnly applies a single
-	// size-proportional weight over the whole retrieval.
+	// size-proportional weight over the whole retrieval. The sequential
+	// path reads guarded: transient read errors retry with backoff, and
+	// augmentation beyond the prescribed bound degrades (is shed) once
+	// the retry budget is spent. Returns false when the step degraded —
+	// remaining buckets are above-bound augmentation and are skipped too.
 	slow := s.store.SlowestDevice()
-	readBucket := func(b bucket, weight int) {
+	readBucket := func(b bucket, weight int) bool {
 		bs := BucketStat{Bound: b.bound, From: b.from, To: b.to, Weight: weight, Start: p.Now()}
 		if weight > 0 {
-			cfg.Trace.Emit(p.Now(), s.Name, "weight", "w=%d bound=%g card=%d", weight, b.bound, b.to-b.from)
+			cfg.Trace.Emit(p.Now(), s.Name, trace.KindWeight, "w=%d bound=%g card=%d", weight, b.bound, b.to-b.from)
 		}
 		if cfg.ParallelTierReads {
 			tier.Merge(s.store.ReadRangeParallel(p, c.Cgroup(), b.from, b.to))
+			st.Cursor = b.to
 		} else {
-			tier.Merge(s.store.ReadRange(p, c.Cgroup(), b.from, b.to))
+			ts, out := s.store.ReadRangeGuarded(p, c.Cgroup(), b.from, b.to, mandatory, cfg.Retry, notify)
+			tier.Merge(ts)
+			st.Retries += out.Retries
+			st.Cursor = out.Cursor
+			st.Degraded = out.Degraded
 		}
 		bs.Elapsed = p.Now() - bs.Start
 		st.Buckets = append(st.Buckets, bs)
-		cfg.Trace.Emit(p.Now(), s.Name, "bucket", "bound=%g entries=[%d,%d) took=%.3fs", b.bound, b.from, b.to, bs.Elapsed)
+		cfg.Trace.Emit(p.Now(), s.Name, trace.KindBucket, "bound=%g entries=[%d,%d) took=%.3fs", b.bound, b.from, b.to, bs.Elapsed)
+		return !st.Degraded
 	}
 	// setWeight routes through the node-level allocator when configured
 	// (weight arbitration across concurrent sessions), directly to the
@@ -371,8 +411,7 @@ func (s *Session) runStep(c *container.Container, p *sim.Proc, step int) {
 			}
 			return granted
 		}
-		c.SetWeight(w)
-		return w
+		return s.applyWeight(c, p.Now(), w)
 	}
 	switch cfg.Policy {
 	case NoAdapt:
@@ -382,13 +421,17 @@ func (s *Session) runStep(c *container.Container, p *sim.Proc, step int) {
 		readBucket(bucket{0, cursor, math.NaN()}, w)
 	case AppOnly:
 		for _, b := range s.buckets(cursor) {
-			readBucket(b, 0)
+			if !readBucket(b, 0) {
+				break
+			}
 		}
 	case CrossLayer:
 		for _, b := range s.buckets(cursor) {
 			card := b.to - b.from
 			w := setWeight(s.wf.Weight(float64(card), b.bound, cfg.Priority))
-			readBucket(b, w)
+			if !readBucket(b, w) {
+				break
+			}
 		}
 	}
 	// Weight reverts to the default outside the retrieval window.
@@ -396,7 +439,7 @@ func (s *Session) runStep(c *container.Container, p *sim.Proc, step int) {
 		if cfg.Allocator != nil {
 			cfg.Allocator.Release(s.Name)
 		} else {
-			c.SetWeight(blkio.DefaultWeight)
+			s.applyWeight(c, p.Now(), blkio.DefaultWeight)
 		}
 	}
 
@@ -435,11 +478,35 @@ func (s *Session) runStep(c *container.Container, p *sim.Proc, step int) {
 		st.SlowBW = last
 		s.est.Observe(last)
 	}
+	refitted := false
 	if (step+1)%cfg.RefitEvery == 0 && s.est.Samples() >= 4 {
 		if err := s.est.Fit(); err != nil {
 			panic(err) // unreachable: sample count checked
 		}
-		cfg.Trace.Emit(p.Now(), s.Name, "refit", "samples=%d window=%d thresh=%.2f", s.est.Samples(), cfg.Window, cfg.ThreshFrac)
+		cfg.Trace.Emit(p.Now(), s.Name, trace.KindRefit, "samples=%d window=%d thresh=%.2f", s.est.Samples(), cfg.Window, cfg.ThreshFrac)
+		refitted = true
+		s.regimeStreak = 0
+	}
+	// Regime-change detection: a model fit against a vanished
+	// interference regime (a collapsed device, churned competitors)
+	// mispredicts persistently until the next periodic refit. When the
+	// relative error stays above RegimeTol for RegimeRun consecutive
+	// steps, refit now instead of waiting out RefitEvery.
+	if cfg.RegimeRun > 0 && !refitted && st.Predicted > 0 && st.SlowBW > 0 {
+		relErr := math.Abs(st.Predicted-st.SlowBW) / math.Max(st.Predicted, st.SlowBW)
+		if relErr > cfg.RegimeTol {
+			s.regimeStreak++
+		} else {
+			s.regimeStreak = 0
+		}
+		if s.regimeStreak >= cfg.RegimeRun && s.est.Samples() >= 4 {
+			if err := s.est.Fit(); err != nil {
+				panic(err) // unreachable: sample count checked
+			}
+			cfg.Trace.Emit(p.Now(), s.Name, trace.KindRefit,
+				"regime change: relerr=%.2f for %d steps, refit (samples=%d)", relErr, s.regimeStreak, s.est.Samples())
+			s.regimeStreak = 0
+		}
 	}
 
 	// IOTime is wall-clock retrieval time (base + buckets + probe). For
@@ -448,7 +515,7 @@ func (s *Session) runStep(c *container.Container, p *sim.Proc, step int) {
 	st.Bytes, _ = tier.Total()
 	st.IOTime = p.Now() - start
 	s.stats = append(s.stats, st)
-	cfg.Trace.Emit(p.Now(), s.Name, "step", "step=%d io=%.3fs bytes=%.0f cursor=%d pred=%.0f degree=%.2f",
+	cfg.Trace.Emit(p.Now(), s.Name, trace.KindStep, "step=%d io=%.3fs bytes=%.0f cursor=%d pred=%.0f degree=%.2f",
 		step, st.IOTime, st.Bytes, st.Cursor, st.Predicted, st.Degree)
 
 	// Compute/render phase: the remainder of the period.

@@ -23,12 +23,18 @@
 package device
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"tango/internal/blkio"
 	"tango/internal/sim"
 )
+
+// ErrRead is returned by TryRead while a transient read-error fault is
+// injected on the device (media error, controller reset — the request is
+// issued, pays its latency, and fails without transferring data).
+var ErrRead = errors.New("device: transient read error")
 
 // Scheduler selects how concurrent flows share the device.
 type Scheduler int
@@ -161,6 +167,13 @@ type Device struct {
 
 	subscribed map[*blkio.Cgroup]bool
 
+	// Injected degradation (see internal/fault): bwFactor scales the
+	// delivered bandwidth (1 = healthy, 0 = stuck device), extraLatency
+	// adds to the per-request cost, and readErr makes TryRead fail.
+	bwFactor     float64
+	extraLatency float64
+	readErr      bool
+
 	// accounting
 	totalBytes float64
 	busyUntil  float64
@@ -177,6 +190,7 @@ func New(eng *sim.Engine, p Params) *Device {
 	return &Device{
 		eng:        eng,
 		p:          p,
+		bwFactor:   1,
 		subscribed: make(map[*blkio.Cgroup]bool),
 	}
 }
@@ -213,10 +227,46 @@ func (d *Device) Efficiency(n int) float64 {
 }
 
 // EffectiveBandwidth returns the aggregate bandwidth the device delivers
-// with n concurrent flows.
+// with n concurrent flows, including any injected degradation.
 func (d *Device) EffectiveBandwidth(n int) float64 {
-	return d.p.PeakBandwidth * d.Efficiency(n)
+	return d.p.PeakBandwidth * d.bwFactor * d.Efficiency(n)
 }
+
+// SetFault injects a device-level degradation: bwFactor scales the
+// delivered bandwidth (0 = stuck device: all flows stall until the fault
+// clears), extraLatency adds seconds of per-request cost. In-flight flows
+// reshape immediately. Must be called from sim context.
+func (d *Device) SetFault(bwFactor, extraLatency float64) {
+	if bwFactor < 0 || bwFactor > 1 || math.IsNaN(bwFactor) {
+		panic(fmt.Sprintf("device %q: fault bwFactor %v out of [0,1]", d.p.Name, bwFactor))
+	}
+	if extraLatency < 0 || math.IsNaN(extraLatency) {
+		panic(fmt.Sprintf("device %q: negative fault latency %v", d.p.Name, extraLatency))
+	}
+	d.bwFactor = bwFactor
+	d.extraLatency = extraLatency
+	d.Touch()
+}
+
+// ClearFault restores healthy bandwidth and latency; stalled flows resume.
+// Must be called from sim context.
+func (d *Device) ClearFault() {
+	d.bwFactor = 1
+	d.extraLatency = 0
+	d.Touch()
+}
+
+// Faulted reports whether a degradation fault is currently injected.
+func (d *Device) Faulted() bool { return d.bwFactor != 1 || d.extraLatency != 0 }
+
+// SetReadError toggles transient read errors: while enabled, TryRead
+// pays the request latency and then fails without transferring. Read and
+// Write are unaffected (writes land in the page cache; the fault models a
+// read path returning EIO).
+func (d *Device) SetReadError(fail bool) { d.readErr = fail }
+
+// ReadErrorActive reports whether read errors are being injected.
+func (d *Device) ReadErrorActive() bool { return d.readErr }
 
 // Reserve accounts bytes of staged capacity on the device. It returns an
 // error if the device would exceed its capacity; staging planners use this
@@ -247,26 +297,40 @@ func (d *Device) Used() float64 { return d.used }
 
 // Read transfers `bytes` from the device under cgroup cg, blocking the
 // calling process until complete. It returns the elapsed virtual time.
+// Read never fails (injected read errors affect only TryRead; see
+// internal/fault).
 func (d *Device) Read(p *sim.Proc, cg *blkio.Cgroup, bytes float64) float64 {
-	return d.transfer(p, cg, bytes, false)
+	el, _ := d.transfer(p, cg, bytes, false, false)
+	return el
+}
+
+// TryRead is Read on a fallible path: while a read-error fault is
+// injected it pays the request latency and returns ErrRead without
+// transferring. Fault-aware read paths (staging retries) use this.
+func (d *Device) TryRead(p *sim.Proc, cg *blkio.Cgroup, bytes float64) (float64, error) {
+	return d.transfer(p, cg, bytes, false, true)
 }
 
 // Write transfers `bytes` to the device under cgroup cg, blocking the
 // calling process until complete. It returns the elapsed virtual time.
 func (d *Device) Write(p *sim.Proc, cg *blkio.Cgroup, bytes float64) float64 {
-	return d.transfer(p, cg, bytes, true)
+	el, _ := d.transfer(p, cg, bytes, true, false)
+	return el
 }
 
-func (d *Device) transfer(p *sim.Proc, cg *blkio.Cgroup, bytes float64, write bool) float64 {
+func (d *Device) transfer(p *sim.Proc, cg *blkio.Cgroup, bytes float64, write, fallible bool) (float64, error) {
 	if bytes < 0 || math.IsNaN(bytes) {
 		panic(fmt.Sprintf("device %q: invalid transfer size %v", d.p.Name, bytes))
 	}
 	start := d.eng.Now()
-	if d.p.RequestLatency > 0 {
-		p.Sleep(d.p.RequestLatency)
+	if lat := d.p.RequestLatency + d.extraLatency; lat > 0 {
+		p.Sleep(lat)
+	}
+	if fallible && d.readErr {
+		return d.eng.Now() - start, fmt.Errorf("device %q: %w", d.p.Name, ErrRead)
 	}
 	if bytes == 0 {
-		return d.eng.Now() - start
+		return d.eng.Now() - start, nil
 	}
 	if !d.subscribed[cg] {
 		d.subscribed[cg] = true
@@ -289,7 +353,7 @@ func (d *Device) transfer(p *sim.Proc, cg *blkio.Cgroup, bytes float64, write bo
 		p.Suspend()
 	}
 	cg.Account(bytes, write)
-	return d.eng.Now() - start
+	return d.eng.Now() - start, nil
 }
 
 // Touch forces a share recomputation at the current instant; cgroup
@@ -338,7 +402,7 @@ func (d *Device) reshape() {
 		// stream bandwidth, everyone else waits.
 		for i, f := range d.flows {
 			if i == 0 {
-				f.rate = d.p.PeakBandwidth
+				f.rate = d.p.PeakBandwidth * d.bwFactor
 			} else {
 				f.rate = 0
 			}

@@ -1,0 +1,246 @@
+// Package fault is a deterministic fault-injection subsystem for the
+// simulated storage stack. A Plan is a virtual-time schedule of
+// injectable events — device degradations (bandwidth collapse, latency
+// spikes, stuck devices, transient read errors), cgroup faults
+// (weight-write failures, throttle resets), and workload churn
+// (interferers joining, leaving, or changing period mid-run) — and an
+// Injector arms the plan against a node, recording every injection and
+// clearance through internal/trace.
+//
+// The paper's premise is that ephemeral-storage interference is dynamic:
+// competitors join, leave, and misbehave while the analytics runs. The
+// fault layer makes that concrete and repeatable — the same (seed, plan)
+// pair always produces byte-identical runs, so graceful degradation is a
+// regression-testable property rather than an assumption. Recovery lives
+// in the layers themselves: staging retries reads with virtual-time
+// backoff and degrades augmentation before violating an error bound,
+// core detects estimator regime changes and refits, and blkio/
+// coordinator re-apply failed weight writes (see docs/faults.md).
+package fault
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"tango/internal/workload"
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind int
+
+const (
+	// BWCollapse scales the target device's delivered bandwidth by
+	// Factor for Duration seconds (a competitor saturating the
+	// controller, thermal throttling, RAID rebuild).
+	BWCollapse Kind = iota
+	// LatencySpike adds Factor seconds of per-request latency on the
+	// target device for Duration seconds.
+	LatencySpike
+	// ReadError makes fallible reads (device.TryRead) on the target
+	// device fail for Duration seconds (transient media errors on the
+	// capacity tier).
+	ReadError
+	// Stuck stops all service on the target device for Duration seconds:
+	// in-flight flows stall and resume when the fault clears.
+	Stuck
+	// WeightFail makes blkio weight writes on the target cgroup fail for
+	// Duration seconds (cgroupfs rejecting the write).
+	WeightFail
+	// ThrottleReset clobbers the target cgroup's read throttle to Factor
+	// MB/s (0 = removes all throttles) for Duration seconds, then
+	// restores the previous limits.
+	ThrottleReset
+	// Join launches a new interfering container (Noise) at At.
+	Join
+	// Leave stops the named interferer after its in-flight checkpoint.
+	Leave
+	// PeriodChange sets the named interferer's checkpoint period to
+	// Factor seconds (its producing simulation was rescaled).
+	PeriodChange
+)
+
+var kindNames = map[Kind]string{
+	BWCollapse:    "bw-collapse",
+	LatencySpike:  "latency",
+	ReadError:     "read-err",
+	Stuck:         "stuck",
+	WeightFail:    "weight-fail",
+	ThrottleReset: "throttle-reset",
+	Join:          "join",
+	Leave:         "leave",
+	PeriodChange:  "period",
+}
+
+// String returns the kind's spec-grammar name.
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// windowed reports whether the kind has a clearance event after Duration.
+func (k Kind) windowed() bool {
+	switch k {
+	case BWCollapse, LatencySpike, ReadError, Stuck, WeightFail, ThrottleReset:
+		return true
+	}
+	return false
+}
+
+// deviceFault reports whether the kind targets a device.
+func (k Kind) deviceFault() bool {
+	switch k {
+	case BWCollapse, LatencySpike, ReadError, Stuck:
+		return true
+	}
+	return false
+}
+
+// Event is one scheduled fault.
+type Event struct {
+	At   float64 // virtual time of injection (seconds)
+	Kind Kind
+	// Target names the faulted object: a device (BWCollapse,
+	// LatencySpike, ReadError, Stuck), a cgroup (WeightFail,
+	// ThrottleReset), or an interferer (Join, Leave, PeriodChange).
+	Target string
+	// Factor is the kind-specific magnitude: bandwidth fraction
+	// (BWCollapse), extra latency seconds (LatencySpike), read-throttle
+	// MB/s (ThrottleReset, 0 = clear), or new period seconds
+	// (PeriodChange).
+	Factor float64
+	// Duration is the fault window in seconds (windowed kinds only).
+	Duration float64
+	// Noise describes the joining interferer (Join only); Noise.Name
+	// must equal Target.
+	Noise workload.Noise
+}
+
+func (e Event) validate() error {
+	if e.At < 0 || math.IsNaN(e.At) {
+		return fmt.Errorf("fault: %s at invalid time %v", e.Kind, e.At)
+	}
+	if e.Target == "" {
+		return fmt.Errorf("fault: %s at t=%g has no target", e.Kind, e.At)
+	}
+	if e.Kind.windowed() && !(e.Duration > 0) {
+		return fmt.Errorf("fault: %s on %q needs a positive duration", e.Kind, e.Target)
+	}
+	switch e.Kind {
+	case BWCollapse:
+		if e.Factor < 0 || e.Factor > 1 {
+			return fmt.Errorf("fault: bw-collapse factor %v out of [0,1]", e.Factor)
+		}
+	case LatencySpike:
+		if e.Factor <= 0 {
+			return fmt.Errorf("fault: latency spike needs a positive add, got %v", e.Factor)
+		}
+	case ThrottleReset:
+		if e.Factor < 0 {
+			return fmt.Errorf("fault: throttle-reset MB/s %v must be >= 0", e.Factor)
+		}
+	case PeriodChange:
+		if e.Factor <= 0 {
+			return fmt.Errorf("fault: period change needs a positive period, got %v", e.Factor)
+		}
+	case Join:
+		if e.Noise.Name != e.Target {
+			return fmt.Errorf("fault: join noise name %q != target %q", e.Noise.Name, e.Target)
+		}
+		if e.Noise.Period <= 0 || e.Noise.CheckpointBytes <= 0 {
+			return fmt.Errorf("fault: join %q needs positive period and bytes", e.Target)
+		}
+	}
+	return nil
+}
+
+// Plan is a virtual-time schedule of fault events. Plans are immutable
+// once armed; the same plan may be armed on any number of nodes (the
+// chaos experiment arms one copy per policy run).
+type Plan struct {
+	Events []Event
+}
+
+// Validate checks every event and returns the first problem.
+func (p *Plan) Validate() error {
+	for _, e := range p.Events {
+		if err := e.validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Sorted returns the events ordered by injection time (stable, so
+// same-instant events keep their plan order).
+func (p *Plan) Sorted() []Event {
+	out := make([]Event, len(p.Events))
+	copy(out, p.Events)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Horizon returns the virtual time at which the last fault window closes.
+func (p *Plan) Horizon() float64 {
+	var h float64
+	for _, e := range p.Events {
+		end := e.At + e.Duration
+		if end > h {
+			h = end
+		}
+	}
+	return h
+}
+
+// String renders the plan in the spec grammar accepted by ParsePlan.
+func (p *Plan) String() string {
+	var b strings.Builder
+	for i, e := range p.Sorted() {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "%s@%g:", e.Kind, e.At)
+		var params []string
+		add := func(k string, v string) { params = append(params, k+"="+v) }
+		switch {
+		case e.Kind.deviceFault():
+			add("dev", e.Target)
+		case e.Kind == WeightFail || e.Kind == ThrottleReset:
+			add("cg", e.Target)
+		default:
+			add("name", e.Target)
+		}
+		switch e.Kind {
+		case BWCollapse:
+			add("factor", fmt.Sprintf("%g", e.Factor))
+		case LatencySpike:
+			add("add", fmt.Sprintf("%g", e.Factor))
+		case ThrottleReset:
+			add("mb", fmt.Sprintf("%g", e.Factor))
+		case PeriodChange:
+			add("period", fmt.Sprintf("%g", e.Factor))
+		case Join:
+			add("period", fmt.Sprintf("%g", e.Noise.Period))
+			add("mb", fmt.Sprintf("%g", e.Noise.CheckpointBytes/mb))
+			if e.Noise.Phase != 0 {
+				add("phase", fmt.Sprintf("%g", e.Noise.Phase))
+			}
+			if e.Noise.Jitter != 0 {
+				add("jitter", fmt.Sprintf("%g", e.Noise.Jitter))
+			}
+			if e.Noise.Seed != 0 {
+				add("seed", fmt.Sprintf("%d", e.Noise.Seed))
+			}
+		}
+		if e.Kind.windowed() {
+			add("dur", fmt.Sprintf("%g", e.Duration))
+		}
+		b.WriteString(strings.Join(params, ","))
+	}
+	return b.String()
+}
+
+const mb = 1024 * 1024

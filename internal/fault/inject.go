@@ -1,0 +1,290 @@
+package fault
+
+import (
+	"fmt"
+
+	"tango/internal/blkio"
+	"tango/internal/container"
+	"tango/internal/device"
+	"tango/internal/trace"
+	"tango/internal/workload"
+)
+
+// Injector arms a Plan against one node: every event is scheduled on the
+// node's engine, applied in sim context, and recorded (injection and
+// clearance) through the trace recorder with trace.KindFault events.
+//
+// Overlapping device faults compose: the injected bandwidth factor is
+// the minimum of the active collapses, extra latency is the sum of the
+// active spikes, and read errors stay active while any read-error window
+// is open. Cgroup weight-write faults are reference-counted the same
+// way. Throttle resets save and restore the previous limits and must not
+// overlap on one cgroup.
+//
+// An Injector belongs to one engine; like the rest of the sim stack it
+// is deterministic — arming the same plan on an identically-seeded node
+// yields a byte-identical event stream.
+type Injector struct {
+	node    *container.Node
+	rec     *trace.Recorder
+	plan    *Plan
+	handles map[string]*workload.Handle
+	armed   bool
+
+	active     map[string][]deviceFault // device name -> open windows
+	weightFail map[string]int           // cgroup name -> open windows
+	injected   int
+	cleared    int
+	skipped    int
+}
+
+type deviceFault struct {
+	id       int
+	kind     Kind
+	bwFactor float64
+	latency  float64
+}
+
+// NewInjector binds a validated plan to a node. The recorder may be nil
+// (faults still inject, nothing is recorded). It panics on an invalid
+// plan — plans are validated at parse/construction time, so this is a
+// programmer error.
+func NewInjector(node *container.Node, rec *trace.Recorder, plan *Plan) *Injector {
+	if err := plan.Validate(); err != nil {
+		panic(err)
+	}
+	return &Injector{
+		node:       node,
+		rec:        rec,
+		plan:       plan,
+		handles:    map[string]*workload.Handle{},
+		active:     map[string][]deviceFault{},
+		weightFail: map[string]int{},
+	}
+}
+
+// RegisterNoise makes already-running interferers addressable by Leave
+// and PeriodChange events. Interferers the injector launches itself
+// (Join) are registered automatically.
+func (in *Injector) RegisterNoise(handles map[string]*workload.Handle) {
+	for name, h := range handles {
+		in.handles[name] = h
+	}
+}
+
+// Arm schedules every plan event on the node's engine. Device targets
+// are validated eagerly; cgroup and interferer targets are resolved at
+// fire time (sessions attach after arming), and a still-missing target
+// skips the event with a recorded "skip" fault event. Arm may be called
+// once.
+func (in *Injector) Arm() error {
+	if in.armed {
+		return fmt.Errorf("fault: injector already armed")
+	}
+	for _, e := range in.plan.Events {
+		if e.Kind.deviceFault() || e.Kind == Join {
+			dev := in.targetDevice(e)
+			if in.node.Device(dev) == nil {
+				return fmt.Errorf("fault: %s targets unknown device %q", e.Kind, dev)
+			}
+		}
+	}
+	in.armed = true
+	eng := in.node.Engine()
+	for i, e := range in.plan.Sorted() {
+		id, e := i, e
+		eng.At(e.At, func() { in.fire(id, e) })
+	}
+	return nil
+}
+
+// targetDevice returns the device an event touches (for Join, the device
+// the interferer writes to: the slowest tier).
+func (in *Injector) targetDevice(e Event) string {
+	if e.Kind == Join {
+		tiers := in.node.Tiers()
+		return tiers[len(tiers)-1].Name()
+	}
+	return e.Target
+}
+
+// Injected, Cleared, and Skipped report event counts so far.
+func (in *Injector) Injected() int { return in.injected }
+func (in *Injector) Cleared() int  { return in.cleared }
+func (in *Injector) Skipped() int  { return in.skipped }
+
+func (in *Injector) emit(kind, format string, args ...any) {
+	in.rec.Emit(in.node.Engine().Now(), "injector", kind, format, args...)
+}
+
+// fire applies one event in sim context.
+func (in *Injector) fire(id int, e Event) {
+	switch {
+	case e.Kind.deviceFault():
+		in.fireDevice(id, e)
+	case e.Kind == WeightFail:
+		in.fireWeightFail(id, e)
+	case e.Kind == ThrottleReset:
+		in.fireThrottleReset(id, e)
+	case e.Kind == Join:
+		in.fireJoin(id, e)
+	default: // Leave, PeriodChange
+		in.fireChurn(id, e)
+	}
+}
+
+func (in *Injector) fireDevice(id int, e Event) {
+	dev := in.node.Device(e.Target)
+	df := deviceFault{id: id, kind: e.Kind, bwFactor: 1}
+	switch e.Kind {
+	case BWCollapse:
+		df.bwFactor = e.Factor
+	case LatencySpike:
+		df.latency = e.Factor
+	case Stuck:
+		df.bwFactor = 0
+	}
+	in.active[e.Target] = append(in.active[e.Target], df)
+	in.applyDeviceState(dev)
+	in.injected++
+	in.emit(trace.KindFault, "inject id=%d kind=%s dev=%s factor=%g dur=%g", id, e.Kind, e.Target, e.Factor, e.Duration)
+	in.node.Engine().After(e.Duration, func() {
+		open := in.active[e.Target][:0]
+		for _, f := range in.active[e.Target] {
+			if f.id != id {
+				open = append(open, f)
+			}
+		}
+		in.active[e.Target] = open
+		in.applyDeviceState(dev)
+		in.cleared++
+		in.emit(trace.KindFault, "clear id=%d kind=%s dev=%s", id, e.Kind, e.Target)
+	})
+}
+
+// applyDeviceState recomputes the composed fault state of one device
+// from its open windows.
+func (in *Injector) applyDeviceState(dev *device.Device) {
+	bw, lat, readErr := 1.0, 0.0, false
+	for _, f := range in.active[dev.Name()] {
+		if f.bwFactor < bw {
+			bw = f.bwFactor
+		}
+		lat += f.latency
+		if f.kind == ReadError {
+			readErr = true
+		}
+	}
+	dev.SetReadError(readErr)
+	if bw == 1 && lat == 0 {
+		dev.ClearFault()
+	} else {
+		dev.SetFault(bw, lat)
+	}
+}
+
+// cgroup resolves a cgroup target at fire time, recording a skip when it
+// does not exist (the session it names was never launched).
+func (in *Injector) cgroup(id int, e Event) *blkio.Cgroup {
+	cg := in.node.Cgroups().Lookup(e.Target)
+	if cg == nil {
+		in.skipped++
+		in.emit(trace.KindFault, "skip id=%d kind=%s cg=%s (no such cgroup)", id, e.Kind, e.Target)
+	}
+	return cg
+}
+
+func (in *Injector) fireWeightFail(id int, e Event) {
+	cg := in.cgroup(id, e)
+	if cg == nil {
+		return
+	}
+	in.weightFail[e.Target]++
+	cg.SetWeightFailing(true)
+	in.injected++
+	in.emit(trace.KindFault, "inject id=%d kind=%s cg=%s dur=%g", id, e.Kind, e.Target, e.Duration)
+	in.node.Engine().After(e.Duration, func() {
+		in.weightFail[e.Target]--
+		if in.weightFail[e.Target] == 0 {
+			cg.SetWeightFailing(false)
+		}
+		in.cleared++
+		in.emit(trace.KindFault, "clear id=%d kind=%s cg=%s", id, e.Kind, e.Target)
+	})
+}
+
+func (in *Injector) fireThrottleReset(id int, e Event) {
+	cg := in.cgroup(id, e)
+	if cg == nil {
+		return
+	}
+	prevR, prevW := cg.ReadBpsLimit(), cg.WriteBpsLimit()
+	cg.SetReadBpsLimit(e.Factor * mb)
+	cg.SetWriteBpsLimit(0)
+	in.injected++
+	in.emit(trace.KindFault, "inject id=%d kind=%s cg=%s mb=%g dur=%g", id, e.Kind, e.Target, e.Factor, e.Duration)
+	in.node.Engine().After(e.Duration, func() {
+		cg.SetReadBpsLimit(prevR)
+		cg.SetWriteBpsLimit(prevW)
+		in.cleared++
+		in.emit(trace.KindFault, "clear id=%d kind=%s cg=%s", id, e.Kind, e.Target)
+	})
+}
+
+func (in *Injector) fireJoin(id int, e Event) {
+	if _, ok := in.handles[e.Target]; ok || in.node.Container(e.Target) != nil {
+		in.skipped++
+		in.emit(trace.KindFault, "skip id=%d kind=join name=%s (already running)", id, e.Target)
+		return
+	}
+	tiers := in.node.Tiers()
+	dev := tiers[len(tiers)-1]
+	_, h := workload.LaunchNoiseControlled(in.node, dev, e.Noise)
+	in.handles[e.Target] = h
+	in.injected++
+	in.emit(trace.KindFault, "inject id=%d kind=join name=%s period=%g mb=%g", id, e.Target, e.Noise.Period, e.Noise.CheckpointBytes/mb)
+}
+
+func (in *Injector) fireChurn(id int, e Event) {
+	h := in.handles[e.Target]
+	if h == nil {
+		in.skipped++
+		in.emit(trace.KindFault, "skip id=%d kind=%s name=%s (no such interferer)", id, e.Kind, e.Target)
+		return
+	}
+	switch e.Kind {
+	case Leave:
+		h.Stop()
+		in.injected++
+		in.emit(trace.KindFault, "inject id=%d kind=leave name=%s", id, e.Target)
+	case PeriodChange:
+		h.SetPeriod(e.Factor)
+		in.injected++
+		in.emit(trace.KindFault, "inject id=%d kind=period name=%s period=%g", id, e.Target, e.Factor)
+	}
+}
+
+// Unpaired scans a trace for injected faults with no recovery action
+// (trace.KindRecover or trace.KindRefit event) at or after the injection
+// time, returning the unpaired fault events. The chaos experiment and
+// its tests use this to enforce the "every injected fault is answered by
+// a recorded recovery" contract.
+func Unpaired(events []trace.Event) []trace.Event {
+	var out []trace.Event
+	for _, f := range events {
+		if f.Kind != trace.KindFault || len(f.Msg) < 6 || f.Msg[:6] != "inject" {
+			continue
+		}
+		paired := false
+		for _, r := range events {
+			if (r.Kind == trace.KindRecover || r.Kind == trace.KindRefit) && r.T >= f.T {
+				paired = true
+				break
+			}
+		}
+		if !paired {
+			out = append(out, f)
+		}
+	}
+	return out
+}

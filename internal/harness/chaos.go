@@ -1,0 +1,94 @@
+package harness
+
+import (
+	"fmt"
+
+	"tango/internal/analytics"
+	"tango/internal/core"
+	"tango/internal/fault"
+	"tango/internal/trace"
+)
+
+// chaosSession is the fixed session name the chaos plan's cgroup faults
+// target, shared by every policy run so one plan applies to all.
+const chaosSession = "analytics"
+
+// ChaosPlan is the deterministic fault schedule the chaos experiment
+// replays identically for every policy: one event of every fault class,
+// drawn from the config seed against the standard scenario (HDD capacity
+// tier, the analytics session's cgroup, the first three Table IV
+// interferers).
+func ChaosPlan(cfg Config) *fault.Plan {
+	cfg = cfg.withDefaults()
+	plan, err := fault.Generate(cfg.Seed, fault.GenerateOptions{
+		Horizon:     float64(cfg.Steps) * 60,
+		Device:      "hdd",
+		Cgroup:      chaosSession,
+		Interferers: []string{"noise1", "noise2", "noise3"},
+		Events:      9,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("harness: chaos plan: %v", err))
+	}
+	return plan
+}
+
+// Chaos runs the four policies through an identical fault schedule —
+// device degradations, cgroup faults, and workload churn — and reports
+// what each salvaged: perceived bandwidth, retries spent, steps that
+// shed above-bound augmentation, prescribed-bound violations (always 0:
+// mandatory data retries through faults), and faults left without a
+// recorded recovery action.
+func Chaos(cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	plan := ChaosPlan(cfg)
+	if cfg.FaultPlan != nil {
+		plan = cfg.FaultPlan
+	}
+	r := &Result{
+		ID:     "chaos",
+		Title:  "Fault injection and cross-layer recovery (XGC)",
+		Header: []string{"policy", "mean I/O (s)", "mean BW MB/s", "retries", "degraded steps", "bound viol", "faults", "unpaired"},
+	}
+	app := analytics.XGCApp()
+	h := appHierarchy(app, cfg, defaultOpts())
+	const bound = 0.01
+	mandatory, err := h.CursorForBound(bound)
+	if err != nil {
+		panic(err)
+	}
+	for _, pol := range core.AllPolicies() {
+		rec := trace.New(32768)
+		scen := NewScenario(fmt.Sprintf("chaos-%d", int(pol)), 3)
+		runCfg := cfg
+		runCfg.FaultPlan = plan
+		// RefitEvery 10 keeps the recovery cadence dense enough that a
+		// refit (periodic or regime-triggered) lands after the last
+		// scheduled fault for any step count divisible by 10.
+		sc := core.Config{
+			Policy: pol, ErrorControl: true, Bound: bound, Priority: 10,
+			RefitEvery: 10, Trace: rec,
+		}
+		sess := runOnScenario(scen, chaosSession, h, runCfg, sc)
+		sum := sess.Summary(cfg.SkipWarmup)
+		retries, degraded, viol := 0, 0, 0
+		for _, st := range sess.Stats() {
+			retries += st.Retries
+			if st.Degraded {
+				degraded++
+			}
+			if st.Cursor < mandatory {
+				viol++
+			}
+		}
+		unpaired := len(fault.Unpaired(rec.Events()))
+		r.Add(pol.String(), fmtS(sum.MeanIO), fmtMB(sum.MeanBW),
+			fmt.Sprintf("%d", retries), fmt.Sprintf("%d", degraded),
+			fmt.Sprintf("%d", viol),
+			fmt.Sprintf("%d", scen.Injector.Injected()),
+			fmt.Sprintf("%d", unpaired))
+	}
+	r.Notef("Identical fault plan per policy: %s", plan)
+	r.Notef("Recovery paths: staging retries reads with backoff and sheds only above-bound augmentation; the controller refits on sustained misprediction; failed weight writes are tolerated and re-applied.")
+	return r
+}

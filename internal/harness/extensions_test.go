@@ -134,3 +134,43 @@ func TestCSVAndJSONFormats(t *testing.T) {
 		t.Fatal("bogus format accepted")
 	}
 }
+
+// TestChaosCrossLayerRecovers pins the acceptance bar for the fault
+// extension: under an identical generated fault plan, the cross-layer
+// policy recovers at least the throughput of no-adapt and storage-only,
+// never violates the prescribed bound, exercises the retry path, and
+// leaves no injected fault without a later recovery/refit event.
+func TestChaosCrossLayerRecovers(t *testing.T) {
+	r := Chaos(smallCfg())
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	const (
+		colBW       = 2
+		colRetries  = 3
+		colViol     = 5
+		colFaults   = 6
+		colUnpaired = 7
+	)
+	noAdaptBW := cell(t, r, 0, colBW)
+	storageBW := cell(t, r, 1, colBW)
+	crossBW := cell(t, r, 3, colBW)
+	if crossBW < noAdaptBW || crossBW < storageBW {
+		t.Fatalf("cross-layer BW %v below no-adapt %v or storage-only %v",
+			crossBW, noAdaptBW, storageBW)
+	}
+	if viol := cell(t, r, 3, colViol); viol != 0 {
+		t.Fatalf("cross-layer violated the prescribed bound in %v steps", viol)
+	}
+	if retries := cell(t, r, 3, colRetries); retries == 0 {
+		t.Fatal("fault plan exercised no read retries")
+	}
+	for i := range r.Rows {
+		if f := cell(t, r, i, colFaults); f == 0 {
+			t.Fatalf("row %d: no faults injected", i)
+		}
+		if up := cell(t, r, i, colUnpaired); up != 0 {
+			t.Fatalf("row %d: %v injected faults without a recovery event", i, up)
+		}
+	}
+}

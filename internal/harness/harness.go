@@ -13,6 +13,7 @@ import (
 
 	"tango/internal/analytics"
 	"tango/internal/errmetric"
+	"tango/internal/fault"
 	"tango/internal/refactor"
 	"tango/internal/tensor"
 )
@@ -40,6 +41,13 @@ type Config struct {
 	// period). The grid is staged at the payload scale that reaches
 	// this size; see staging.StageScaled.
 	DatasetMB float64
+	// FaultPlan, when non-nil, is armed on every scenario the
+	// experiment builds: each run replays the same virtual-time fault
+	// schedule (see internal/fault and the chaos experiment). Events
+	// naming a cgroup resolve against the session launched on that
+	// scenario; events naming interferers resolve against the Table IV
+	// noise set.
+	FaultPlan *fault.Plan
 }
 
 func (c Config) withDefaults() Config {
@@ -165,6 +173,7 @@ func Experiments() []Experiment {
 		{"ablation-fifo", "Ablation: FIFO vs proportional-share scheduling", AblationFIFO},
 		{"random-noise", "Extension: DFT robustness to aperiodic noise", RandomNoiseRobustness},
 		{"tracking", "Extension: blob dynamics on reduced data", Tracking},
+		{"chaos", "Extension: fault injection and cross-layer recovery", Chaos},
 	}
 }
 

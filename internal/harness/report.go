@@ -35,12 +35,15 @@ type resultJSON struct {
 	Title  string              `json:"title"`
 	Header []string            `json:"header"`
 	Rows   []map[string]string `json:"rows"`
+	// Series is the same data column-major (header key -> cell values in
+	// row order), the shape plotting scripts consume directly.
+	Series map[string][]string `json:"series"`
 	Notes  []string            `json:"notes,omitempty"`
 }
 
-// WriteJSON emits the result as a JSON object whose rows are keyed by the
-// header names (duplicate headers get positional suffixes).
-func (r *Result) WriteJSON(w io.Writer) error {
+// jsonKeys maps header names to unique row keys (duplicate headers get
+// positional suffixes).
+func (r *Result) jsonKeys() []string {
 	keys := make([]string, len(r.Header))
 	seen := map[string]int{}
 	for i, h := range r.Header {
@@ -51,7 +54,18 @@ func (r *Result) WriteJSON(w io.Writer) error {
 		seen[h]++
 		keys[i] = k
 	}
-	out := resultJSON{ID: r.ID, Title: r.Title, Header: r.Header, Notes: r.Notes}
+	return keys
+}
+
+func (r *Result) toJSON() resultJSON {
+	keys := r.jsonKeys()
+	out := resultJSON{
+		ID: r.ID, Title: r.Title, Header: r.Header, Notes: r.Notes,
+		Series: map[string][]string{},
+	}
+	for _, k := range keys {
+		out.Series[k] = []string{}
+	}
 	for _, row := range r.Rows {
 		m := make(map[string]string, len(row))
 		for i, cell := range row {
@@ -60,12 +74,37 @@ func (r *Result) WriteJSON(w io.Writer) error {
 				key = keys[i]
 			}
 			m[key] = cell
+			out.Series[key] = append(out.Series[key], cell)
 		}
 		out.Rows = append(out.Rows, m)
 	}
+	return out
+}
+
+// WriteJSON emits the result as a JSON object whose rows are keyed by the
+// header names (duplicate headers get positional suffixes), with the same
+// data repeated column-major under "series".
+func (r *Result) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(out)
+	return enc.Encode(r.toJSON())
+}
+
+// suiteJSON is the shape tangobench -json emits: every result of the run
+// in one machine-readable document.
+type suiteJSON struct {
+	Results []resultJSON `json:"results"`
+}
+
+// WriteSuiteJSON emits several results as one JSON document.
+func WriteSuiteJSON(w io.Writer, results []*Result) error {
+	suite := suiteJSON{Results: []resultJSON{}}
+	for _, r := range results {
+		suite.Results = append(suite.Results, r.toJSON())
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(suite)
 }
 
 // Format renders the result in the named format: "table" (default),

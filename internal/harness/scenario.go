@@ -7,8 +7,10 @@ import (
 	"tango/internal/container"
 	"tango/internal/core"
 	"tango/internal/device"
+	"tango/internal/fault"
 	"tango/internal/refactor"
 	"tango/internal/staging"
+	"tango/internal/trace"
 	"tango/internal/workload"
 )
 
@@ -19,6 +21,13 @@ type Scenario struct {
 	Node *container.Node
 	SSD  *device.Device
 	HDD  *device.Device
+	// Noise holds control handles for the launched interferers, keyed by
+	// name; the fault injector's churn events (leave, period) act on
+	// these.
+	Noise map[string]*workload.Handle
+	// Injector is the armed fault injector when the experiment config
+	// carries a FaultPlan (nil otherwise).
+	Injector *fault.Injector
 }
 
 // NewScenario builds the node and launches the first nNoise interferers
@@ -34,7 +43,7 @@ func NewScenario(name string, nNoise int) *Scenario {
 	if nNoise > len(set) {
 		nNoise = len(set)
 	}
-	workload.LaunchNoiseSet(node, s.HDD, set[:nNoise])
+	s.Noise = workload.LaunchNoiseSetControlled(node, s.HDD, set[:nNoise])
 	return s
 }
 
@@ -62,8 +71,20 @@ func newScenarioWithHDD(name string, nNoise int, hdd device.Params) *Scenario {
 	if nNoise > len(set) {
 		nNoise = len(set)
 	}
-	workload.LaunchNoiseSet(node, s.HDD, set[:nNoise])
+	s.Noise = workload.LaunchNoiseSetControlled(node, s.HDD, set[:nNoise])
 	return s
+}
+
+// ArmFaults binds and arms plan on this scenario, recording injections
+// into rec (which may be nil). Call after the scenario is built and
+// before the engine runs.
+func (s *Scenario) ArmFaults(plan *fault.Plan, rec *trace.Recorder) {
+	in := fault.NewInjector(s.Node, rec, plan)
+	in.RegisterNoise(s.Noise)
+	if err := in.Arm(); err != nil {
+		panic(fmt.Sprintf("harness: arming faults: %v", err))
+	}
+	s.Injector = in
 }
 
 // Stage places a hierarchy on this scenario's tiers at the payload scale
@@ -93,6 +114,12 @@ func runOne(name string, nNoise int, h *refactor.Hierarchy, cfg Config, sc core.
 func runOnScenario(scen *Scenario, name string, h *refactor.Hierarchy, cfg Config, sc core.Config) *core.Session {
 	if sc.Steps == 0 {
 		sc.Steps = cfg.Steps
+	}
+	if cfg.FaultPlan != nil && scen.Injector == nil {
+		scen.ArmFaults(cfg.FaultPlan, sc.Trace)
+	}
+	if sc.Allocator != nil && sc.Trace != nil {
+		sc.Allocator.SetTrace(sc.Trace, scen.Node.Engine().Now)
 	}
 	sess, err := core.NewSession(name, scen.Stage(h, cfg.DatasetMB), sc)
 	if err != nil {

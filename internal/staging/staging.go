@@ -15,6 +15,7 @@ import (
 	"tango/internal/device"
 	"tango/internal/refactor"
 	"tango/internal/sim"
+	"tango/internal/trace"
 )
 
 // Store is a staged hierarchy: every piece has a tier assignment and the
@@ -269,6 +270,127 @@ func (s *Store) ReadRangeParallel(p *sim.Proc, cg *blkio.Cgroup, from, to int) *
 		ts.Merge(r)
 	}
 	return ts
+}
+
+// RetryPolicy bounds the guarded read paths' reaction to transient read
+// errors (see internal/fault): each failed request is retried after a
+// virtual-time backoff that grows by Factor per attempt, capped at Max.
+// Zero values take the defaults.
+type RetryPolicy struct {
+	// Attempts is the retry budget per segment for OPTIONAL augmentation
+	// (beyond the prescribed bound). Exhausting it degrades the read —
+	// the remaining optional augmentation is skipped — instead of
+	// blocking the step (default 4). Mandatory data (the base
+	// representation and augmentation the error bound requires) is
+	// retried indefinitely: degradation must never violate the bound.
+	Attempts int
+	// Backoff is the first retry delay in virtual seconds (default 0.05).
+	Backoff float64
+	// Factor multiplies the delay per attempt (default 2).
+	Factor float64
+	// Max caps the delay (default 5 s).
+	Max float64
+}
+
+func (rp RetryPolicy) withDefaults() RetryPolicy {
+	if rp.Attempts == 0 {
+		rp.Attempts = 4
+	}
+	if rp.Backoff == 0 {
+		rp.Backoff = 0.05
+	}
+	if rp.Factor == 0 {
+		rp.Factor = 2
+	}
+	if rp.Max == 0 {
+		rp.Max = 5
+	}
+	return rp
+}
+
+// GuardedOutcome reports what a guarded read actually achieved.
+type GuardedOutcome struct {
+	Cursor   int  // absolute cursor reached (== `to` unless degraded)
+	Retries  int  // failed requests that were retried
+	Degraded bool // optional augmentation was abandoned mid-range
+}
+
+// Notify receives recovery actions as they happen (kind is a
+// trace.Kind* string, msg is formatted); nil disables notification.
+type Notify func(kind, msg string)
+
+// retryRead reads bytes from dev, retrying transient errors with
+// exponential virtual-time backoff. If bounded is true the retry budget
+// is pol.Attempts, after which it gives up and reports failure;
+// otherwise it retries until the fault clears. Returns the elapsed time
+// (including backoff sleeps), the retries spent, and success.
+func retryRead(p *sim.Proc, dev *device.Device, cg *blkio.Cgroup, bytes float64,
+	pol RetryPolicy, bounded bool, notify Notify) (float64, int, bool) {
+	start := p.Now()
+	delay := pol.Backoff
+	retries := 0
+	for attempt := 1; ; attempt++ {
+		_, err := dev.TryRead(p, cg, bytes)
+		if err == nil {
+			return p.Now() - start, retries, true
+		}
+		if bounded && attempt >= pol.Attempts {
+			return p.Now() - start, retries, false
+		}
+		retries++
+		if notify != nil {
+			notify(trace.KindRecover, fmt.Sprintf("retry dev=%s attempt=%d backoff=%.3fs bytes=%.0f", dev.Name(), attempt, delay, bytes))
+		}
+		p.Sleep(delay)
+		delay *= pol.Factor
+		if delay > pol.Max {
+			delay = pol.Max
+		}
+	}
+}
+
+// ReadBaseGuarded is ReadBase with unbounded retry: the base
+// representation is mandatory at every step, so a transient fault delays
+// the read rather than failing it.
+func (s *Store) ReadBaseGuarded(p *sim.Proc, cg *blkio.Cgroup, pol RetryPolicy, notify Notify) (*TierStats, GuardedOutcome) {
+	pol = pol.withDefaults()
+	ts := newTierStats()
+	bytes := float64(s.h.BaseBytes()) * s.scale
+	el, retries, _ := retryRead(p, s.baseDev, cg, bytes, pol, false, notify)
+	ts.add(s.baseDev, bytes, el)
+	return ts, GuardedOutcome{Cursor: 0, Retries: retries}
+}
+
+// ReadRangeGuarded is ReadRange hardened against injected read errors.
+// Segments whose entries fall at or below `mandatory` (the cursor the
+// prescribed error bound requires) are retried until they succeed;
+// optional segments get pol.Attempts tries each, after which the read
+// DEGRADES: the remaining optional augmentation is skipped and the
+// outcome reports the cursor actually reached. The caller's accuracy
+// never drops below the bound — only above-bound augmentation is shed.
+func (s *Store) ReadRangeGuarded(p *sim.Proc, cg *blkio.Cgroup, from, to, mandatory int,
+	pol RetryPolicy, notify Notify) (*TierStats, GuardedOutcome) {
+	pol = pol.withDefaults()
+	ts := newTierStats()
+	out := GuardedOutcome{Cursor: from}
+	for _, seg := range s.h.Segments(from, to) {
+		dev := s.DeviceForLevel(seg.Level)
+		entries := seg.End - seg.Start
+		bytes := float64(seg.Bytes) * s.scale
+		needed := out.Cursor < mandatory // segment starts inside the mandatory prefix
+		el, retries, ok := retryRead(p, dev, cg, bytes, pol, !needed, notify)
+		out.Retries += retries
+		ts.add(dev, bytes, el)
+		if !ok {
+			out.Degraded = true
+			if notify != nil {
+				notify(trace.KindRecover, fmt.Sprintf("degrade dev=%s cursor=%d of %d (fall back to lower augmentation)", dev.Name(), out.Cursor, to))
+			}
+			return ts, out
+		}
+		out.Cursor += entries
+	}
+	return ts, out
 }
 
 // Probe reads `bytes` from the slowest tier to sample its available

@@ -11,11 +11,23 @@ import (
 	"sync"
 )
 
+// Event kinds emitted by the controller, the coordinator, and the fault
+// injector. Call sites use these constants (not string literals) so
+// filters and event consumers cannot drift from the emitters.
+const (
+	KindStep    = "step"    // one analysis step completed (core)
+	KindWeight  = "weight"  // a blkio weight applied for a bucket (core)
+	KindBucket  = "bucket"  // one augmentation bucket retrieved (core)
+	KindRefit   = "refit"   // estimator refit: periodic or regime-triggered (core)
+	KindFault   = "fault"   // a fault injected or cleared (internal/fault)
+	KindRecover = "recover" // a recovery action: retry, degrade, weight re-apply
+)
+
 // Event is one recorded occurrence at virtual time T.
 type Event struct {
 	T      float64
 	Source string // e.g. the session or device name
-	Kind   string // e.g. "step", "weight", "bucket", "refit"
+	Kind   string // one of the Kind* constants
 	Msg    string
 }
 
@@ -95,6 +107,21 @@ func (r *Recorder) Filter(kind string) []Event {
 	for _, ev := range r.Events() {
 		if ev.Kind == kind {
 			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// FilterKinds returns retained events matching any of the given kinds,
+// in chronological order.
+func (r *Recorder) FilterKinds(kinds ...string) []Event {
+	var out []Event
+	for _, ev := range r.Events() {
+		for _, k := range kinds {
+			if ev.Kind == k {
+				out = append(out, ev)
+				break
+			}
 		}
 	}
 	return out

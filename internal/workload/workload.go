@@ -45,18 +45,60 @@ func PaperNoiseSet() []Noise {
 	}
 }
 
+// Handle controls a running interferer: workload churn (an interferer
+// leaving mid-run, or its checkpoint cadence changing when the producing
+// simulation is rescaled) mutates the handle, and the interferer's loop
+// observes the change at its next iteration. All methods must be called
+// from sim context (same engine).
+type Handle struct {
+	name    string
+	stopped bool
+	period  float64 // 0 = keep the configured period
+}
+
+// Name returns the interferer name.
+func (h *Handle) Name() string { return h.name }
+
+// Stop makes the interferer exit after the checkpoint currently being
+// written (the competing job left the node).
+func (h *Handle) Stop() { h.stopped = true }
+
+// Stopped reports whether Stop was called.
+func (h *Handle) Stopped() bool { return h.stopped }
+
+// SetPeriod changes the checkpoint period from the next interval on
+// (p <= 0 restores the configured period).
+func (h *Handle) SetPeriod(p float64) {
+	if p <= 0 {
+		p = 0
+	}
+	h.period = p
+}
+
 // LaunchNoise starts one interfering container on node writing to dev.
 // The period is measured start-to-start: if a checkpoint takes longer than
 // the period under contention, the next one starts immediately after
 // (back-to-back), which is how checkpointing loops behave in practice.
 func LaunchNoise(node *container.Node, dev *device.Device, n Noise) *container.Container {
+	c, _ := LaunchNoiseControlled(node, dev, n)
+	return c
+}
+
+// LaunchNoiseControlled is LaunchNoise returning a churn handle alongside
+// the container, so the interferer can be stopped or re-paced mid-run
+// (see internal/fault).
+func LaunchNoiseControlled(node *container.Node, dev *device.Device, n Noise) (*container.Container, *Handle) {
 	rng := rand.New(rand.NewSource(n.Seed))
-	return node.MustLaunch(n.Name, func(c *container.Container, p *sim.Proc) {
+	h := &Handle{name: n.Name}
+	c := node.MustLaunch(n.Name, func(c *container.Container, p *sim.Proc) {
 		p.Sleep(n.Phase)
-		for {
+		for !h.stopped {
 			start := p.Now()
 			c.Write(p, dev, n.CheckpointBytes)
 			period := n.Period
+			if h.period > 0 {
+				period = h.period
+			}
 			if n.Jitter > 0 {
 				period *= 1 + n.Jitter*(2*rng.Float64()-1)
 			}
@@ -66,6 +108,7 @@ func LaunchNoise(node *container.Node, dev *device.Device, n Noise) *container.C
 			}
 		}
 	})
+	return c, h
 }
 
 // LaunchNoiseSet starts the given interferers and returns their containers.
@@ -73,6 +116,17 @@ func LaunchNoiseSet(node *container.Node, dev *device.Device, set []Noise) []*co
 	out := make([]*container.Container, 0, len(set))
 	for _, n := range set {
 		out = append(out, LaunchNoise(node, dev, n))
+	}
+	return out
+}
+
+// LaunchNoiseSetControlled starts the given interferers and returns their
+// churn handles keyed by name.
+func LaunchNoiseSetControlled(node *container.Node, dev *device.Device, set []Noise) map[string]*Handle {
+	out := make(map[string]*Handle, len(set))
+	for _, n := range set {
+		_, h := LaunchNoiseControlled(node, dev, n)
+		out[n.Name] = h
 	}
 	return out
 }

@@ -50,6 +50,7 @@ import (
 	"tango/internal/core"
 	"tango/internal/device"
 	"tango/internal/errmetric"
+	"tango/internal/fault"
 	"tango/internal/refactor"
 	"tango/internal/sim"
 	"tango/internal/staging"
@@ -185,6 +186,57 @@ func LaunchTableIVNoise(node *Node, dev *Device, n int) []*Container {
 func LaunchNoise(node *Node, dev *Device, n Noise) *Container {
 	return workload.LaunchNoise(node, dev, n)
 }
+
+// NoiseHandle controls a running interferer (stop, change period) — the
+// lever the fault injector's churn events act on.
+type NoiseHandle = workload.Handle
+
+// LaunchTableIVNoiseControlled starts the first n Table IV interferers
+// and returns their control handles by name, for use with
+// FaultInjector.RegisterNoise.
+func LaunchTableIVNoiseControlled(node *Node, dev *Device, n int) map[string]*NoiseHandle {
+	set := workload.PaperNoiseSet()
+	if n > len(set) {
+		n = len(set)
+	}
+	return workload.LaunchNoiseSetControlled(node, dev, set[:n])
+}
+
+// ---- Fault injection --------------------------------------------------------
+
+// FaultPlan is a virtual-time schedule of injectable faults: device
+// degradations, cgroup faults, and workload churn (see internal/fault
+// and docs/faults.md).
+type FaultPlan = fault.Plan
+
+// FaultEvent is one scheduled fault.
+type FaultEvent = fault.Event
+
+// FaultInjector arms a FaultPlan against a node.
+type FaultInjector = fault.Injector
+
+// ParseFaultPlan parses the textual plan spec used by `tangosim -faults`
+// (grammar in docs/faults.md), e.g.
+// "bw-collapse@900:dev=hdd,factor=0.2,dur=120; leave@2400:name=noise1".
+func ParseFaultPlan(spec string) (*FaultPlan, error) { return fault.ParsePlan(spec) }
+
+// FaultGenerateOptions parameterizes GenerateFaultPlan.
+type FaultGenerateOptions = fault.GenerateOptions
+
+// GenerateFaultPlan draws a seed-deterministic random plan.
+func GenerateFaultPlan(seed int64, opts FaultGenerateOptions) (*FaultPlan, error) {
+	return fault.Generate(seed, opts)
+}
+
+// NewFaultInjector binds a plan to a node, recording injections and
+// clearances into rec (which may be nil).
+func NewFaultInjector(node *Node, rec *TraceRecorder, plan *FaultPlan) *FaultInjector {
+	return fault.NewInjector(node, rec, plan)
+}
+
+// UnpairedFaults returns injected faults with no recovery action (a
+// recover or refit trace event) recorded at or after the injection.
+func UnpairedFaults(events []TraceEvent) []TraceEvent { return fault.Unpaired(events) }
 
 // ---- Staging ---------------------------------------------------------------
 
