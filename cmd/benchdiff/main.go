@@ -1,0 +1,57 @@
+// Command benchdiff compares two tangobench -json suite documents (a
+// baseline and a candidate, e.g. two CI artifacts) and exits non-zero if
+// any headline metric regressed by more than the threshold.
+//
+//	benchdiff [-threshold 10] [-all] old.json new.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tango/internal/benchdiff"
+)
+
+func main() {
+	var (
+		threshold = flag.Float64("threshold", 10, "regression threshold in percent")
+		all       = flag.Bool("all", false, "print every compared metric, not just regressions")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold pct] [-all] old.json new.json")
+		os.Exit(2)
+	}
+	read := func(path string) *benchdiff.Suite {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchdiff:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		s, err := benchdiff.ReadSuite(f)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %s: %v\n", path, err)
+			os.Exit(2)
+		}
+		return s
+	}
+	rep := benchdiff.Compare(read(flag.Arg(0)), read(flag.Arg(1)), *threshold)
+	for _, n := range rep.Notes {
+		fmt.Println("note:", n)
+	}
+	shown := 0
+	for _, d := range rep.Deltas {
+		if *all || d.Regression {
+			fmt.Println(d)
+			shown++
+		}
+	}
+	reg := rep.Regressions()
+	fmt.Printf("benchdiff: %d metrics compared, %d regressions (threshold %.0f%%)\n",
+		len(rep.Deltas), len(reg), *threshold)
+	if len(reg) > 0 {
+		os.Exit(1)
+	}
+}

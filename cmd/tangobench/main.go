@@ -59,9 +59,9 @@ func main() {
 	}
 
 	if *exp != "" {
-		e, ok := harness.Lookup(*exp)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "tangobench: unknown experiment %q (use -list)\n", *exp)
+		e, err := harness.LookupErr(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tangobench:", err)
 			os.Exit(2)
 		}
 		run(e)

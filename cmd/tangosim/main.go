@@ -19,7 +19,7 @@ import (
 
 func main() {
 	var (
-		policy   = flag.String("policy", "cross", "adaptation policy: none|storage|app|cross")
+		policy   = flag.String("policy", "cross", "adaptation policy: none|storage|app|cross|prefetch")
 		noise    = flag.Int("noise", 6, "number of Table IV interfering containers (0-6)")
 		appName  = flag.String("app", "XGC", "application: XGC|GenASiS|CFD")
 		grid     = flag.Int("grid", 513, "analysis field side length")
@@ -31,6 +31,8 @@ func main() {
 		verbose  = flag.Bool("v", false, "print every step (default: every 5th)")
 		traceOut = flag.Bool("trace", false, "dump the controller event trace after the run")
 		faults   = flag.String("faults", "", "fault plan spec (docs/faults.md), e.g. 'bw-collapse@900:dev=hdd,factor=0.2,dur=120; leave@2400:name=noise1', or 'auto' for a seed-generated plan")
+		prefetch = flag.Bool("prefetch", false, "enable the fast-tier cache + idle-window prefetcher (implied by -policy prefetch)")
+		cacheMB  = flag.Int("cache", 0, "fast-tier cache capacity in MB (0 = default 512; implies -prefetch)")
 	)
 	flag.Parse()
 
@@ -103,10 +105,25 @@ func main() {
 		os.Exit(1)
 	}
 
+	// -prefetch (or -cache) upgrades a cross-layer run to the cache
+	// variant; with other policies the cache rides along as configured.
+	if *cacheMB > 0 {
+		*prefetch = true
+	}
 	cfg := tango.SessionConfig{
 		Policy:   pol,
 		Priority: *priority,
 		Steps:    *steps,
+	}
+	if *prefetch {
+		if cfg.Policy == tango.CrossLayer {
+			cfg.Policy = tango.CrossLayerPrefetch
+		}
+		cc := tango.DefaultCacheConfig()
+		if *cacheMB > 0 {
+			cc.CapacityMB = *cacheMB
+		}
+		cfg.Cache = &cc
 	}
 	var rec *tango.TraceRecorder
 	if *traceOut || plan != nil {
@@ -155,6 +172,15 @@ func main() {
 	sum := sess.Summary(30)
 	fmt.Printf("\nsummary (steps 30+): mean I/O %.3fs  std %.3fs  min %.3fs  max %.3fs  mean %.1f MB/step\n",
 		sum.MeanIO, sum.StdIO, sum.MinIO, sum.MaxIO, sum.MeanBytes/(1024*1024))
+	if c := sess.Cache(); c != nil {
+		cs := c.Stats()
+		fmt.Printf("cache: %d hits / %d misses, %.1f MB served fast, %.1f MB staged, %.1f MB evicted, %.0f/%.0f MB used\n",
+			cs.Hits, cs.Misses, cs.HitBytes/(1024*1024), cs.StagedBytes/(1024*1024),
+			cs.EvictedBytes/(1024*1024), c.Used()/(1024*1024), c.Capacity()/(1024*1024))
+		ps := sess.Prefetcher().Stats()
+		fmt.Printf("prefetcher: %d ticks, %d staging runs, %d paused, %d busy, %d aborted\n",
+			ps.Ticks, ps.Runs, ps.Paused, ps.Busy, ps.Aborted)
+	}
 	if injector != nil {
 		retries := 0
 		for _, st := range sess.Stats() {

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"tango"
+	"tango/internal/harness"
 )
 
 // runSmallScenario executes one compact end-to-end run (decompose,
@@ -181,5 +182,27 @@ func TestSyntheticFieldsByteMatch(t *testing.T) {
 		if a.AbsDiffMax(b) != 0 {
 			t.Fatalf("%s: same-seed fields differ", app.Name)
 		}
+	}
+}
+
+// TestPrefetchExperimentByteMatch extends the contract to the cache +
+// prefetcher subsystem: the background staging flow, cost-benefit
+// eviction, and forecast-gated pausing all run on the virtual clock, so
+// two runs of `-exp prefetch` at the same seed must render identically.
+func TestPrefetchExperimentByteMatch(t *testing.T) {
+	run := func() []byte {
+		r := harness.Prefetch(harness.Config{
+			GridN: 65, Seed: 7, Steps: 40, SkipWarmup: 30, DatasetMB: 256,
+		})
+		return []byte(r.String())
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		for i := range a {
+			if i >= len(b) || a[i] != b[i] {
+				t.Fatalf("same-seed prefetch runs diverge at output byte %d of %d/%d:\n%s", i, len(a), len(b), a)
+			}
+		}
+		t.Fatalf("same-seed prefetch runs produced %d and %d bytes", len(a), len(b))
 	}
 }

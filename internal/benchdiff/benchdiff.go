@@ -1,0 +1,197 @@
+// Package benchdiff compares two tangobench -json suite documents and
+// flags regressions: headline metrics that moved more than a threshold in
+// the bad direction between a baseline run and a candidate run. CI
+// uploads the suite JSON as an artifact; scripts/benchdiff.sh diffs two
+// of them.
+package benchdiff
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Suite mirrors the document tangobench -json emits
+// (harness.WriteSuiteJSON): one entry per experiment, rows keyed by
+// header name.
+type Suite struct {
+	Results []Result `json:"results"`
+}
+
+// Result is one experiment's table.
+type Result struct {
+	ID     string              `json:"id"`
+	Title  string              `json:"title"`
+	Header []string            `json:"header"`
+	Rows   []map[string]string `json:"rows"`
+	Notes  []string            `json:"notes,omitempty"`
+}
+
+// ReadSuite decodes a suite document.
+func ReadSuite(r io.Reader) (*Suite, error) {
+	var s Suite
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("benchdiff: decoding suite: %w", err)
+	}
+	return &s, nil
+}
+
+// Direction classifies how a metric column should move.
+type Direction int
+
+const (
+	Ignore Direction = iota // identity or neutral column
+	LowerBetter
+	HigherBetter
+)
+
+// ColumnDirection infers a header's metric direction from its name.
+// Time-like and error-like columns regress upward; bandwidth-like and
+// hit-ratio columns regress downward; everything else (identity columns,
+// counters with no quality direction) is ignored.
+func ColumnDirection(header string) Direction {
+	h := strings.ToLower(header)
+	for _, k := range []string{"bw", "mb/s", "hit", "throughput", "dof"} {
+		if strings.Contains(h, k) {
+			return HigherBetter
+		}
+	}
+	for _, k := range []string{"i/o", "io (", "io(", "latency", "time", "viol", "nrmse", "err", "std", "retries", "(s)"} {
+		if strings.Contains(h, k) {
+			return LowerBetter
+		}
+	}
+	return Ignore
+}
+
+// Delta is one metric cell compared across the two suites.
+type Delta struct {
+	Experiment string
+	Row        string // identity key built from the non-numeric cells
+	Column     string
+	Old, New   float64
+	Pct        float64 // relative change in percent, signed
+	Regression bool    // moved more than the threshold in the bad direction
+}
+
+func (d Delta) String() string {
+	tag := "ok"
+	if d.Regression {
+		tag = "REGRESSION"
+	}
+	return fmt.Sprintf("%-10s %-12s %-32s %-16s %10.3f -> %-10.3f %+7.1f%%",
+		tag, d.Experiment, d.Row, d.Column, d.Old, d.New, d.Pct)
+}
+
+// Report is the outcome of a suite comparison.
+type Report struct {
+	Deltas []Delta  // metric cells compared in both suites, row-matched
+	Notes  []string // experiments or rows present in only one suite
+}
+
+// Regressions returns the deltas flagged as regressions.
+func (r *Report) Regressions() []Delta {
+	var out []Delta
+	for _, d := range r.Deltas {
+		if d.Regression {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// rowKey identifies a row by its non-numeric cells (app name, policy,
+// filesystem, ...) in header order, so reordered rows still match.
+func rowKey(header []string, row map[string]string) string {
+	var parts []string
+	for _, h := range header {
+		cell := row[h]
+		if cell == "" || cell == "-" {
+			continue
+		}
+		if _, err := strconv.ParseFloat(cell, 64); err != nil {
+			parts = append(parts, cell)
+		}
+	}
+	return strings.Join(parts, "/")
+}
+
+func indexRows(res Result) (map[string]map[string]string, []string) {
+	idx := make(map[string]map[string]string, len(res.Rows))
+	var keys []string
+	for i, row := range res.Rows {
+		k := rowKey(res.Header, row)
+		if k == "" {
+			k = fmt.Sprintf("row%d", i)
+		}
+		if _, dup := idx[k]; dup {
+			k = fmt.Sprintf("%s#%d", k, i)
+		}
+		idx[k] = row
+		keys = append(keys, k)
+	}
+	return idx, keys
+}
+
+// Compare diffs every metric cell present in both suites. A cell is a
+// regression when it moved more than thresholdPct in its bad direction.
+func Compare(oldS, newS *Suite, thresholdPct float64) *Report {
+	rep := &Report{}
+	oldByID := map[string]Result{}
+	for _, r := range oldS.Results {
+		oldByID[r.ID] = r
+	}
+	seen := map[string]bool{}
+	for _, nr := range newS.Results {
+		or, ok := oldByID[nr.ID]
+		if !ok {
+			rep.Notes = append(rep.Notes, fmt.Sprintf("experiment %q only in new suite", nr.ID))
+			continue
+		}
+		seen[nr.ID] = true
+		oldIdx, _ := indexRows(or)
+		newIdx, newKeys := indexRows(nr)
+		for _, key := range newKeys {
+			oldRow, ok := oldIdx[key]
+			if !ok {
+				rep.Notes = append(rep.Notes, fmt.Sprintf("%s: row %q only in new suite", nr.ID, key))
+				continue
+			}
+			for _, h := range nr.Header {
+				dir := ColumnDirection(h)
+				if dir == Ignore {
+					continue
+				}
+				ov, oerr := strconv.ParseFloat(oldRow[h], 64)
+				nv, nerr := strconv.ParseFloat(newIdx[key][h], 64)
+				if oerr != nil || nerr != nil {
+					continue // "-" placeholders and the like
+				}
+				d := Delta{Experiment: nr.ID, Row: key, Column: h, Old: ov, New: nv}
+				if ov != 0 {
+					d.Pct = 100 * (nv - ov) / ov
+				} else if nv != 0 {
+					d.Pct = 100 // from zero: any growth is "100%"
+				}
+				switch dir {
+				case LowerBetter:
+					d.Regression = d.Pct > thresholdPct
+				case HigherBetter:
+					d.Regression = d.Pct < -thresholdPct
+				}
+				rep.Deltas = append(rep.Deltas, d)
+			}
+		}
+	}
+	for id := range oldByID {
+		if !seen[id] {
+			rep.Notes = append(rep.Notes, fmt.Sprintf("experiment %q only in old suite", id))
+		}
+	}
+	sort.Strings(rep.Notes)
+	return rep
+}

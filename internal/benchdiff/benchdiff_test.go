@@ -1,0 +1,125 @@
+package benchdiff
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tango/internal/harness"
+)
+
+func suiteOf(t *testing.T, rs ...*harness.Result) *Suite {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := harness.WriteSuiteJSON(&buf, rs); err != nil {
+		t.Fatal(err)
+	}
+	s, err := ReadSuite(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func bench(meanIO, bw string) *harness.Result {
+	r := &harness.Result{
+		ID:     "prefetch",
+		Title:  "demo",
+		Header: []string{"app", "policy", "mean I/O (s)", "fg BW MB/s", "bound viol"},
+	}
+	r.Add("XGC", "cross-layer", meanIO, bw, "0")
+	return r
+}
+
+func TestColumnDirection(t *testing.T) {
+	cases := map[string]Direction{
+		"mean I/O (s)": LowerBetter,
+		"latency":      LowerBetter,
+		"bound viol":   LowerBetter,
+		"NRMSE":        LowerBetter,
+		"fg BW MB/s":   HigherBetter,
+		"hit %":        HigherBetter,
+		"app":          Ignore,
+		"policy":       Ignore,
+		"filesystem":   Ignore,
+	}
+	for h, want := range cases {
+		if got := ColumnDirection(h); got != want {
+			t.Fatalf("ColumnDirection(%q) = %v, want %v", h, got, want)
+		}
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	old := suiteOf(t, bench("1.000", "40.0"))
+
+	// Identical run: no regressions.
+	rep := Compare(old, suiteOf(t, bench("1.000", "40.0")), 10)
+	if len(rep.Regressions()) != 0 || len(rep.Deltas) != 3 {
+		t.Fatalf("identical suites: %d regressions, %d deltas", len(rep.Regressions()), len(rep.Deltas))
+	}
+
+	// I/O time up 25% and bandwidth down 25%: two regressions.
+	rep = Compare(old, suiteOf(t, bench("1.250", "30.0")), 10)
+	reg := rep.Regressions()
+	if len(reg) != 2 {
+		t.Fatalf("regressions = %v", reg)
+	}
+	if reg[0].Column != "mean I/O (s)" || reg[0].Pct != 25 {
+		t.Fatalf("unexpected first regression: %+v", reg[0])
+	}
+	if reg[1].Column != "fg BW MB/s" || reg[1].Pct != -25 {
+		t.Fatalf("unexpected second regression: %+v", reg[1])
+	}
+	if !strings.Contains(reg[0].String(), "REGRESSION") {
+		t.Fatalf("regression not tagged: %s", reg[0])
+	}
+
+	// Within threshold or improving: clean.
+	rep = Compare(old, suiteOf(t, bench("1.050", "44.0")), 10)
+	if len(rep.Regressions()) != 0 {
+		t.Fatalf("small moves flagged: %v", rep.Regressions())
+	}
+
+	// Violations appearing from zero regress immediately.
+	worse := bench("1.000", "40.0")
+	worse.Rows[0][4] = "2"
+	rep = Compare(old, suiteOf(t, worse), 10)
+	if reg := rep.Regressions(); len(reg) != 1 || reg[0].Column != "bound viol" {
+		t.Fatalf("zero-to-nonzero violations not flagged: %v", rep.Regressions())
+	}
+}
+
+func TestCompareNotesMismatches(t *testing.T) {
+	onlyOld := suiteOf(t, bench("1.0", "40.0"))
+	other := bench("1.0", "40.0")
+	other.ID = "chaos"
+	rep := Compare(onlyOld, suiteOf(t, other), 10)
+	if len(rep.Deltas) != 0 {
+		t.Fatalf("nothing should compare: %v", rep.Deltas)
+	}
+	found := 0
+	for _, n := range rep.Notes {
+		if strings.Contains(n, "only in") {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Fatalf("notes = %v", rep.Notes)
+	}
+
+	// Row present only in the candidate is noted, not compared.
+	extra := bench("1.0", "40.0")
+	extra.Add("CFD", "cross-layer", "2.0", "38.0", "0")
+	rep = Compare(onlyOld, suiteOf(t, extra), 10)
+	if len(rep.Regressions()) != 0 {
+		t.Fatalf("unmatched row flagged: %v", rep.Regressions())
+	}
+	ok := false
+	for _, n := range rep.Notes {
+		ok = ok || strings.Contains(n, "CFD")
+	}
+	if !ok {
+		t.Fatalf("missing new-row note: %v", rep.Notes)
+	}
+}

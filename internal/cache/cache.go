@@ -1,0 +1,421 @@
+// Package cache implements a capacity-bounded fast-tier augmentation
+// cache plus a predictive prefetcher (see prefetch.go). The cache holds
+// prefixes of capacity-tier augmentation levels on an SSD-class device so
+// that Algorithm 1's bucket retrievals can be served at fast-tier
+// bandwidth during high-interference windows. Admission is driven by the
+// prefetcher during forecast quiet windows; eviction is cost-benefit
+// aware — a cached run's keep-score is its expected reuse times the
+// per-byte cost of refetching it from its home tier, with
+// prescribed-bound (mandatory) prefixes made sticky — so coarse,
+// always-needed levels stay resident while speculative fine-level data
+// is shed first.
+//
+// The cache is a pure sim-side construct: it runs on the session's
+// engine, reserves real capacity on the cache device (never displacing
+// staged base representations — when the device cannot grant more, the
+// cache shrinks), and is consulted by the staging read paths through the
+// staging.CacheView interface.
+package cache
+
+import (
+	"tango/internal/blkio"
+	"tango/internal/device"
+	"tango/internal/refactor"
+	"tango/internal/sim"
+	"tango/internal/staging"
+	"tango/internal/trace"
+)
+
+// Config parameterizes the cache and its prefetcher. Zero values take the
+// defaults noted per field.
+type Config struct {
+	// CapacityMB bounds the cache footprint on the fast tier (default
+	// 512). The effective capacity is additionally clamped to the free
+	// capacity of the cache device at construction, and shrinks at
+	// runtime if the device fills up — the cache never displaces staged
+	// data.
+	CapacityMB int
+	// ChunkMB is the transfer granularity of prefetch staging and the
+	// trim granularity of eviction (default 32). Smaller chunks abort
+	// faster when interference returns mid-transfer.
+	ChunkMB int
+	// ReuseDecay is the EWMA factor folding each step's observed request
+	// fraction into a run's expected-reuse score (default 0.3).
+	ReuseDecay float64
+
+	// Interval is the prefetcher's tick period in virtual seconds
+	// (default 15: four decision points per default 60 s analytics step).
+	Interval float64
+	// LowWaterFrac gates prefetching to predicted quiet windows: the
+	// prefetcher stages only while the forecast bandwidth is at least
+	// this fraction of the model's peak (default 0.75).
+	LowWaterFrac float64
+	// PauseFrac pauses staging when the observed capacity-tier bandwidth
+	// drops below this fraction of the forecast — the forecast is wrong,
+	// so the quiet window cannot be trusted (default 0.9).
+	PauseFrac float64
+	// BpsLimitMB caps the background flow's read and write byte rate
+	// (blkio.throttle) in MB/s (default 32). Together with the
+	// floor-pinned weight this keeps the prefetch flow from degrading
+	// foreground bandwidth.
+	BpsLimitMB int
+	// Lookahead is how many future steps of planned cursors the
+	// prefetch target covers (default 2).
+	Lookahead int
+
+	// Trace, when non-nil, receives cache hit/miss/evict and prefetch
+	// events; Source labels them (the session name).
+	Trace  *trace.Recorder
+	Source string
+}
+
+func (c Config) withDefaults() Config {
+	if c.CapacityMB == 0 {
+		c.CapacityMB = 512
+	}
+	if c.ChunkMB == 0 {
+		c.ChunkMB = 32
+	}
+	if c.ReuseDecay == 0 {
+		c.ReuseDecay = 0.3
+	}
+	if c.Interval == 0 {
+		c.Interval = 15
+	}
+	if c.LowWaterFrac == 0 {
+		c.LowWaterFrac = 0.75
+	}
+	if c.PauseFrac == 0 {
+		c.PauseFrac = 0.9
+	}
+	if c.BpsLimitMB == 0 {
+		c.BpsLimitMB = 32
+	}
+	if c.Lookahead == 0 {
+		c.Lookahead = 2
+	}
+	if c.Source == "" {
+		c.Source = "cache"
+	}
+	return c
+}
+
+// DefaultConfig returns the defaults spelled out (useful for callers that
+// tweak one field).
+func DefaultConfig() Config { return Config{}.withDefaults() }
+
+// Stats is a snapshot of the cache counters.
+type Stats struct {
+	Hits         int     // segment reads served (at least partly) from the cache
+	Misses       int     // segment reads that (at least partly) went to the home tier
+	HitBytes     float64 // bytes served from the cache device
+	StagedBytes  float64 // bytes transferred home tier -> cache by prefetching
+	EvictedBytes float64 // bytes trimmed by cost-benefit eviction
+	Shrinks      int     // capacity reductions forced by device pressure
+}
+
+// run tracks the cached prefix of one augmentation level whose home tier
+// is not the cache device. Entries are level-local indices; [0, prefix)
+// is resident on the cache device.
+type run struct {
+	level       int
+	home        *device.Device
+	globalStart int     // cursor position where this level's entries begin
+	total       int     // entries at this level
+	prefix      int     // cached entries [0, prefix)
+	bytes       float64 // reserved bytes backing the prefix (scaled)
+	reuse       float64 // EWMA of per-step requested fraction of the level
+
+	reqEntries int // entries requested this step (reset by EndStep)
+}
+
+// Cache is the fast-tier augmentation cache. It is driven entirely from
+// sim context (single-threaded engine), so it needs no locking; the lint
+// suite keeps it that way.
+type Cache struct {
+	cfg       Config
+	h         *refactor.Hierarchy
+	dev       *device.Device
+	scale     float64
+	runs      []*run // cursor order (coarse level first)
+	capacity  float64
+	used      float64
+	mandatory int
+	closed    bool
+	stats     Stats
+}
+
+// New builds a cache over the staged hierarchy, holding data on dev (the
+// fast tier). Only augmentation levels homed on other devices are
+// cacheable. The requested capacity is clamped to dev's free capacity —
+// staged base representations are never displaced; if the tier cannot
+// hold base plus the full cache headroom, the cache is the side that
+// shrinks.
+func New(store *staging.Store, dev *device.Device, cfg Config) *Cache {
+	if dev == nil {
+		panic("cache: nil device")
+	}
+	cfg = cfg.withDefaults()
+	h := store.Hierarchy()
+	c := &Cache{
+		cfg:      cfg,
+		h:        h,
+		dev:      dev,
+		scale:    store.Scale(),
+		capacity: float64(cfg.CapacityMB) * device.MB,
+	}
+	if cap := dev.Params().Capacity; cap > 0 {
+		if free := cap - dev.Used(); c.capacity > free {
+			c.capacity = free
+			if c.capacity < 0 {
+				c.capacity = 0
+			}
+			c.stats.Shrinks++
+			c.emit(trace.KindCacheEvict, "capacity clamped to %.0f B free on %s (staged data keeps priority)", c.capacity, dev.Name())
+		}
+	}
+	g := 0
+	for _, seg := range h.Segments(0, h.TotalEntries()) {
+		if home := store.DeviceForLevel(seg.Level); home != dev {
+			c.runs = append(c.runs, &run{
+				level:       seg.Level,
+				home:        home,
+				globalStart: g,
+				total:       seg.End - seg.Start,
+				reuse:       1, // optimistic: every level starts fully reusable
+			})
+		}
+		g += seg.End - seg.Start
+	}
+	return c
+}
+
+// Device returns the device holding cached data.
+func (c *Cache) Device() *device.Device { return c.dev }
+
+// Capacity returns the current (possibly shrunk) byte budget.
+func (c *Cache) Capacity() float64 { return c.capacity }
+
+// Used returns the bytes currently resident.
+func (c *Cache) Used() float64 { return c.used }
+
+// CachedEntries returns the total augmentation entries resident.
+func (c *Cache) CachedEntries() int {
+	n := 0
+	for _, r := range c.runs {
+		n += r.prefix
+	}
+	return n
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// SetMandatory marks the cursor prefix the prescribed error bound
+// requires: cached runs inside it are sticky under eviction (they will be
+// re-requested every step by construction).
+func (c *Cache) SetMandatory(cursor int) { c.mandatory = cursor }
+
+func (c *Cache) emit(kind, format string, args ...any) {
+	c.cfg.Trace.Emit(c.dev.Engine().Now(), c.cfg.Source, kind, format, args...)
+}
+
+// Serve implements staging.CacheView: it reports how many leading entries
+// of the level-local range [start, end) are resident, and on which
+// device. It also does the per-request bookkeeping (hit/miss counters,
+// reuse statistics), so staging calls it exactly once per segment read.
+func (c *Cache) Serve(level, start, end int) (*device.Device, int) {
+	if c.closed || end <= start {
+		return nil, 0
+	}
+	r := c.runForLevel(level)
+	if r == nil {
+		return nil, 0 // level homed on the cache device already
+	}
+	r.reqEntries += end - start
+	served := 0
+	if start < r.prefix {
+		served = min(end, r.prefix) - start
+	}
+	if served > 0 {
+		bytes := float64(c.h.LevelBytes(level, start, start+served)) * c.scale
+		c.stats.Hits++
+		c.stats.HitBytes += bytes
+		c.emit(trace.KindCacheHit, "level=%d entries=[%d,%d) served=%d bytes=%.0f", level, start, end, served, bytes)
+	}
+	if served < end-start {
+		c.stats.Misses++
+		c.emit(trace.KindCacheMiss, "level=%d entries=[%d,%d) uncached=%d", level, start, end, end-start-served)
+	}
+	if served == 0 {
+		return nil, 0
+	}
+	return c.dev, served
+}
+
+// EndStep folds the step's request pattern into each run's expected-reuse
+// EWMA. The controller calls it once per analysis step.
+func (c *Cache) EndStep() {
+	for _, r := range c.runs {
+		if r.total == 0 {
+			continue
+		}
+		req := float64(r.reqEntries) / float64(r.total)
+		if req > 1 {
+			req = 1
+		}
+		r.reuse = (1-c.cfg.ReuseDecay)*r.reuse + c.cfg.ReuseDecay*req
+		r.reqEntries = 0
+	}
+}
+
+func (c *Cache) runForLevel(level int) *run {
+	for _, r := range c.runs {
+		if r.level == level {
+			return r
+		}
+	}
+	return nil
+}
+
+// score is the cost-benefit keep-score of a run, per byte: expected reuse
+// times the per-byte cost of refetching from the home tier. Runs inside
+// the mandatory (prescribed-bound) prefix are strongly sticky — they are
+// re-read every step no matter what the interference does.
+func (c *Cache) score(r *run) float64 {
+	s := (0.1 + r.reuse) / r.home.Params().PeakBandwidth
+	if r.globalStart < c.mandatory {
+		s *= 8
+	}
+	return s
+}
+
+// chunkEntries converts the byte chunk size to an entry count for one
+// run, using the level's mean entry encoding size.
+func (c *Cache) chunkEntries(r *run) int {
+	if r.total == 0 {
+		return 1
+	}
+	avg := float64(c.h.LevelBytes(r.level, 0, r.total)) * c.scale / float64(r.total)
+	if avg <= 0 {
+		return r.total
+	}
+	n := int(float64(c.cfg.ChunkMB) * device.MB / avg)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// makeRoom evicts low-score tails until `need` more bytes fit, never
+// trimming a run that scores at least as high as the incoming one.
+// Returns false when the bytes cannot be freed.
+func (c *Cache) makeRoom(need float64, incoming *run) bool {
+	for c.used+need > c.capacity {
+		var victim *run
+		worst := 0.0
+		for _, r := range c.runs {
+			if r == incoming || r.prefix == 0 {
+				continue
+			}
+			if s := c.score(r); victim == nil || s < worst {
+				victim, worst = r, s
+			}
+		}
+		if victim == nil || worst >= c.score(incoming) {
+			return false
+		}
+		newPrefix := victim.prefix - c.chunkEntries(victim)
+		if newPrefix < 0 {
+			newPrefix = 0
+		}
+		freed := float64(c.h.LevelBytes(victim.level, newPrefix, victim.prefix)) * c.scale
+		victim.prefix = newPrefix
+		victim.bytes -= freed
+		c.used -= freed
+		c.dev.Release(freed)
+		c.stats.EvictedBytes += freed
+		c.emit(trace.KindCacheEvict, "level=%d trimmed to %d entries (freed %.0f B, score=%.3g)", victim.level, newPrefix, freed, worst)
+	}
+	return true
+}
+
+// shrink reduces the capacity to the current footprint after the device
+// refused a reservation: something else (staged data) claimed the space,
+// and staged data always wins over cache headroom.
+func (c *Cache) shrink() {
+	c.capacity = c.used
+	c.stats.Shrinks++
+	c.emit(trace.KindCacheEvict, "device %s full: capacity shrunk to %.0f B", c.dev.Name(), c.capacity)
+}
+
+// PrefetchTo stages augmentation up to the global cursor `target` into
+// the cache, transferring home-tier bytes chunk by chunk under cg (the
+// background cgroup). keepGoing, when non-nil, is polled between chunks
+// so the prefetcher can abort mid-run when interference returns. Returns
+// the bytes staged and whether the run was aborted.
+func (c *Cache) PrefetchTo(p *sim.Proc, cg *blkio.Cgroup, target int, keepGoing func() bool) (staged float64, aborted bool) {
+	if c.closed {
+		return 0, false
+	}
+	for _, r := range c.runs {
+		want := target - r.globalStart
+		if want > r.total {
+			want = r.total
+		}
+		for r.prefix < want {
+			next := r.prefix + c.chunkEntries(r)
+			if next > want {
+				next = want
+			}
+			bytes := float64(c.h.LevelBytes(r.level, r.prefix, next)) * c.scale
+			if bytes > 0 {
+				if !c.makeRoom(bytes, r) {
+					return staged, false // capacity-bound: higher-value data stays
+				}
+				if err := c.dev.Reserve(bytes); err != nil {
+					// The device filled up underneath us (more data was
+					// staged): the cache shrinks rather than displacing it.
+					c.shrink()
+					return staged, false
+				}
+				r.home.Read(p, cg, bytes)
+				c.dev.Write(p, cg, bytes)
+				c.used += bytes
+				r.bytes += bytes
+				c.stats.StagedBytes += bytes
+				staged += bytes
+			}
+			r.prefix = next
+			if keepGoing != nil && !keepGoing() {
+				return staged, true
+			}
+		}
+	}
+	return staged, false
+}
+
+// Close releases every reservation and detaches the cache from service:
+// Serve misses and PrefetchTo is a no-op afterwards. Idempotent; called
+// when the owning session exits (ephemeral data is erased).
+func (c *Cache) Close() {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	for _, r := range c.runs {
+		if r.bytes > 0 {
+			c.dev.Release(r.bytes)
+			r.bytes = 0
+			r.prefix = 0
+		}
+	}
+	c.used = 0
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

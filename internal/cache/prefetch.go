@@ -1,0 +1,120 @@
+package cache
+
+import (
+	"tango/internal/blkio"
+	"tango/internal/container"
+	"tango/internal/device"
+	"tango/internal/sim"
+	"tango/internal/trace"
+)
+
+// PrefetchStats counts the prefetcher's decisions.
+type PrefetchStats struct {
+	Ticks         int // wakeups considered
+	NotReady      int // skipped: estimator has no fitted model yet
+	Paused        int // skipped: observed bandwidth below PauseFrac × forecast
+	Busy          int // skipped: forecast below LowWaterFrac × model peak
+	Runs          int // ticks that staged at least one chunk
+	Aborted       int // staging runs cut short by a mid-run pause
+	WeightRetries int // floor-weight writes rejected by an injected fault
+}
+
+// Prefetcher drives the cache from inside the simulation: it wakes every
+// Interval, re-asserts its background cgroup's floor weight and byte-rate
+// caps (cross-layer: the prefetch flow must never steal bandwidth from
+// foreground analytics), and stages upcoming augmentation only during
+// predicted low-interference windows. The decision inputs are injected
+// as closures so the package stays independent of the controller.
+type Prefetcher struct {
+	// Forecast returns the next-step capacity-tier bandwidth forecast,
+	// the fitted model's peak, and whether a model is ready.
+	Forecast func() (next, peak float64, ok bool)
+	// Observed returns the most recent measured capacity-tier bandwidth
+	// (0 when nothing has been measured yet).
+	Observed func() float64
+	// Target returns the global cursor to stage up to (the controller's
+	// planned cursors over the lookahead horizon).
+	Target func() int
+	// Done reports that the owning session has exited; the prefetcher
+	// stops at the next tick.
+	Done func() bool
+
+	cache *Cache
+	cfg   Config
+	stats PrefetchStats
+}
+
+// NewPrefetcher builds a prefetcher over the cache, sharing its Config.
+func NewPrefetcher(c *Cache, cfg Config) *Prefetcher {
+	return &Prefetcher{cache: c, cfg: cfg.withDefaults()}
+}
+
+// Stats returns a snapshot of the decision counters.
+func (pf *Prefetcher) Stats() PrefetchStats { return pf.stats }
+
+// paused reports whether observed bandwidth has fallen below the trusted
+// fraction of the forecast — the quiet window the model promised is not
+// materializing, so staging must stop.
+func (pf *Prefetcher) paused(forecast float64) bool {
+	if pf.Observed == nil {
+		return false
+	}
+	obs := pf.Observed()
+	return obs > 0 && forecast > 0 && obs < pf.cfg.PauseFrac*forecast
+}
+
+func (pf *Prefetcher) emit(kind, format string, args ...any) {
+	pf.cache.emit(kind, format, args...)
+}
+
+// Run is the container body of the background prefetch process. It
+// returns (ending the container) once Done reports the session exited.
+func (pf *Prefetcher) Run(c *container.Container, p *sim.Proc) {
+	cg := c.Cgroup()
+	bps := float64(pf.cfg.BpsLimitMB) * device.MB
+	for {
+		p.Sleep(pf.cfg.Interval)
+		if pf.Done != nil && pf.Done() {
+			return
+		}
+		pf.stats.Ticks++
+		// Re-assert the floor weight and throttles every tick: an
+		// injected weight-write fault may have swallowed an earlier
+		// write, and a throttle-reset fault may have cleared the caps.
+		// MinWeight pins the flow to the smallest proportional share the
+		// controller can grant, so foreground weight boosts always win.
+		if err := cg.TrySetWeight(blkio.MinWeight); err != nil {
+			pf.stats.WeightRetries++
+		}
+		cg.SetReadBpsLimit(bps)
+		cg.SetWriteBpsLimit(bps)
+		if pf.Forecast == nil || pf.Target == nil {
+			pf.stats.NotReady++
+			continue
+		}
+		next, peak, ok := pf.Forecast()
+		if !ok {
+			pf.stats.NotReady++
+			continue
+		}
+		if pf.paused(next) {
+			pf.stats.Paused++
+			pf.emit(trace.KindPrefetch, "paused: observed %.0f B/s below %.0f%% of forecast %.0f B/s",
+				pf.Observed(), pf.cfg.PauseFrac*100, next)
+			continue
+		}
+		if next < pf.cfg.LowWaterFrac*peak {
+			pf.stats.Busy++
+			continue // not a quiet window: stay off the device
+		}
+		staged, aborted := pf.cache.PrefetchTo(p, cg, pf.Target(), func() bool { return !pf.paused(next) })
+		if aborted {
+			pf.stats.Aborted++
+		}
+		if staged > 0 {
+			pf.stats.Runs++
+			pf.emit(trace.KindPrefetch, "staged %.0f B (cache %.0f/%.0f B, %d entries)",
+				staged, pf.cache.Used(), pf.cache.Capacity(), pf.cache.CachedEntries())
+		}
+	}
+}

@@ -61,8 +61,10 @@ func ParsePolicy(s string) (core.Policy, error) {
 		return core.AppOnly, nil
 	case "cross", "cross-layer", "tango":
 		return core.CrossLayer, nil
+	case "prefetch", "cross-prefetch", "cross-layer+prefetch":
+		return core.CrossLayerPrefetch, nil
 	}
-	return 0, fmt.Errorf("unknown policy %q (none|storage|app|cross)", s)
+	return 0, fmt.Errorf("unknown policy %q (none|storage|app|cross|prefetch)", s)
 }
 
 // ReadRawFloat64s reads n little-endian float64 values from path.

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"tango/internal/abplot"
+	"tango/internal/cache"
 	"tango/internal/coordinator"
 	"tango/internal/device"
 	"tango/internal/staging"
@@ -34,6 +35,12 @@ const (
 	// CrossLayer is Tango: dynamic augmentation plus the weight
 	// function at the storage layer.
 	CrossLayer
+	// CrossLayerPrefetch is CrossLayer plus the fast-tier cache and
+	// idle-window prefetcher (internal/cache): forecast quiet windows
+	// pre-stage upcoming augmentation HDD→SSD through a floor-weight
+	// background flow, so high-interference steps read from the fast
+	// tier instead.
+	CrossLayerPrefetch
 )
 
 // String returns the policy name as used in the paper's figures.
@@ -47,6 +54,8 @@ func (p Policy) String() string {
 		return "single-layer/application"
 	case CrossLayer:
 		return "cross-layer"
+	case CrossLayerPrefetch:
+		return "cross-layer+prefetch"
 	default:
 		return fmt.Sprintf("Policy(%d)", int(p))
 	}
@@ -55,6 +64,24 @@ func (p Policy) String() string {
 // AllPolicies lists the four policies in the paper's presentation order.
 func AllPolicies() []Policy {
 	return []Policy{NoAdapt, StorageOnly, AppOnly, CrossLayer}
+}
+
+// ExtendedPolicies is AllPolicies plus the beyond-paper cross-layer
+// variant with the predictive fast-tier cache.
+func ExtendedPolicies() []Policy {
+	return append(AllPolicies(), CrossLayerPrefetch)
+}
+
+// adjustsWeights reports whether the policy writes blkio weights (and so
+// must probe for default-share bandwidth samples).
+func (p Policy) adjustsWeights() bool {
+	return p == StorageOnly || p == CrossLayer || p == CrossLayerPrefetch
+}
+
+// crossLayer reports whether the policy plans its cursor against the
+// bandwidth share its elevated weight will earn.
+func (p Policy) crossLayer() bool {
+	return p == CrossLayer || p == CrossLayerPrefetch
 }
 
 // Config parameterizes an analysis session. Zero values take the paper's
@@ -127,6 +154,11 @@ type Config struct {
 	// against other sessions on the node, rescaling concurrent requests
 	// so priority ratios are preserved (see internal/coordinator).
 	Allocator *coordinator.Allocator
+
+	// Cache configures the fast-tier augmentation cache and its
+	// prefetcher (see internal/cache). nil leaves caching off unless the
+	// policy is CrossLayerPrefetch, which defaults it.
+	Cache *cache.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -156,6 +188,10 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RegimeRun == 0 {
 		c.RegimeRun = 4
+	}
+	if c.Policy == CrossLayerPrefetch && c.Cache == nil {
+		cc := cache.DefaultConfig()
+		c.Cache = &cc
 	}
 	return c
 }

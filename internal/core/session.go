@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"tango/internal/blkio"
+	"tango/internal/cache"
 	"tango/internal/container"
 	"tango/internal/dftestim"
 	"tango/internal/errmetric"
@@ -41,6 +42,11 @@ type StepStats struct {
 	Retries   int     // read requests retried after transient errors
 	Degraded  bool    // optional augmentation shed after exhausting retries
 	Buckets   []BucketStat
+
+	// Fast-tier cache effect on this step (zero without a cache).
+	CacheHits     int     // segment reads served at least partly from cache
+	CacheMisses   int     // segment reads that touched the home tier
+	CacheHitBytes float64 // bytes served from the cache device
 }
 
 // TimeToBound returns the elapsed time from step start until the bucket
@@ -67,9 +73,13 @@ type Session struct {
 	wfSize *weightfn.Func // cardinality-only pricing (StorageOnly policy)
 	est    *dftestim.Estimator
 
-	stats   []StepStats
-	cont    *container.Container
-	stopped bool
+	stats    []StepStats
+	cont     *container.Container
+	stopped  bool
+	finished bool // set when the step loop exits (stops the prefetcher)
+
+	cache *cache.Cache
+	pf    *cache.Prefetcher
 
 	regimeStreak  int  // consecutive mispredicted steps (regime detector)
 	weightPending bool // a weight write failed; re-apply on next success
@@ -182,6 +192,9 @@ func (s *Session) SetBound(bound float64) error {
 	}
 	s.Config.ErrorControl = true
 	s.Config.Bound = bound
+	if s.cache != nil {
+		s.cache.SetMandatory(s.mandatoryCursor())
+	}
 	return nil
 }
 
@@ -202,6 +215,10 @@ func (s *Session) Launch(node *container.Node) error {
 		for step := 0; step < s.Config.Steps && !s.stopped; step++ {
 			s.runStep(c, p, step)
 		}
+		s.finished = true
+		if s.cache != nil {
+			s.cache.Close()
+		}
 		s.store.Release()
 		if s.Config.Allocator != nil {
 			s.Config.Allocator.Detach(s.Name)
@@ -216,7 +233,89 @@ func (s *Session) Launch(node *container.Node) error {
 			return err
 		}
 	}
+	if s.Config.Cache != nil {
+		if err := s.launchPrefetcher(node); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// Cache exposes the fast-tier cache (nil unless Config.Cache is set and
+// the session has been launched).
+func (s *Session) Cache() *cache.Cache { return s.cache }
+
+// Prefetcher exposes the background prefetcher (nil without a cache).
+func (s *Session) Prefetcher() *cache.Prefetcher { return s.pf }
+
+// launchPrefetcher builds the fast-tier cache over the session's store
+// and starts the background prefetch container. The cache lives on the
+// store's base (fastest) device; the prefetcher's decision inputs are
+// wired to the session's estimator and planner so internal/cache stays
+// free of controller dependencies.
+func (s *Session) launchPrefetcher(node *container.Node) error {
+	ccfg := *s.Config.Cache
+	if ccfg.Trace == nil {
+		ccfg.Trace = s.Config.Trace
+	}
+	if ccfg.Source == "" {
+		ccfg.Source = s.Name + "-prefetch"
+	}
+	cc := cache.New(s.store, s.store.BaseDevice(), ccfg)
+	cc.SetMandatory(s.mandatoryCursor())
+	s.store.SetCache(cc)
+	s.cache = cc
+	pf := cache.NewPrefetcher(cc, ccfg)
+	pf.Forecast = func() (float64, float64, bool) {
+		if !s.est.Ready() {
+			return 0, 0, false
+		}
+		peak := 0.0
+		for _, v := range s.est.Model() {
+			if v > peak {
+				peak = v
+			}
+		}
+		return s.est.PredictNext(), peak, true
+	}
+	pf.Observed = func() float64 {
+		if len(s.stats) == 0 {
+			return 0
+		}
+		return s.stats[len(s.stats)-1].SlowBW
+	}
+	pf.Target = s.prefetchTarget
+	pf.Done = func() bool { return s.finished }
+	s.pf = pf
+	_, err := node.Launch(s.Name+"-prefetch", pf.Run)
+	return err
+}
+
+// prefetchTarget is the global cursor the prefetcher should stage up to:
+// the maximum cursor the controller would plan over the next Lookahead
+// steps, floored by the prescribed bound's rung. Mirrors planCursor.
+func (s *Session) prefetchTarget() int {
+	target := s.mandatoryCursor()
+	if !s.est.Ready() {
+		return target
+	}
+	h := s.store.Hierarchy()
+	n := s.est.Samples()
+	boost := 1.0
+	if s.Config.Policy.crossLayer() {
+		boost = s.weightBoost()
+	}
+	la := 2
+	if s.Config.Cache != nil && s.Config.Cache.Lookahead > 0 {
+		la = s.Config.Cache.Lookahead
+	}
+	for i := 0; i < la; i++ {
+		deg := s.Config.Plot.Degree(s.est.Predict(n+i) * boost)
+		if cur := h.CursorForFraction(deg); cur > target {
+			target = cur
+		}
+	}
+	return target
 }
 
 // mandatoryCursor is the rung the prescribed bound requires.
@@ -254,7 +353,7 @@ func (s *Session) planCursor(step int) (cursor int, predicted, degree float64) {
 	}
 	predicted = s.est.Predict(step)
 	planBW := predicted
-	if s.Config.Policy == CrossLayer {
+	if s.Config.Policy.crossLayer() {
 		planBW *= s.weightBoost()
 	}
 	degree = s.Config.Plot.Degree(planBW)
@@ -356,6 +455,10 @@ func (s *Session) runStep(c *container.Container, p *sim.Proc, step int) {
 	cfg := s.Config
 	start := p.Now()
 	st := StepStats{Step: step, Start: start}
+	var cs0 cache.Stats
+	if s.cache != nil {
+		cs0 = s.cache.Stats()
+	}
 
 	cursor, predicted, degree := s.planCursor(step)
 	st.Cursor, st.Predicted, st.Degree = cursor, predicted, degree
@@ -425,7 +528,7 @@ func (s *Session) runStep(c *container.Container, p *sim.Proc, step int) {
 				break
 			}
 		}
-	case CrossLayer:
+	case CrossLayer, CrossLayerPrefetch:
 		for _, b := range s.buckets(cursor) {
 			card := b.to - b.from
 			w := setWeight(s.wf.Weight(float64(card), b.bound, cfg.Priority))
@@ -435,7 +538,7 @@ func (s *Session) runStep(c *container.Container, p *sim.Proc, step int) {
 		}
 	}
 	// Weight reverts to the default outside the retrieval window.
-	if cfg.Policy == StorageOnly || cfg.Policy == CrossLayer {
+	if cfg.Policy.adjustsWeights() {
 		if cfg.Allocator != nil {
 			cfg.Allocator.Release(s.Name)
 		} else {
@@ -450,7 +553,7 @@ func (s *Session) runStep(c *container.Container, p *sim.Proc, step int) {
 	// read issued after the weight has reverted to the default. Policies
 	// that never adjust weights sample from their retrieval directly
 	// (probing only when the step barely touched the capacity tier).
-	weightAdjusting := cfg.Policy == StorageOnly || cfg.Policy == CrossLayer
+	weightAdjusting := cfg.Policy.adjustsWeights()
 	if weightAdjusting && cfg.ProbeBytes > 0 {
 		pt := s.store.Probe(p, c.Cgroup(), cfg.ProbeBytes)
 		bytes, elapsed := pt.Total()
@@ -507,6 +610,16 @@ func (s *Session) runStep(c *container.Container, p *sim.Proc, step int) {
 				"regime change: relerr=%.2f for %d steps, refit (samples=%d)", relErr, s.regimeStreak, s.est.Samples())
 			s.regimeStreak = 0
 		}
+	}
+
+	// Fold the step's cache effect into the record and let the cache
+	// update its per-run reuse statistics.
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		st.CacheHits = cs.Hits - cs0.Hits
+		st.CacheMisses = cs.Misses - cs0.Misses
+		st.CacheHitBytes = cs.HitBytes - cs0.HitBytes
+		s.cache.EndStep()
 	}
 
 	// IOTime is wall-clock retrieval time (base + buckets + probe). For

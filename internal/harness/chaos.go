@@ -57,7 +57,10 @@ func Chaos(cfg Config) *Result {
 	if err != nil {
 		panic(err)
 	}
-	for _, pol := range core.AllPolicies() {
+	// ExtendedPolicies adds cross-layer+prefetch: pre-staged fast-tier
+	// data keeps serving through capacity-tier bandwidth collapses, so
+	// the cache variant should salvage more perceived bandwidth.
+	for _, pol := range core.ExtendedPolicies() {
 		rec := trace.New(32768)
 		scen := NewScenario(fmt.Sprintf("chaos-%d", int(pol)), 3)
 		runCfg := cfg

@@ -142,8 +142,8 @@ func TestCSVAndJSONFormats(t *testing.T) {
 // leaves no injected fault without a later recovery/refit event.
 func TestChaosCrossLayerRecovers(t *testing.T) {
 	r := Chaos(smallCfg())
-	if len(r.Rows) != 4 {
-		t.Fatalf("rows = %d", len(r.Rows))
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %d, want one per extended policy", len(r.Rows))
 	}
 	const (
 		colBW       = 2
@@ -164,6 +164,11 @@ func TestChaosCrossLayerRecovers(t *testing.T) {
 	}
 	if retries := cell(t, r, 3, colRetries); retries == 0 {
 		t.Fatal("fault plan exercised no read retries")
+	}
+	// Prefetched data survives HDD faults at SSD speed: the cache variant
+	// must recover at least cross-layer's throughput.
+	if pfBW := cell(t, r, 4, colBW); pfBW < crossBW {
+		t.Fatalf("cross-layer+prefetch BW %v below cross-layer %v under faults", pfBW, crossBW)
 	}
 	for i := range r.Rows {
 		if f := cell(t, r, i, colFaults); f == 0 {

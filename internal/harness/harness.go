@@ -174,6 +174,7 @@ func Experiments() []Experiment {
 		{"random-noise", "Extension: DFT robustness to aperiodic noise", RandomNoiseRobustness},
 		{"tracking", "Extension: blob dynamics on reduced data", Tracking},
 		{"chaos", "Extension: fault injection and cross-layer recovery", Chaos},
+		{"prefetch", "Extension: predictive fast-tier cache + prefetcher", Prefetch},
 	}
 }
 
@@ -185,6 +186,45 @@ func Lookup(id string) (Experiment, bool) {
 		}
 	}
 	return Experiment{}, false
+}
+
+// LookupErr is Lookup with a helpful error: unknown IDs name the closest
+// registered experiment (by edit distance) before pointing at -list.
+func LookupErr(id string) (Experiment, error) {
+	if e, ok := Lookup(id); ok {
+		return e, nil
+	}
+	best, bestDist := "", -1
+	for _, e := range Experiments() {
+		if d := editDistance(id, e.ID); bestDist < 0 || d < bestDist {
+			best, bestDist = e.ID, d
+		}
+	}
+	if best != "" && bestDist <= (len(id)+1)/2 {
+		return Experiment{}, fmt.Errorf("unknown experiment %q (did you mean %q? use -list for all)", id, best)
+	}
+	return Experiment{}, fmt.Errorf("unknown experiment %q (use -list)", id)
+}
+
+// editDistance is the Levenshtein distance between two ASCII IDs.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(min(cur[j-1]+1, prev[j]+1), prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
 }
 
 // hierKey memoizes decompositions: they are deterministic, read-only at

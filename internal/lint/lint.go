@@ -59,7 +59,7 @@ type Options struct {
 // schedules must be bit-reproducible for a fixed seed).
 var DefaultSimPackages = []string{
 	"sim", "device", "core", "coordinator", "harness", "dftestim", "weightfn",
-	"fault", "staging",
+	"fault", "staging", "cache",
 }
 
 type reportFunc func(pos token.Pos, format string, args ...any)

@@ -223,6 +223,29 @@ func (h *Hierarchy) Segments(from, to int) []Segment {
 	return segs
 }
 
+// LevelBytes returns the encoded size of the level-local entry range
+// [start, end) of one augmentation level. Callers that track per-level
+// prefixes (the fast-tier cache) use this to price partial levels
+// without walking global-cursor segments.
+func (h *Hierarchy) LevelBytes(level, start, end int) int64 {
+	if level < 0 || level >= len(h.byteCum) {
+		panic(fmt.Sprintf("refactor: no augmentation level %d", level))
+	}
+	cum := h.byteCum[level]
+	if start < 0 || end < start || end > len(cum)-1 {
+		panic(fmt.Sprintf("refactor: invalid level-%d entry range [%d,%d)", level, start, end))
+	}
+	return cum[end] - cum[start]
+}
+
+// LevelEntries returns the number of augmentation entries at one level.
+func (h *Hierarchy) LevelEntries(level int) int {
+	if level < 0 || level >= len(h.augs) {
+		panic(fmt.Sprintf("refactor: no augmentation level %d", level))
+	}
+	return len(h.augs[level])
+}
+
 // BytesForRange returns the encoded size of the cursor range [from, to).
 func (h *Hierarchy) BytesForRange(from, to int) int64 {
 	var total int64

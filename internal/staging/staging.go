@@ -18,6 +18,19 @@ import (
 	"tango/internal/trace"
 )
 
+// CacheView is the read-side interface of the fast-tier augmentation
+// cache (implemented by internal/cache). Staging depends only on this
+// interface so the layering stays acyclic: cache imports staging, never
+// the reverse.
+type CacheView interface {
+	// Serve reports how many leading entries of the level-local entry
+	// range [start, end) are resident in the cache, and the device
+	// holding them. Serve also performs the cache's own bookkeeping
+	// (hit/miss counters, reuse statistics, trace events), so the store
+	// consults it exactly once per segment actually read.
+	Serve(level, start, end int) (dev *device.Device, entries int)
+}
+
 // Store is a staged hierarchy: every piece has a tier assignment and the
 // capacity has been reserved on the devices.
 type Store struct {
@@ -26,7 +39,13 @@ type Store struct {
 	levelDev []*device.Device // aug level -> device
 	scale    float64
 	released bool
+	cache    CacheView
 }
+
+// SetCache attaches a fast-tier cache to the augmentation read paths:
+// each segment's cached prefix is read from the cache device instead of
+// the level's home tier. Pass nil to detach.
+func (s *Store) SetCache(c CacheView) { s.cache = c }
 
 // Stage places h across the given tiers (fastest first, as returned by
 // container.Node.Tiers) and reserves capacity. It fails if any tier would
@@ -204,16 +223,49 @@ func (s *Store) ReadBase(p *sim.Proc, cg *blkio.Cgroup) *TierStats {
 	return ts
 }
 
+// segPart is one device-homogeneous piece of a segment read: with a
+// cache attached a segment splits into a cached prefix (served by the
+// cache device) and an uncached remainder (served by the home tier).
+type segPart struct {
+	dev     *device.Device
+	entries int
+	bytes   float64
+}
+
+// segmentParts splits one segment read across the cache and the level's
+// home tier. Without a cache (or on a full miss) it returns the segment
+// as a single home-tier part.
+func (s *Store) segmentParts(seg refactor.Segment) []segPart {
+	home := s.DeviceForLevel(seg.Level)
+	whole := segPart{home, seg.End - seg.Start, float64(seg.Bytes) * s.scale}
+	if s.cache == nil {
+		return []segPart{whole}
+	}
+	cdev, cached := s.cache.Serve(seg.Level, seg.Start, seg.End)
+	if cached <= 0 || cdev == nil || cdev == home {
+		return []segPart{whole}
+	}
+	if cached > whole.entries {
+		cached = whole.entries
+	}
+	mid := seg.Start + cached
+	parts := []segPart{{cdev, cached, float64(s.h.LevelBytes(seg.Level, seg.Start, mid)) * s.scale}}
+	if rest := seg.End - mid; rest > 0 {
+		parts = append(parts, segPart{home, rest, float64(s.h.LevelBytes(seg.Level, mid, seg.End)) * s.scale})
+	}
+	return parts
+}
+
 // ReadRange reads the augmentation cursor range [from, to) under cg,
 // visiting tiers coarse-level first (the order Algorithm 1 retrieves
 // buckets). Returns per-tier stats.
 func (s *Store) ReadRange(p *sim.Proc, cg *blkio.Cgroup, from, to int) *TierStats {
 	ts := newTierStats()
 	for _, seg := range s.h.Segments(from, to) {
-		dev := s.DeviceForLevel(seg.Level)
-		bytes := float64(seg.Bytes) * s.scale
-		el := dev.Read(p, cg, bytes)
-		ts.add(dev, bytes, el)
+		for _, part := range s.segmentParts(seg) {
+			el := part.dev.Read(p, cg, part.bytes)
+			ts.add(part.dev, part.bytes, el)
+		}
 	}
 	return ts
 }
@@ -227,20 +279,24 @@ func (s *Store) ReadRange(p *sim.Proc, cg *blkio.Cgroup, from, to int) *TierStat
 // sequential path provides.
 func (s *Store) ReadRangeParallel(p *sim.Proc, cg *blkio.Cgroup, from, to int) *TierStats {
 	type group struct {
-		dev  *device.Device
-		segs []refactor.Segment
+		dev   *device.Device
+		parts []segPart
 	}
 	var groups []*group
 	byDev := map[*device.Device]*group{}
+	// Split every segment once up front (Serve does per-call hit/miss
+	// bookkeeping, so it must run exactly once per segment), then group
+	// the resulting parts by device.
 	for _, seg := range s.h.Segments(from, to) {
-		dev := s.DeviceForLevel(seg.Level)
-		g, ok := byDev[dev]
-		if !ok {
-			g = &group{dev: dev}
-			byDev[dev] = g
-			groups = append(groups, g)
+		for _, part := range s.segmentParts(seg) {
+			g, ok := byDev[part.dev]
+			if !ok {
+				g = &group{dev: part.dev}
+				byDev[part.dev] = g
+				groups = append(groups, g)
+			}
+			g.parts = append(g.parts, part)
 		}
-		g.segs = append(g.segs, seg)
 	}
 	ts := newTierStats()
 	if len(groups) == 0 {
@@ -248,7 +304,11 @@ func (s *Store) ReadRangeParallel(p *sim.Proc, cg *blkio.Cgroup, from, to int) *
 	}
 	if len(groups) == 1 {
 		// Single tier: no concurrency to exploit.
-		return s.ReadRange(p, cg, from, to)
+		for _, part := range groups[0].parts {
+			el := part.dev.Read(p, cg, part.bytes)
+			ts.add(part.dev, part.bytes, el)
+		}
+		return ts
 	}
 	eng := p.Engine()
 	results := make([]*TierStats, len(groups))
@@ -257,10 +317,9 @@ func (s *Store) ReadRangeParallel(p *sim.Proc, cg *blkio.Cgroup, from, to int) *
 		i, g := i, g
 		wg.Go("tier-read", func(cp *sim.Proc) {
 			r := newTierStats()
-			for _, seg := range g.segs {
-				bytes := float64(seg.Bytes) * s.scale
-				el := g.dev.Read(cp, cg, bytes)
-				r.add(g.dev, bytes, el)
+			for _, part := range g.parts {
+				el := g.dev.Read(cp, cg, part.bytes)
+				r.add(g.dev, part.bytes, el)
 			}
 			results[i] = r
 		})
@@ -374,21 +433,20 @@ func (s *Store) ReadRangeGuarded(p *sim.Proc, cg *blkio.Cgroup, from, to, mandat
 	ts := newTierStats()
 	out := GuardedOutcome{Cursor: from}
 	for _, seg := range s.h.Segments(from, to) {
-		dev := s.DeviceForLevel(seg.Level)
-		entries := seg.End - seg.Start
-		bytes := float64(seg.Bytes) * s.scale
-		needed := out.Cursor < mandatory // segment starts inside the mandatory prefix
-		el, retries, ok := retryRead(p, dev, cg, bytes, pol, !needed, notify)
-		out.Retries += retries
-		ts.add(dev, bytes, el)
-		if !ok {
-			out.Degraded = true
-			if notify != nil {
-				notify(trace.KindRecover, fmt.Sprintf("degrade dev=%s cursor=%d of %d (fall back to lower augmentation)", dev.Name(), out.Cursor, to))
+		for _, part := range s.segmentParts(seg) {
+			needed := out.Cursor < mandatory // part starts inside the mandatory prefix
+			el, retries, ok := retryRead(p, part.dev, cg, part.bytes, pol, !needed, notify)
+			out.Retries += retries
+			ts.add(part.dev, part.bytes, el)
+			if !ok {
+				out.Degraded = true
+				if notify != nil {
+					notify(trace.KindRecover, fmt.Sprintf("degrade dev=%s cursor=%d of %d (fall back to lower augmentation)", part.dev.Name(), out.Cursor, to))
+				}
+				return ts, out
 			}
-			return ts, out
+			out.Cursor += part.entries
 		}
-		out.Cursor += entries
 	}
 	return ts, out
 }

@@ -223,3 +223,105 @@ func TestDeviceForLevelPanicsOutOfRange(t *testing.T) {
 	}()
 	s.DeviceForLevel(5)
 }
+
+// stubCache is a CacheView for exercising the store-side read split
+// without importing internal/cache (which would be an import cycle). It
+// may over-claim entries; the store must clamp to the segment.
+type stubCache struct {
+	dev    *device.Device
+	prefix int // level-0 entries claimed resident
+	calls  int
+}
+
+func (sc *stubCache) Serve(level, start, end int) (*device.Device, int) {
+	sc.calls++
+	if level != 0 || start >= sc.prefix {
+		return nil, 0
+	}
+	return sc.dev, sc.prefix - start
+}
+
+func TestCachedReadSplitsSegmentAndConsultsOnce(t *testing.T) {
+	eng := sim.NewEngine()
+	ssd, hdd := twoTier(eng)
+	h, err := refactor.Decompose(field(33, 5), refactor.Options{Levels: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Stage(h, []*device.Device{ssd, hdd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg := blkio.NewCgroup("app")
+	total := h.TotalEntries()
+	read := func(parallel bool) *TierStats {
+		var ts *TierStats
+		eng.Spawn("reader", func(p *sim.Proc) {
+			if parallel {
+				ts = s.ReadRangeParallel(p, cg, 0, total)
+			} else {
+				ts = s.ReadRange(p, cg, 0, total)
+			}
+		})
+		if err := eng.RunAll(); err != nil {
+			t.Fatal(err)
+		}
+		return ts
+	}
+
+	coldHDD := read(false).BytesOn(hdd)
+	if coldHDD == 0 {
+		t.Fatal("expected level-0 traffic on the capacity tier")
+	}
+	ssdUsed, hddUsed := ssd.Used(), hdd.Used()
+
+	n0 := h.LevelEntries(0)
+	sc := &stubCache{dev: ssd, prefix: n0 / 2}
+	s.SetCache(sc)
+	segs := len(h.Segments(0, total))
+	warm := read(false)
+	if sc.calls != segs {
+		t.Fatalf("sequential read consulted cache %d times, want once per segment (%d)", sc.calls, segs)
+	}
+	wantHDD := coldHDD - float64(h.LevelBytes(0, 0, n0/2))
+	if got := warm.BytesOn(hdd); math.Abs(got-wantHDD) > 1e-6 {
+		t.Fatalf("cached read moved %v HDD bytes, want %v", got, wantHDD)
+	}
+
+	sc.calls = 0
+	if got := read(true).BytesOn(hdd); math.Abs(got-wantHDD) > 1e-6 {
+		t.Fatalf("parallel cached read moved %v HDD bytes, want %v", got, wantHDD)
+	}
+	if sc.calls != segs {
+		t.Fatalf("parallel read consulted cache %d times, want %d", sc.calls, segs)
+	}
+
+	// An over-claiming cache is clamped to the segment: the whole level
+	// is served fast, never more.
+	sc.prefix = 2 * total
+	if got := read(false).BytesOn(hdd); got != 0 {
+		t.Fatalf("over-claiming cache left %v bytes on the HDD", got)
+	}
+
+	// Probe must bypass the cache so capacity-tier bandwidth samples
+	// stay truthful.
+	sc.calls = 0
+	var probe *TierStats
+	eng.Spawn("probe", func(p *sim.Proc) {
+		probe = s.Probe(p, cg, 4*device.MB)
+	})
+	if err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	if sc.calls != 0 {
+		t.Fatal("Probe consulted the cache")
+	}
+	if probe.BytesOn(hdd) != 4*device.MB {
+		t.Fatalf("probe read %v from the capacity tier", probe.BytesOn(hdd))
+	}
+
+	// Cached reads never touch staging reservations.
+	if ssd.Used() != ssdUsed || hdd.Used() != hddUsed {
+		t.Fatalf("reservations moved: ssd %v->%v hdd %v->%v", ssdUsed, ssd.Used(), hddUsed, hdd.Used())
+	}
+}

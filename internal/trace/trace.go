@@ -21,6 +21,12 @@ const (
 	KindRefit   = "refit"   // estimator refit: periodic or regime-triggered (core)
 	KindFault   = "fault"   // a fault injected or cleared (internal/fault)
 	KindRecover = "recover" // a recovery action: retry, degrade, weight re-apply
+
+	// Fast-tier cache / prefetcher events (internal/cache).
+	KindCacheHit   = "cache-hit"   // a read served (partly) from the fast-tier cache
+	KindCacheMiss  = "cache-miss"  // a read that went to the home tier
+	KindCacheEvict = "cache-evict" // cache blocks evicted to make room or shrink
+	KindPrefetch   = "prefetch"    // background pre-staging: staged, paused, or skipped
 )
 
 // Event is one recorded occurrence at virtual time T.

@@ -1,0 +1,11 @@
+#!/bin/sh
+# Diff two tangobench -json suite documents (e.g. the bench-suite.json
+# artifacts CI uploads for two commits) and fail on >10% regressions of
+# headline metrics. Usage:
+#
+#	scripts/benchdiff.sh old.json new.json
+#	scripts/benchdiff.sh -threshold 5 -all old.json new.json
+set -eu
+
+cd "$(dirname "$0")/.."
+exec go run ./cmd/benchdiff "$@"

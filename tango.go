@@ -45,6 +45,7 @@ import (
 
 	"tango/internal/analytics"
 	"tango/internal/blkio"
+	"tango/internal/cache"
 	"tango/internal/container"
 	"tango/internal/coordinator"
 	"tango/internal/core"
@@ -258,13 +259,26 @@ func StageScaled(h *Hierarchy, tiers []*Device, scale float64) (*Store, error) {
 // Policy selects which layers adapt.
 type Policy = core.Policy
 
-// The four policies of the paper's evaluation.
+// The four policies of the paper's evaluation, plus the beyond-paper
+// cross-layer variant with the predictive fast-tier cache.
 const (
-	NoAdapt     = core.NoAdapt
-	StorageOnly = core.StorageOnly
-	AppOnly     = core.AppOnly
-	CrossLayer  = core.CrossLayer
+	NoAdapt            = core.NoAdapt
+	StorageOnly        = core.StorageOnly
+	AppOnly            = core.AppOnly
+	CrossLayer         = core.CrossLayer
+	CrossLayerPrefetch = core.CrossLayerPrefetch
 )
+
+// CacheConfig parameterizes the fast-tier augmentation cache and its
+// idle-window prefetcher; pass one via SessionConfig.Cache (see
+// internal/cache and docs/cache.md).
+type CacheConfig = cache.Config
+
+// Cache is the fast-tier augmentation cache of a launched session.
+type Cache = cache.Cache
+
+// DefaultCacheConfig returns the cache defaults spelled out.
+func DefaultCacheConfig() CacheConfig { return cache.DefaultConfig() }
 
 // SessionConfig parameterizes an analysis session (zero values take the
 // paper's §IV-A defaults).
