@@ -5,30 +5,38 @@
 //
 //	tangobench                 # run the full suite
 //	tangobench -exp fig8       # run one experiment
+//	tangobench -exp fig8,fig9  # run a subset, in the order given
 //	tangobench -list           # list experiment IDs
 //	tangobench -grid 1025      # paper-scale fields (slower)
+//	tangobench -parallel 4     # scenario-runner workers (default GOMAXPROCS)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
+	"strings"
 	"time"
 
 	"tango/internal/harness"
+	"tango/internal/runpool"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment ID to run (default: all)")
-		list    = flag.Bool("list", false, "list experiment IDs and exit")
-		gridN   = flag.Int("grid", 0, "analysis field side length (default 513)")
-		seed    = flag.Int64("seed", 0, "random seed (default 42)")
-		steps   = flag.Int("steps", 0, "analysis steps per session (default 90)")
-		skip    = flag.Int("skip", 0, "warm-up steps excluded from summaries (default 30)")
-		dataset = flag.Float64("dataset", 0, "staged dataset size in MB per app (default 2048)")
-		format  = flag.String("format", "table", "output format: table|csv|json")
-		jsonOut = flag.Bool("json", false, "emit all results of the run as one JSON document")
+		exp      = flag.String("exp", "", "comma-separated experiment IDs to run (default: all)")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		gridN    = flag.Int("grid", 0, "analysis field side length (default 513)")
+		seed     = flag.Int64("seed", 0, "random seed (default 42)")
+		steps    = flag.Int("steps", 0, "analysis steps per session (default 90)")
+		skip     = flag.Int("skip", 0, "warm-up steps excluded from summaries (default 30)")
+		dataset  = flag.Float64("dataset", 0, "staged dataset size in MB per app (default 2048)")
+		format   = flag.String("format", "table", "output format: table|csv|json")
+		jsonOut  = flag.Bool("json", false, "emit all results of the run as one JSON document")
+		parallel = flag.Int("parallel", 0, "scenario-runner workers; 1 = sequential (default GOMAXPROCS)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	)
 	flag.Parse()
 
@@ -37,6 +45,22 @@ func main() {
 			fmt.Printf("%-14s %s\n", e.ID, e.Title)
 		}
 		return
+	}
+
+	runpool.SetWorkers(*parallel)
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tangobench:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "tangobench:", err)
+			os.Exit(2)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	cfg := harness.Config{GridN: *gridN, Seed: *seed, Steps: *steps, SkipWarmup: *skip, DatasetMB: *dataset}
@@ -59,12 +83,24 @@ func main() {
 	}
 
 	if *exp != "" {
-		e, err := harness.LookupErr(*exp)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "tangobench:", err)
-			os.Exit(2)
+		// Resolve the whole list before running anything so a typo in the
+		// last ID doesn't waste the first experiment's runtime.
+		var todo []harness.Experiment
+		for _, id := range strings.Split(*exp, ",") {
+			id = strings.TrimSpace(id)
+			if id == "" {
+				continue
+			}
+			e, err := harness.LookupErr(id)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "tangobench:", err)
+				os.Exit(2)
+			}
+			todo = append(todo, e)
 		}
-		run(e)
+		for _, e := range todo {
+			run(e)
+		}
 	} else {
 		for _, e := range harness.Experiments() {
 			run(e)
@@ -72,6 +108,19 @@ func main() {
 	}
 	if *jsonOut {
 		if err := harness.WriteSuiteJSON(os.Stdout, collected); err != nil {
+			fmt.Fprintln(os.Stderr, "tangobench:", err)
+			os.Exit(2)
+		}
+	}
+
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tangobench:", err)
+			os.Exit(2)
+		}
+		defer f.Close()
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
 			fmt.Fprintln(os.Stderr, "tangobench:", err)
 			os.Exit(2)
 		}

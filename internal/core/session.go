@@ -464,7 +464,7 @@ func (s *Session) runStep(c *container.Container, p *sim.Proc, step int) {
 	st.Cursor, st.Predicted, st.Degree = cursor, predicted, degree
 
 	tier := &staging.TierStats{}
-	notify := func(kind, msg string) { cfg.Trace.Emit(p.Now(), s.Name, kind, "%s", msg) }
+	notify := func(kind, msg string) { cfg.Trace.Emit(p.Now(), s.Name, kind, msg) }
 	mandatory := s.mandatoryCursor()
 
 	// Line 1: retrieve the base representation from the fastest tier.

@@ -140,7 +140,9 @@ func (p Params) validate() error {
 	return nil
 }
 
-// flow is one in-flight request stream.
+// flow is one in-flight request stream. Structs are recycled through the
+// device's freelist: the issuing process returns its flow after observing
+// done, at which point the device holds no reference to it.
 type flow struct {
 	id       int64
 	cg       *blkio.Cgroup
@@ -151,6 +153,20 @@ type flow struct {
 	write    bool
 	start    float64
 	done     bool
+	gi       int // reshape scratch: index into Device.groups
+}
+
+// wfGroup is reshape scratch: one (cgroup, direction) aggregation used by
+// the water-filling pass. Held in a reusable slice on the Device so the
+// per-request service loop does not allocate.
+type wfGroup struct {
+	cg      *blkio.Cgroup
+	write   bool
+	weight  float64
+	cap     float64 // 0 = unlimited
+	alloc   float64
+	perFlow float64 // alloc / nflows, hoisted out of the per-flow loop
+	nflows  int
 }
 
 // Device is a simulated shared block device. All methods must be called
@@ -163,7 +179,16 @@ type Device struct {
 	nextID     int64
 	lastUpdate float64
 	epoch      int64
-	timer      *sim.Timer
+	armedEpoch int64 // epoch at which the completion timer was armed
+	timer      sim.Timer
+	onTimer    func() // cached completion callback; one alloc per device
+
+	flowFree []*flow   // recycled flow structs
+	groups   []wfGroup // reshape scratch: groups in first-appearance order
+	wfActive []int     // reshape scratch: water-filling round (group indices)
+	wfNext   []int     // reshape scratch: next round
+	wfCapped []int     // reshape scratch: groups capped this round
+	effMemo  []float64 // Efficiency(n) memo, indexed by n
 
 	subscribed map[*blkio.Cgroup]bool
 
@@ -187,12 +212,20 @@ func New(eng *sim.Engine, p Params) *Device {
 	if err := p.validate(); err != nil {
 		panic(err)
 	}
-	return &Device{
+	d := &Device{
 		eng:        eng,
 		p:          p,
 		bwFactor:   1,
 		subscribed: make(map[*blkio.Cgroup]bool),
 	}
+	d.onTimer = func() {
+		if d.armedEpoch != d.epoch {
+			return
+		}
+		d.advance()
+		d.reshape()
+	}
+	return d
 }
 
 // Name returns the device name.
@@ -217,13 +250,27 @@ func (d *Device) BusyTime() float64 {
 	return d.busyTime
 }
 
-// Efficiency returns eff(n) for n concurrent flows.
+// Efficiency returns eff(n) for n concurrent flows. Values are memoized
+// per flow count (the parameters are immutable after New), so the per-
+// reshape cost is an indexed load.
 func (d *Device) Efficiency(n int) float64 {
 	if n <= 1 {
 		return 1
 	}
-	eff := 1 / (1 + d.p.SeekThrash*float64(n-1))
-	return math.Max(eff, d.p.MinEfficiency)
+	if n < len(d.effMemo) {
+		if v := d.effMemo[n]; v != 0 {
+			return v
+		}
+	} else if n <= 1024 {
+		grown := make([]float64, n+1)
+		copy(grown, d.effMemo)
+		d.effMemo = grown
+	}
+	eff := math.Max(1/(1+d.p.SeekThrash*float64(n-1)), d.p.MinEfficiency)
+	if n < len(d.effMemo) {
+		d.effMemo[n] = eff
+	}
+	return eff
 }
 
 // EffectiveBandwidth returns the aggregate bandwidth the device delivers
@@ -336,15 +383,14 @@ func (d *Device) transfer(p *sim.Proc, cg *blkio.Cgroup, bytes float64, write, f
 		d.subscribed[cg] = true
 		cg.Subscribe(d.Touch)
 	}
-	f := &flow{
-		id:       d.nextID,
-		cg:       cg,
-		proc:     p,
-		bytes:    bytes,
-		bytesRem: bytes,
-		write:    write,
-		start:    start,
-	}
+	f := d.newFlow()
+	f.id = d.nextID
+	f.cg = cg
+	f.proc = p
+	f.bytes = bytes
+	f.bytesRem = bytes
+	f.write = write
+	f.start = start
 	d.nextID++
 	d.advance()
 	d.flows = append(d.flows, f)
@@ -352,8 +398,23 @@ func (d *Device) transfer(p *sim.Proc, cg *blkio.Cgroup, bytes float64, write, f
 	for !f.done {
 		p.Suspend()
 	}
+	// completeDrained dropped the device's reference; the struct is ours
+	// to recycle.
+	*f = flow{}
+	d.flowFree = append(d.flowFree, f)
 	cg.Account(bytes, write)
 	return d.eng.Now() - start, nil
+}
+
+// newFlow takes a zeroed struct off the freelist or allocates one.
+func (d *Device) newFlow() *flow {
+	if n := len(d.flowFree); n > 0 {
+		f := d.flowFree[n-1]
+		d.flowFree[n-1] = nil
+		d.flowFree = d.flowFree[:n-1]
+		return f
+	}
+	return new(flow)
 }
 
 // Touch forces a share recomputation at the current instant; cgroup
@@ -414,73 +475,84 @@ func (d *Device) reshape() {
 
 	// Group flows by (cgroup, direction): the kernel throttles read and
 	// write bytes separately per cgroup, and weight applies per cgroup.
-	type group struct {
-		weight float64
-		cap    float64 // 0 = unlimited
-		flows  []*flow
-		alloc  float64
-	}
-	// Build groups in flow-id order so every run allocates identically.
-	// Grouping is by cgroup identity (not name): distinct cgroups that
-	// happen to share a name still schedule independently.
-	type groupKey struct {
-		cg    *blkio.Cgroup
-		write bool
-	}
-	index := make(map[groupKey]*group)
-	var ordered []*group
+	// Groups are built in flow-id order so every run allocates identically,
+	// and keyed by cgroup identity (not name): distinct cgroups that happen
+	// to share a name still schedule independently. The group slice and the
+	// water-filling index slices are reusable scratch — the group count is
+	// small, so a linear membership scan beats a per-call map.
+	d.groups = d.groups[:0]
 	for _, f := range d.flows {
-		key := groupKey{f.cg, f.write}
-		g, ok := index[key]
-		if !ok {
+		gi := -1
+		for j := range d.groups {
+			if d.groups[j].cg == f.cg && d.groups[j].write == f.write {
+				gi = j
+				break
+			}
+		}
+		if gi < 0 {
 			cap := f.cg.ReadBpsLimit()
 			if f.write {
 				cap = f.cg.WriteBpsLimit()
 			}
-			g = &group{weight: float64(f.cg.Weight()), cap: cap}
-			index[key] = g
-			ordered = append(ordered, g)
+			d.groups = append(d.groups, wfGroup{
+				cg: f.cg, write: f.write,
+				weight: float64(f.cg.Weight()), cap: cap,
+			})
+			gi = len(d.groups) - 1
 		}
-		g.flows = append(g.flows, f)
+		d.groups[gi].nflows++
+		f.gi = gi
 	}
 
 	// Water-filling: proportional-by-weight allocation with per-group caps;
-	// capped groups' excess is redistributed among uncapped groups.
-	active := ordered
+	// capped groups' excess is redistributed among uncapped groups. Each
+	// round classifies against the round's starting `remaining`, then
+	// subtracts the caps in group order — the float operation order is part
+	// of the determinism contract.
+	cur := d.wfActive[:0]
+	for j := range d.groups {
+		cur = append(cur, j)
+	}
+	nxt := d.wfNext[:0]
+	capped := d.wfCapped[:0]
 	remaining := total
-	for len(active) > 0 && remaining > 1e-9 {
+	for len(cur) > 0 && remaining > 1e-9 {
 		var sumW float64
-		for _, g := range active {
-			sumW += g.weight
+		for _, j := range cur {
+			sumW += d.groups[j].weight
 		}
 		if sumW <= 0 {
 			break
 		}
-		capped := active[:0:0]
-		uncapped := active[:0:0]
-		for _, g := range active {
+		capped = capped[:0]
+		nxt = nxt[:0]
+		for _, j := range cur {
+			g := &d.groups[j]
 			tent := remaining * g.weight / sumW
 			if g.cap > 0 && tent >= g.cap {
-				capped = append(capped, g)
+				capped = append(capped, j)
 			} else {
-				uncapped = append(uncapped, g)
+				nxt = append(nxt, j)
 			}
 		}
 		if len(capped) == 0 {
-			for _, g := range active {
+			for _, j := range cur {
+				g := &d.groups[j]
 				g.alloc = remaining * g.weight / sumW
 			}
 			break
 		}
-		for _, g := range capped {
+		for _, j := range capped {
+			g := &d.groups[j]
 			g.alloc = g.cap
 			remaining -= g.cap
 		}
 		if remaining < 0 {
 			remaining = 0
 		}
-		active = uncapped
+		cur, nxt = nxt, cur
 	}
+	d.wfActive, d.wfNext, d.wfCapped = cur[:0], nxt[:0], capped[:0]
 
 	// Within a group, CFQ services flows round-robin: equal split.
 	// Write flows stream at WriteFactor of their allocated rate.
@@ -488,14 +560,16 @@ func (d *Device) reshape() {
 	if wf == 0 {
 		wf = 1
 	}
-	for _, g := range ordered {
-		per := g.alloc / float64(len(g.flows))
-		for _, f := range g.flows {
-			if f.write {
-				f.rate = per * wf
-			} else {
-				f.rate = per
-			}
+	for j := range d.groups {
+		g := &d.groups[j]
+		g.perFlow = g.alloc / float64(g.nflows)
+	}
+	for _, f := range d.flows {
+		per := d.groups[f.gi].perFlow
+		if f.write {
+			f.rate = per * wf
+		} else {
+			f.rate = per
 		}
 	}
 	d.scheduleCompletion()
@@ -516,14 +590,8 @@ func (d *Device) scheduleCompletion() {
 	d.cancelTimer()
 	if !math.IsInf(next, 1) {
 		d.epoch++
-		epoch := d.epoch
-		d.timer = d.eng.After(next, func() {
-			if epoch != d.epoch {
-				return
-			}
-			d.advance()
-			d.reshape()
-		})
+		d.armedEpoch = d.epoch
+		d.timer = d.eng.After(next, d.onTimer)
 	}
 }
 
@@ -553,9 +621,7 @@ func (d *Device) completeDrained() {
 }
 
 func (d *Device) cancelTimer() {
-	if d.timer != nil {
-		d.timer.Stop()
-		d.timer = nil
-	}
+	d.timer.Stop()
+	d.timer = sim.Timer{}
 	d.epoch++
 }

@@ -6,6 +6,7 @@ import (
 	"tango/internal/analytics"
 	"tango/internal/core"
 	"tango/internal/fault"
+	"tango/internal/runpool"
 	"tango/internal/trace"
 )
 
@@ -59,37 +60,46 @@ func Chaos(cfg Config) *Result {
 	}
 	// ExtendedPolicies adds cross-layer+prefetch: pre-staged fast-tier
 	// data keeps serving through capacity-tier bandwidth collapses, so
-	// the cache variant should salvage more perceived bandwidth.
-	for _, pol := range core.ExtendedPolicies() {
-		rec := trace.New(32768)
-		scen := NewScenario(fmt.Sprintf("chaos-%d", int(pol)), 3)
-		runCfg := cfg
-		runCfg.FaultPlan = plan
-		// RefitEvery 10 keeps the recovery cadence dense enough that a
-		// refit (periodic or regime-triggered) lands after the last
-		// scheduled fault for any step count divisible by 10.
-		sc := core.Config{
-			Policy: pol, ErrorControl: true, Bound: bound, Priority: 10,
-			RefitEvery: 10, Trace: rec,
-		}
-		sess := runOnScenario(scen, chaosSession, h, runCfg, sc)
-		sum := sess.Summary(cfg.SkipWarmup)
-		retries, degraded, viol := 0, 0, 0
-		for _, st := range sess.Stats() {
-			retries += st.Retries
-			if st.Degraded {
-				degraded++
+	// the cache variant should salvage more perceived bandwidth. Each
+	// policy replays the same immutable plan on its own scenario, so the
+	// runs are independent pool jobs.
+	policies := core.ExtendedPolicies()
+	rows := make([]*runpool.Task[[]string], len(policies))
+	for i, pol := range policies {
+		rows[i] = runpool.Submit("chaos/"+pol.String(), func() []string {
+			rec := trace.New(32768)
+			scen := NewScenario(fmt.Sprintf("chaos-%d", int(pol)), 3)
+			runCfg := cfg
+			runCfg.FaultPlan = plan
+			// RefitEvery 10 keeps the recovery cadence dense enough that a
+			// refit (periodic or regime-triggered) lands after the last
+			// scheduled fault for any step count divisible by 10.
+			sc := core.Config{
+				Policy: pol, ErrorControl: true, Bound: bound, Priority: 10,
+				RefitEvery: 10, Trace: rec,
 			}
-			if st.Cursor < mandatory {
-				viol++
+			sess := runOnScenario(scen, chaosSession, h, runCfg, sc)
+			sum := sess.Summary(cfg.SkipWarmup)
+			retries, degraded, viol := 0, 0, 0
+			for _, st := range sess.Stats() {
+				retries += st.Retries
+				if st.Degraded {
+					degraded++
+				}
+				if st.Cursor < mandatory {
+					viol++
+				}
 			}
-		}
-		unpaired := len(fault.Unpaired(rec.Events()))
-		r.Add(pol.String(), fmtS(sum.MeanIO), fmtMB(sum.MeanBW),
-			fmt.Sprintf("%d", retries), fmt.Sprintf("%d", degraded),
-			fmt.Sprintf("%d", viol),
-			fmt.Sprintf("%d", scen.Injector.Injected()),
-			fmt.Sprintf("%d", unpaired))
+			unpaired := len(fault.Unpaired(rec.Events()))
+			return []string{pol.String(), fmtS(sum.MeanIO), fmtMB(sum.MeanBW),
+				fmt.Sprintf("%d", retries), fmt.Sprintf("%d", degraded),
+				fmt.Sprintf("%d", viol),
+				fmt.Sprintf("%d", scen.Injector.Injected()),
+				fmt.Sprintf("%d", unpaired)}
+		})
+	}
+	for _, t := range rows {
+		r.Add(t.Wait()...)
 	}
 	r.Notef("Identical fault plan per policy: %s", plan)
 	r.Notef("Recovery paths: staging retries reads with backoff and sheds only above-bound augmentation; the controller refits on sustained misprediction; failed weight writes are tolerated and re-applied.")

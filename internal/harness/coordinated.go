@@ -6,6 +6,7 @@ import (
 	"tango/internal/analytics"
 	"tango/internal/coordinator"
 	"tango/internal/core"
+	"tango/internal/runpool"
 )
 
 // Coordinated evaluates the node-level weight allocator extension: two
@@ -51,10 +52,13 @@ func Coordinated(cfg Config) *Result {
 		return interactive.Summary(cfg.SkipWarmup).MeanIO, batch.Summary(cfg.SkipWarmup).MeanIO
 	}
 
-	iu, bu := run(false)
-	r.Add("uncoordinated", fmtS(iu), fmtS(bu), fmt.Sprintf("%.0f%%", 100*(1-iu/bu)))
-	ic, bc := run(true)
-	r.Add("coordinated", fmtS(ic), fmtS(bc), fmt.Sprintf("%.0f%%", 100*(1-ic/bc)))
+	type pair struct{ i, b float64 }
+	tu := runpool.Submit("coordinated/uncoordinated", func() pair { i, b := run(false); return pair{i, b} })
+	tc := runpool.Submit("coordinated/coordinated", func() pair { i, b := run(true); return pair{i, b} })
+	pu := tu.Wait()
+	r.Add("uncoordinated", fmtS(pu.i), fmtS(pu.b), fmt.Sprintf("%.0f%%", 100*(1-pu.i/pu.b)))
+	pc := tc.Wait()
+	r.Add("coordinated", fmtS(pc.i), fmtS(pc.b), fmt.Sprintf("%.0f%%", 100*(1-pc.i/pc.b)))
 	r.Notef("The allocator rescales concurrent desired weights so the largest uses the full blkio range with ratios preserved; both sessions gain share against the Table IV noise.")
 	return r
 }

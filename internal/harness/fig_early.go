@@ -6,6 +6,7 @@ import (
 	"tango/internal/device"
 	"tango/internal/errmetric"
 	"tango/internal/refactor"
+	"tango/internal/runpool"
 	"tango/internal/workload"
 )
 
@@ -115,18 +116,24 @@ func Fig02(cfg Config) *Result {
 			"CFD PSNR", "CFD relerr"},
 	}
 	ratios := []float64{4, 16, 64, 256, 512, 8192}
-	for _, ratio := range ratios {
-		row := []string{fmt.Sprintf("%.0f", ratio)}
-		for _, app := range appsUnderTest() {
-			orig := appField(app, cfg)
-			levels := refactor.LevelsForRatio(ratio, 2, 2)
-			h := appHierarchy(app, cfg, refactor.Options{Levels: levels})
-			rec := h.Recompose(0) // reduced representation only
-			psnr := errmetric.PSNROf(orig.Data(), rec.Data())
-			relerr := app.OutcomeErr(orig, rec)
-			row = append(row, fmt.Sprintf("%.1f", psnr), fmt.Sprintf("%.3f", relerr))
-		}
-		r.Add(row...)
+	rows := make([]*runpool.Task[[]string], len(ratios))
+	for i, ratio := range ratios {
+		rows[i] = runpool.Submit(fmt.Sprintf("fig2/ratio%.0f", ratio), func() []string {
+			row := []string{fmt.Sprintf("%.0f", ratio)}
+			for _, app := range appsUnderTest() {
+				orig := appField(app, cfg)
+				levels := refactor.LevelsForRatio(ratio, 2, 2)
+				h := appHierarchy(app, cfg, refactor.Options{Levels: levels})
+				rec := h.Recompose(0) // reduced representation only
+				psnr := errmetric.PSNROf(orig.Data(), rec.Data())
+				relerr := app.OutcomeErr(orig, rec)
+				row = append(row, fmt.Sprintf("%.1f", psnr), fmt.Sprintf("%.3f", relerr))
+			}
+			return row
+		})
+	}
+	for _, t := range rows {
+		r.Add(t.Wait()...)
 	}
 	r.Notef("Reduced representation = base level only (no augmentation); ratio maps to levels via LevelsForRatio (achieved point-count ratio is the nearest power of 4).")
 	return r

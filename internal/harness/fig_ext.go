@@ -6,6 +6,7 @@ import (
 	"tango/internal/analytics"
 	"tango/internal/core"
 	"tango/internal/refactor"
+	"tango/internal/runpool"
 )
 
 // refactorHierarchy is a local alias keeping signatures short.
@@ -54,10 +55,13 @@ func Coexist(cfg Config) *Result {
 		return interactive.Summary(cfg.SkipWarmup).MeanIO, batch.Summary(cfg.SkipWarmup).MeanIO
 	}
 
-	i1, b1 := run(10, 1)
-	r.Add("p=10 vs p=1", fmtS(i1), fmtS(b1), fmt.Sprintf("%.0f%%", 100*(1-i1/b1)))
-	i2, b2 := run(5, 5)
-	r.Add("p=5 vs p=5 (control)", fmtS(i2), fmtS(b2), fmt.Sprintf("%.0f%%", 100*(1-i2/b2)))
+	type pair struct{ i, b float64 }
+	t1 := runpool.Submit("coexist/p10-vs-p1", func() pair { i, b := run(10, 1); return pair{i, b} })
+	t2 := runpool.Submit("coexist/p5-vs-p5", func() pair { i, b := run(5, 5); return pair{i, b} })
+	p1 := t1.Wait()
+	r.Add("p=10 vs p=1", fmtS(p1.i), fmtS(p1.b), fmt.Sprintf("%.0f%%", 100*(1-p1.i/p1.b)))
+	p2 := t2.Wait()
+	r.Add("p=5 vs p=5 (control)", fmtS(p2.i), fmtS(p2.b), fmt.Sprintf("%.0f%%", 100*(1-p2.i/p2.b)))
 	r.Notef("Both sessions keep the 0.01 NRMSE guarantee; priority only changes who waits.")
 	return r
 }
@@ -76,19 +80,25 @@ func AblationParallelReads(cfg Config) *Result {
 	}
 	app := analytics.XGCApp()
 	h := appHierarchy(app, cfg, defaultOpts())
+	var rows []*runpool.Task[[]string]
 	for _, parallel := range []bool{false, true} {
-		sc := core.Config{
-			Policy: core.CrossLayer, ErrorControl: true, Bound: 0.001,
-			Priority: 10, ParallelTierReads: parallel,
-		}
-		sess := runOne(app.Name, 6, h, cfg, sc)
 		label := "sequential (Algorithm 1)"
 		if parallel {
 			label = "parallel per tier"
 		}
-		r.Add(label,
-			fmtS(sess.Summary(cfg.SkipWarmup).MeanIO),
-			fmtS(latencyToBound(sess, h, 0.01, cfg.SkipWarmup)))
+		rows = append(rows, runpool.Submit("ablation-parallel/"+label, func() []string {
+			sc := core.Config{
+				Policy: core.CrossLayer, ErrorControl: true, Bound: 0.001,
+				Priority: 10, ParallelTierReads: parallel,
+			}
+			sess := runOne(app.Name, 6, h, cfg, sc)
+			return []string{label,
+				fmtS(sess.Summary(cfg.SkipWarmup).MeanIO),
+				fmtS(latencyToBound(sess, h, 0.01, cfg.SkipWarmup))}
+		}))
+	}
+	for _, t := range rows {
+		r.Add(t.Wait()...)
 	}
 	r.Notef("Parallel reads overlap tiers and shorten the step; sequential reads deliver the coarse (low-accuracy) data first.")
 	return r

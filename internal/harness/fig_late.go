@@ -3,12 +3,12 @@ package harness
 import (
 	"fmt"
 	"math"
-	"sync"
 
 	"tango/internal/analytics"
 	"tango/internal/core"
 	"tango/internal/errmetric"
 	"tango/internal/refactor"
+	"tango/internal/runpool"
 )
 
 // Fig11 reproduces Fig 11: the percentage of the degrees of freedom that
@@ -29,14 +29,21 @@ func Fig11(cfg Config) *Result {
 		{errmetric.NRMSE, NRMSEBounds},
 		{errmetric.PSNR, PSNRBounds},
 	} {
-		// One hierarchy per app with the full ladder.
+		// One hierarchy per app with the full ladder; the decompositions
+		// are independent, so they build as parallel pool jobs.
+		tasks := map[string]*runpool.Task[*refactor.Hierarchy]{}
+		for _, app := range appsUnderTest() {
+			tasks[app.Name] = runpool.Submit("fig11/"+v.metric.String()+"/"+app.Name, func() *refactor.Hierarchy {
+				return appHierarchy(app, cfg, refactor.Options{
+					Levels: refactor.LevelsForRatio(16, 2, 2),
+					Metric: v.metric,
+					Bounds: v.bounds,
+				})
+			})
+		}
 		hs := map[string]*refactor.Hierarchy{}
 		for _, app := range appsUnderTest() {
-			hs[app.Name] = appHierarchy(app, cfg, refactor.Options{
-				Levels: refactor.LevelsForRatio(16, 2, 2),
-				Metric: v.metric,
-				Bounds: v.bounds,
-			})
+			hs[app.Name] = tasks[app.Name].Wait()
 		}
 		for _, bound := range v.bounds {
 			row := []string{v.metric.String(), fmt.Sprintf("%g", bound)}
@@ -67,13 +74,20 @@ func Fig12(cfg Config) *Result {
 	}
 	app := analytics.XGCApp()
 	h := appHierarchy(app, cfg, defaultOpts())
+	run := func(n int, p core.Policy) *runpool.Task[core.Summary] {
+		sc := core.Config{ErrorControl: true, Bound: 0.01, Priority: 10, Policy: p}
+		return runpool.Submit(fmt.Sprintf("fig12/n%d/%s", n, p), func() core.Summary {
+			return runOne(app.Name, n, h, cfg, sc).Summary(cfg.SkipWarmup)
+		})
+	}
+	type pair struct{ cross, storage *runpool.Task[core.Summary] }
+	var pairs []pair
 	for n := 3; n <= 6; n++ {
-		sc := core.Config{ErrorControl: true, Bound: 0.01, Priority: 10}
-		sc.Policy = core.CrossLayer
-		cross := runOne(app.Name, n, h, cfg, sc).Summary(cfg.SkipWarmup)
-		sc.Policy = core.StorageOnly
-		storage := runOne(app.Name, n, h, cfg, sc).Summary(cfg.SkipWarmup)
-		r.Add(fmt.Sprintf("%d", n),
+		pairs = append(pairs, pair{run(n, core.CrossLayer), run(n, core.StorageOnly)})
+	}
+	for i, p := range pairs {
+		cross, storage := p.cross.Wait(), p.storage.Wait()
+		r.Add(fmt.Sprintf("%d", i+3),
 			fmt.Sprintf("%s±%s", fmtS(cross.MeanIO), fmtS(cross.StdIO)),
 			fmt.Sprintf("%s±%s", fmtS(storage.MeanIO), fmtS(storage.StdIO)))
 	}
@@ -126,22 +140,31 @@ func Fig13(cfg Config) *Result {
 		Title:  "Latency to elevate accuracy to 0.01 NRMSE (p=10; avg s)",
 		Header: []string{"app", "single-layer", "cardinality", "card+priority", "card+prio+accuracy"},
 	}
-	for _, app := range appsUnderTest() {
-		h := appHierarchy(app, cfg, defaultOpts())
-		base := core.Config{ErrorControl: true, Bound: 0.01, Priority: 10}
+	apps := appsUnderTest()
+	rows := make([]*runpool.Task[[]string], len(apps))
+	for i, app := range apps {
+		rows[i] = runpool.Submit("fig13/"+app.Name, func() []string {
+			h := appHierarchy(app, cfg, defaultOpts())
+			base := core.Config{ErrorControl: true, Bound: 0.01, Priority: 10}
 
-		run := func(policy core.Policy, disablePrio, disableAcc bool) float64 {
-			sc := base
-			sc.Policy = policy
-			sc.DisablePriorityTerm = disablePrio
-			sc.DisableAccuracyTerm = disableAcc
-			return latencyToBound(runOne(app.Name, 6, h, cfg, sc), h, 0.01, cfg.SkipWarmup)
-		}
-		single := run(core.AppOnly, false, false)
-		cardOnly := run(core.CrossLayer, true, true)
-		cardPrio := run(core.CrossLayer, false, true)
-		full := run(core.CrossLayer, false, false)
-		r.Add(app.Name, fmtS(single), fmtS(cardOnly), fmtS(cardPrio), fmtS(full))
+			run := func(label string, policy core.Policy, disablePrio, disableAcc bool) *runpool.Task[float64] {
+				sc := base
+				sc.Policy = policy
+				sc.DisablePriorityTerm = disablePrio
+				sc.DisableAccuracyTerm = disableAcc
+				return runpool.Submit("fig13/"+app.Name+"/"+label, func() float64 {
+					return latencyToBound(runOne(app.Name, 6, h, cfg, sc), h, 0.01, cfg.SkipWarmup)
+				})
+			}
+			single := run("single", core.AppOnly, false, false)
+			cardOnly := run("card", core.CrossLayer, true, true)
+			cardPrio := run("card+prio", core.CrossLayer, false, true)
+			full := run("full", core.CrossLayer, false, false)
+			return []string{app.Name, fmtS(single.Wait()), fmtS(cardOnly.Wait()), fmtS(cardPrio.Wait()), fmtS(full.Wait())}
+		})
+	}
+	for _, t := range rows {
+		r.Add(t.Wait()...)
 	}
 	r.Notef("Cardinality-only equals single-layer storage adaptivity (paper note under Fig 13).")
 	return r
@@ -156,15 +179,29 @@ func Fig14a(cfg Config) *Result {
 		Title:  "Impact of priority (NRMSE 0.01; avg I/O time ± std, s)",
 		Header: []string{"app", "p=1", "p=5", "p=10"},
 	}
-	for _, app := range appsUnderTest() {
-		h := appHierarchy(app, cfg, defaultOpts())
-		row := []string{app.Name}
-		for _, p := range []float64{1, 5, 10} {
-			sc := core.Config{Policy: core.CrossLayer, ErrorControl: true, Bound: 0.01, Priority: p}
-			s := runOne(app.Name, 6, h, cfg, sc).Summary(cfg.SkipWarmup)
-			row = append(row, fmt.Sprintf("%s±%s", fmtS(s.MeanIO), fmtS(s.StdIO)))
-		}
-		r.Add(row...)
+	apps := appsUnderTest()
+	rows := make([]*runpool.Task[[]string], len(apps))
+	for i, app := range apps {
+		rows[i] = runpool.Submit("fig14a/"+app.Name, func() []string {
+			h := appHierarchy(app, cfg, defaultOpts())
+			prios := []float64{1, 5, 10}
+			tasks := make([]*runpool.Task[core.Summary], len(prios))
+			for j, p := range prios {
+				sc := core.Config{Policy: core.CrossLayer, ErrorControl: true, Bound: 0.01, Priority: p}
+				tasks[j] = runpool.Submit(fmt.Sprintf("fig14a/%s/p%g", app.Name, p), func() core.Summary {
+					return runOne(app.Name, 6, h, cfg, sc).Summary(cfg.SkipWarmup)
+				})
+			}
+			row := []string{app.Name}
+			for _, t := range tasks {
+				s := t.Wait()
+				row = append(row, fmt.Sprintf("%s±%s", fmtS(s.MeanIO), fmtS(s.StdIO)))
+			}
+			return row
+		})
+	}
+	for _, t := range rows {
+		r.Add(t.Wait()...)
 	}
 	r.Notef("Doubling priority does not halve I/O time: weight shares are relative (paper's 100→200 weight example yields 100→133 MB/s).")
 	return r
@@ -179,15 +216,29 @@ func Fig14b(cfg Config) *Result {
 		Title:  "Impact of error bound (p=10; avg I/O time ± std, s)",
 		Header: []string{"app", "eps=1e-1", "eps=1e-2", "eps=1e-3", "eps=1e-4"},
 	}
-	for _, app := range appsUnderTest() {
-		h := appHierarchy(app, cfg, defaultOpts())
-		row := []string{app.Name}
-		for _, eps := range []float64{1e-1, 1e-2, 1e-3, 1e-4} {
-			sc := core.Config{Policy: core.CrossLayer, ErrorControl: true, Bound: eps, Priority: 10}
-			s := runOne(app.Name, 6, h, cfg, sc).Summary(cfg.SkipWarmup)
-			row = append(row, fmt.Sprintf("%s±%s", fmtS(s.MeanIO), fmtS(s.StdIO)))
-		}
-		r.Add(row...)
+	apps := appsUnderTest()
+	rows := make([]*runpool.Task[[]string], len(apps))
+	for i, app := range apps {
+		rows[i] = runpool.Submit("fig14b/"+app.Name, func() []string {
+			h := appHierarchy(app, cfg, defaultOpts())
+			bounds := []float64{1e-1, 1e-2, 1e-3, 1e-4}
+			tasks := make([]*runpool.Task[core.Summary], len(bounds))
+			for j, eps := range bounds {
+				sc := core.Config{Policy: core.CrossLayer, ErrorControl: true, Bound: eps, Priority: 10}
+				tasks[j] = runpool.Submit(fmt.Sprintf("fig14b/%s/eps%g", app.Name, eps), func() core.Summary {
+					return runOne(app.Name, 6, h, cfg, sc).Summary(cfg.SkipWarmup)
+				})
+			}
+			row := []string{app.Name}
+			for _, t := range tasks {
+				s := t.Wait()
+				row = append(row, fmt.Sprintf("%s±%s", fmtS(s.MeanIO), fmtS(s.StdIO)))
+			}
+			return row
+		})
+	}
+	for _, t := range rows {
+		r.Add(t.Wait()...)
 	}
 	r.Notef("Tighter bounds force larger mandatory retrievals, raising I/O time.")
 	return r
@@ -236,19 +287,19 @@ func Fig16(cfg Config) *Result {
 	app := analytics.XGCApp()
 	h := appHierarchy(app, cfg, defaultOpts())
 	for _, nodes := range []int{1, 2, 3, 4} {
-		means := make([]float64, nodes)
-		var wg sync.WaitGroup
+		tasks := make([]*runpool.Task[float64], nodes)
 		for i := 0; i < nodes; i++ {
-			i := i
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
+			name := fmt.Sprintf("xgc-node%d", i)
+			tasks[i] = runpool.Submit("fig16/"+name, func() float64 {
 				sc := core.Config{Policy: core.CrossLayer, ErrorControl: true, Bound: 0.01, Priority: 10}
-				sess := runOne(fmt.Sprintf("xgc-node%d", i), 6, h, cfg, sc)
-				means[i] = sess.Summary(cfg.SkipWarmup).MeanIO
-			}()
+				sess := runOne(name, 6, h, cfg, sc)
+				return sess.Summary(cfg.SkipWarmup).MeanIO
+			})
 		}
-		wg.Wait()
+		means := make([]float64, nodes)
+		for i, t := range tasks {
+			means[i] = t.Wait()
+		}
 		var sum, maxDev float64
 		for _, m := range means {
 			sum += m
@@ -275,19 +326,26 @@ func Headline(cfg Config) *Result {
 		Title:  "Headline improvement (from Fig 8 conditions)",
 		Header: []string{"app", "vs no-adaptivity", "vs best single-layer"},
 	}
+	type imp struct{ no, single float64 }
+	apps := appsUnderTest()
+	tasks := make([]*runpool.Task[imp], len(apps))
+	for i, app := range apps {
+		tasks[i] = runpool.Submit("headline/"+app.Name, func() imp {
+			h := appHierarchy(app, cfg, defaultOpts())
+			s := policySummaries(app, h, cfg, core.Config{})
+			cross := s[core.CrossLayer].MeanIO
+			noAd := s[core.NoAdapt].MeanIO
+			single := math.Min(s[core.StorageOnly].MeanIO, s[core.AppOnly].MeanIO)
+			return imp{100 * (1 - cross/noAd), 100 * (1 - cross/single)}
+		})
+	}
 	var aggNo, aggSingle, n float64
-	for _, app := range appsUnderTest() {
-		h := appHierarchy(app, cfg, defaultOpts())
-		s := policySummaries(app, h, cfg, core.Config{})
-		cross := s[core.CrossLayer].MeanIO
-		noAd := s[core.NoAdapt].MeanIO
-		single := math.Min(s[core.StorageOnly].MeanIO, s[core.AppOnly].MeanIO)
-		impNo := 100 * (1 - cross/noAd)
-		impSingle := 100 * (1 - cross/single)
-		aggNo += impNo
-		aggSingle += impSingle
+	for i, app := range apps {
+		v := tasks[i].Wait()
+		aggNo += v.no
+		aggSingle += v.single
 		n++
-		r.Add(app.Name, fmt.Sprintf("%.0f%%", impNo), fmt.Sprintf("%.0f%%", impSingle))
+		r.Add(app.Name, fmt.Sprintf("%.0f%%", v.no), fmt.Sprintf("%.0f%%", v.single))
 	}
 	r.Add("mean", fmt.Sprintf("%.0f%%", aggNo/n), fmt.Sprintf("%.0f%%", aggSingle/n))
 	r.Notef("Paper reports 52%% vs no adaptivity and 36%% vs single-layer on Chameleon; shape (ordering and rough magnitude), not absolute numbers, is the reproduction target.")
@@ -307,19 +365,28 @@ func AblationNoSeekThrash(cfg Config) *Result {
 	}
 	app := analytics.XGCApp()
 	h := appHierarchy(app, cfg, defaultOpts())
+	type pair struct {
+		variant     string
+		storage, cr *runpool.Task[core.Summary]
+	}
+	var pairs []pair
 	for _, variant := range []string{"with seek thrash", "no seek thrash"} {
 		hdd := hddParamsReal()
 		if variant == "no seek thrash" {
 			hdd = hddParamsNoThrash()
 		}
-		run := func(p core.Policy) core.Summary {
-			scen := newScenarioWithHDD("abl", 6, hdd)
-			sess := runOnScenario(scen, app.Name, h, cfg, core.Config{Policy: p})
-			return sess.Summary(cfg.SkipWarmup)
+		run := func(p core.Policy) *runpool.Task[core.Summary] {
+			return runpool.Submit("ablation-seek/"+variant+"/"+p.String(), func() core.Summary {
+				scen := newScenarioWithHDD("abl", 6, hdd)
+				sess := runOnScenario(scen, app.Name, h, cfg, core.Config{Policy: p})
+				return sess.Summary(cfg.SkipWarmup)
+			})
 		}
-		st := run(core.StorageOnly)
-		cr := run(core.CrossLayer)
-		r.Add(variant, fmtS(st.MeanIO), fmtS(cr.MeanIO), fmt.Sprintf("%.2f", cr.MeanIO/st.MeanIO))
+		pairs = append(pairs, pair{variant, run(core.StorageOnly), run(core.CrossLayer)})
+	}
+	for _, p := range pairs {
+		st, cr := p.storage.Wait(), p.cr.Wait()
+		r.Add(p.variant, fmtS(st.MeanIO), fmtS(cr.MeanIO), fmt.Sprintf("%.2f", cr.MeanIO/st.MeanIO))
 	}
 	r.Notef("Without the thrash term the gap narrows: weight redistribution alone suffices when total throughput never collapses.")
 	return r
@@ -336,10 +403,15 @@ func AblationUnsortedBuckets(cfg Config) *Result {
 		Header: []string{"bound", "sorted DoF%", "unsorted DoF%", "inflation"},
 	}
 	app := analytics.XGCApp()
-	sorted := appHierarchy(app, cfg, defaultOpts())
-	opts := defaultOpts()
-	opts.NoSort = true
-	unsorted := appHierarchy(app, cfg, opts)
+	sortedT := runpool.Submit("ablation-sort/sorted", func() *refactor.Hierarchy {
+		return appHierarchy(app, cfg, defaultOpts())
+	})
+	unsortedT := runpool.Submit("ablation-sort/unsorted", func() *refactor.Hierarchy {
+		opts := defaultOpts()
+		opts.NoSort = true
+		return appHierarchy(app, cfg, opts)
+	})
+	sorted, unsorted := sortedT.Wait(), unsortedT.Wait()
 	for _, bound := range []float64{1e-1, 1e-2, 1e-3} {
 		cs, err := sorted.CursorForBound(bound)
 		if err != nil {

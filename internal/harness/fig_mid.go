@@ -9,6 +9,7 @@ import (
 	"tango/internal/dftestim"
 	"tango/internal/errmetric"
 	"tango/internal/refactor"
+	"tango/internal/runpool"
 	"tango/internal/tensor"
 )
 
@@ -61,15 +62,21 @@ func Fig07(cfg Config) *Result {
 	return r
 }
 
-// policySummaries runs the four policies for one app and returns their
-// summaries.
+// policySummaries runs the four policies for one app — as parallel pool
+// jobs, each on its own scenario — and returns their summaries.
 func policySummaries(app analytics.App, h *refactor.Hierarchy, cfg Config, base core.Config) map[core.Policy]core.Summary {
-	out := map[core.Policy]core.Summary{}
-	for _, p := range core.AllPolicies() {
+	policies := core.AllPolicies()
+	tasks := make([]*runpool.Task[core.Summary], len(policies))
+	for i, p := range policies {
 		sc := base
 		sc.Policy = p
-		sess := runOne(app.Name, 6, h, cfg, sc)
-		out[p] = sess.Summary(cfg.SkipWarmup)
+		tasks[i] = runpool.Submit(app.Name+"/"+p.String(), func() core.Summary {
+			return runOne(app.Name, 6, h, cfg, sc).Summary(cfg.SkipWarmup)
+		})
+	}
+	out := map[core.Policy]core.Summary{}
+	for i, p := range policies {
+		out[p] = tasks[i].Wait()
 	}
 	return out
 }
@@ -83,14 +90,21 @@ func Fig08(cfg Config) *Result {
 		Title:  "Cross-layer vs single-layer, no error control (avg I/O time ± std, s)",
 		Header: []string{"app", "no-adapt", "storage-only", "app-only", "cross-layer"},
 	}
-	for _, app := range appsUnderTest() {
-		h := appHierarchy(app, cfg, defaultOpts())
-		s := policySummaries(app, h, cfg, core.Config{})
-		r.Add(app.Name,
-			fmt.Sprintf("%s±%s", fmtS(s[core.NoAdapt].MeanIO), fmtS(s[core.NoAdapt].StdIO)),
-			fmt.Sprintf("%s±%s", fmtS(s[core.StorageOnly].MeanIO), fmtS(s[core.StorageOnly].StdIO)),
-			fmt.Sprintf("%s±%s", fmtS(s[core.AppOnly].MeanIO), fmtS(s[core.AppOnly].StdIO)),
-			fmt.Sprintf("%s±%s", fmtS(s[core.CrossLayer].MeanIO), fmtS(s[core.CrossLayer].StdIO)))
+	apps := appsUnderTest()
+	rows := make([]*runpool.Task[[]string], len(apps))
+	for i, app := range apps {
+		rows[i] = runpool.Submit("fig8/"+app.Name, func() []string {
+			h := appHierarchy(app, cfg, defaultOpts())
+			s := policySummaries(app, h, cfg, core.Config{})
+			return []string{app.Name,
+				fmt.Sprintf("%s±%s", fmtS(s[core.NoAdapt].MeanIO), fmtS(s[core.NoAdapt].StdIO)),
+				fmt.Sprintf("%s±%s", fmtS(s[core.StorageOnly].MeanIO), fmtS(s[core.StorageOnly].StdIO)),
+				fmt.Sprintf("%s±%s", fmtS(s[core.AppOnly].MeanIO), fmtS(s[core.AppOnly].StdIO)),
+				fmt.Sprintf("%s±%s", fmtS(s[core.CrossLayer].MeanIO), fmtS(s[core.CrossLayer].StdIO))}
+		})
+	}
+	for _, t := range rows {
+		r.Add(t.Wait()...)
 	}
 	r.Notef("Augmentation driven purely by the estimated storage load (no prescribed bound); %d measured steps after %d warm-up.", cfg.Steps-cfg.SkipWarmup, cfg.SkipWarmup)
 	return r
@@ -114,16 +128,22 @@ func Fig09(cfg Config) *Result {
 		{"NRMSE 0.01", refactor.Options{Levels: refactor.LevelsForRatio(16, 2, 2), Bounds: NRMSEBounds}, 0.01},
 		{"PSNR 30dB", refactor.Options{Levels: refactor.LevelsForRatio(16, 2, 2), Metric: errmetric.PSNR, Bounds: PSNRBounds}, 30},
 	}
+	var rows []*runpool.Task[[]string]
 	for _, app := range appsUnderTest() {
 		for _, v := range variants {
-			h := appHierarchy(app, cfg, v.opts)
-			s := policySummaries(app, h, cfg, core.Config{ErrorControl: true, Bound: v.bound})
-			r.Add(app.Name, v.label,
-				fmt.Sprintf("%s±%s", fmtS(s[core.NoAdapt].MeanIO), fmtS(s[core.NoAdapt].StdIO)),
-				fmt.Sprintf("%s±%s", fmtS(s[core.StorageOnly].MeanIO), fmtS(s[core.StorageOnly].StdIO)),
-				fmt.Sprintf("%s±%s", fmtS(s[core.AppOnly].MeanIO), fmtS(s[core.AppOnly].StdIO)),
-				fmt.Sprintf("%s±%s", fmtS(s[core.CrossLayer].MeanIO), fmtS(s[core.CrossLayer].StdIO)))
+			rows = append(rows, runpool.Submit("fig9/"+app.Name+"/"+v.label, func() []string {
+				h := appHierarchy(app, cfg, v.opts)
+				s := policySummaries(app, h, cfg, core.Config{ErrorControl: true, Bound: v.bound})
+				return []string{app.Name, v.label,
+					fmt.Sprintf("%s±%s", fmtS(s[core.NoAdapt].MeanIO), fmtS(s[core.NoAdapt].StdIO)),
+					fmt.Sprintf("%s±%s", fmtS(s[core.StorageOnly].MeanIO), fmtS(s[core.StorageOnly].StdIO)),
+					fmt.Sprintf("%s±%s", fmtS(s[core.AppOnly].MeanIO), fmtS(s[core.AppOnly].StdIO)),
+					fmt.Sprintf("%s±%s", fmtS(s[core.CrossLayer].MeanIO), fmtS(s[core.CrossLayer].StdIO))}
+			}))
 		}
+	}
+	for _, t := range rows {
+		r.Add(t.Wait()...)
 	}
 	r.Notef("No-adapt and storage-only always retrieve the full augmentation, so error control does not constrain them.")
 	return r
@@ -143,36 +163,47 @@ func Fig10(cfg Config) *Result {
 		Levels: refactor.LevelsForRatio(8192, 2, 2),
 		Bounds: []float64{0.1},
 	}
-	for _, app := range appsUnderTest() {
-		orig := appField(app, cfg)
-		h := appHierarchy(app, cfg, opts)
-		sc := core.Config{ErrorControl: true, Bound: 0.1, Priority: 10}
+	apps := appsUnderTest()
+	rows := make([]*runpool.Task[[]string], len(apps))
+	for i, app := range apps {
+		rows[i] = runpool.Submit("fig10/"+app.Name, func() []string {
+			orig := appField(app, cfg)
+			h := appHierarchy(app, cfg, opts)
+			sc := core.Config{ErrorControl: true, Bound: 0.1, Priority: 10}
 
-		outErr := func(policy core.Policy) float64 {
-			sc := sc
-			sc.Policy = policy
-			sess := runOne(app.Name, 6, h, cfg, sc)
-			// Average the outcome error over the measured steps,
-			// memoizing by cursor (many steps share a cursor).
-			cache := map[int]float64{}
-			var sum float64
-			var n int
-			for _, st := range sess.Stats()[cfg.SkipWarmup:] {
-				e, ok := cache[st.Cursor]
-				if !ok {
-					e = outcomeAt(app, orig, h, st.Cursor)
-					cache[st.Cursor] = e
-				}
-				sum += e
-				n++
+			outErr := func(policy core.Policy) *runpool.Task[float64] {
+				sc := sc
+				sc.Policy = policy
+				return runpool.Submit("fig10/"+app.Name+"/"+policy.String(), func() float64 {
+					sess := runOne(app.Name, 6, h, cfg, sc)
+					// Average the outcome error over the measured steps,
+					// memoizing by cursor (many steps share a cursor).
+					cache := map[int]float64{}
+					var sum float64
+					var n int
+					for _, st := range sess.Stats()[cfg.SkipWarmup:] {
+						e, ok := cache[st.Cursor]
+						if !ok {
+							e = outcomeAt(app, orig, h, st.Cursor)
+							cache[st.Cursor] = e
+						}
+						sum += e
+						n++
+					}
+					return sum / float64(n)
+				})
 			}
-			return sum / float64(n)
-		}
 
-		cross := outErr(core.CrossLayer)
-		appOnly := outErr(core.AppOnly)
-		noAug := outcomeAt(app, orig, h, 0)
-		r.Add(app.Name, fmt.Sprintf("%.4f", cross), fmt.Sprintf("%.4f", appOnly), fmt.Sprintf("%.4f", noAug))
+			crossT := outErr(core.CrossLayer)
+			appOnlyT := outErr(core.AppOnly)
+			cross := crossT.Wait()
+			appOnly := appOnlyT.Wait()
+			noAug := outcomeAt(app, orig, h, 0)
+			return []string{app.Name, fmt.Sprintf("%.4f", cross), fmt.Sprintf("%.4f", appOnly), fmt.Sprintf("%.4f", noAug)}
+		})
+	}
+	for _, t := range rows {
+		r.Add(t.Wait()...)
 	}
 	r.Notef("Storage-only adaptivity retrieves everything and loses no accuracy, so it is omitted (as in the paper).")
 	r.Notef("Both adaptive schemes stay far below the prescribed bound (0.1) while no-augmentation is unusable — the paper's qualitative conclusion. In this reproduction app-only lands slightly lower (its in-band bandwidth samples read higher than cross-layer's default-weight probes, so it retrieves a little more); the paper observed the reverse second-order ordering.")

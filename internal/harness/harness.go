@@ -239,26 +239,43 @@ type hierKey struct {
 	noSort bool
 }
 
+// hierEntry / fieldEntry make the caches single-flight: the map lookup
+// inserts a once-guarded entry under the lock, then the expensive compute
+// runs inside the entry's Once outside the lock. Concurrent callers with
+// the same key block on the Once instead of duplicating the work (the old
+// code dropped the lock around Decompose, so two parallel scenarios could
+// each decompose the same hierarchy).
+type hierEntry struct {
+	once sync.Once
+	h    *refactor.Hierarchy
+}
+
+type fieldEntry struct {
+	once sync.Once
+	t    *tensor.Tensor
+}
+
 var (
-	hierMu    sync.Mutex
-	hierCache = map[hierKey]*refactor.Hierarchy{} // guarded by hierMu
-	origCache = map[hierKey]*tensor.Tensor{}      // guarded by hierMu
+	hierMu     sync.Mutex
+	hierCache  = map[hierKey]*hierEntry{}  // guarded by hierMu
+	fieldCache = map[hierKey]*fieldEntry{} // guarded by hierMu
 )
 
 // appField returns the app's (memoized) synthetic field.
 func appField(app analytics.App, cfg Config) *tensor.Tensor {
 	key := hierKey{app: app.Name, n: cfg.GridN, seed: cfg.Seed}
 	hierMu.Lock()
-	defer hierMu.Unlock()
-	if t, ok := origCache[key]; ok {
-		return t
+	e, ok := fieldCache[key]
+	if !ok {
+		e = &fieldEntry{}
+		fieldCache[key] = e
 	}
-	t := app.Generate(cfg.GridN, cfg.Seed)
-	origCache[key] = t
-	return t
+	hierMu.Unlock()
+	e.once.Do(func() { e.t = app.Generate(cfg.GridN, cfg.Seed) })
+	return e.t
 }
 
-// appHierarchy decomposes (memoized) the app's field.
+// appHierarchy decomposes (memoized, single-flight) the app's field.
 func appHierarchy(app analytics.App, cfg Config, opts refactor.Options) *refactor.Hierarchy {
 	key := hierKey{
 		app: app.Name, n: cfg.GridN, seed: cfg.Seed,
@@ -266,21 +283,21 @@ func appHierarchy(app analytics.App, cfg Config, opts refactor.Options) *refacto
 		bounds: fmt.Sprint(opts.Bounds), noSort: opts.NoSort,
 	}
 	hierMu.Lock()
-	if h, ok := hierCache[key]; ok {
-		hierMu.Unlock()
-		return h
+	e, ok := hierCache[key]
+	if !ok {
+		e = &hierEntry{}
+		hierCache[key] = e
 	}
 	hierMu.Unlock()
-
-	orig := appField(app, cfg)
-	h, err := refactor.Decompose(orig, opts)
-	if err != nil {
-		panic(fmt.Sprintf("harness: decompose %s: %v", app.Name, err))
-	}
-	hierMu.Lock()
-	hierCache[key] = h
-	hierMu.Unlock()
-	return h
+	e.once.Do(func() {
+		orig := appField(app, cfg)
+		h, err := refactor.Decompose(orig, opts)
+		if err != nil {
+			panic(fmt.Sprintf("harness: decompose %s: %v", app.Name, err))
+		}
+		e.h = h
+	})
+	return e.h
 }
 
 // fmtMB formats bytes/s as MB/s.

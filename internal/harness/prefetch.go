@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"tango/internal/core"
+	"tango/internal/runpool"
 )
 
 // Prefetch evaluates the predictive fast-tier cache (internal/cache):
@@ -23,54 +24,79 @@ func Prefetch(cfg Config) *Result {
 	}
 	const bound = 1e-2
 	const nNoise = 3
+	// Each inner run is independent (own scenario); the per-app note needs
+	// both policies' foreground bandwidth, so jobs return row + fgBW and the
+	// collection loop rebuilds rows and notes in the original order.
+	type polRes struct {
+		row  []string
+		fgBW float64
+	}
+	type appRes struct {
+		name string
+		pols [2]*runpool.Task[polRes]
+	}
+	var apps []appRes
 	for _, app := range appsUnderTest() {
 		h := appHierarchy(app, cfg, defaultOpts())
 		mandatory, err := h.CursorForBound(bound)
 		if err != nil {
 			panic(err)
 		}
-		var fgBW [2]float64
+		ar := appRes{name: app.Name}
 		for i, pol := range []core.Policy{core.CrossLayer, core.CrossLayerPrefetch} {
-			sc := core.Config{
-				Policy: pol, ErrorControl: true, Bound: bound, Priority: 10,
-			}
-			sess := runOne(app.Name, nNoise, h, cfg, sc)
-			sum := sess.Summary(cfg.SkipWarmup)
-			viol := 0
-			hits, misses := 0, 0
-			var savedMB, slowSum float64
-			measured := sess.Stats()[min(cfg.SkipWarmup, len(sess.Stats())):]
-			for _, st := range measured {
-				if st.Cursor < mandatory {
-					viol++
+			ar.pols[i] = runpool.Submit("prefetch/"+app.Name+"/"+pol.String(), func() polRes {
+				sc := core.Config{
+					Policy: pol, ErrorControl: true, Bound: bound, Priority: 10,
 				}
-				hits += st.CacheHits
-				misses += st.CacheMisses
-				savedMB += st.CacheHitBytes / (1024 * 1024)
-				slowSum += st.SlowBW
-			}
-			// Foreground capacity-tier bandwidth: the default-share probe
-			// sample, measured on the HDD each step. This is the quantity
-			// the background prefetch flow must not depress.
-			if len(measured) > 0 {
-				fgBW[i] = slowSum / float64(len(measured))
-			}
-			hitPct := "-"
-			if hits+misses > 0 {
-				hitPct = fmt.Sprintf("%.1f", 100*float64(hits)/float64(hits+misses))
-			}
-			stagedMB, paused, ticks := "-", "-", "-"
-			if c := sess.Cache(); c != nil {
-				stagedMB = fmt.Sprintf("%.1f", c.Stats().StagedBytes/(1024*1024))
-			}
-			if pf := sess.Prefetcher(); pf != nil {
-				ps := pf.Stats()
-				paused = fmt.Sprintf("%d", ps.Paused+ps.Aborted)
-				ticks = fmt.Sprintf("%d", ps.Ticks)
-			}
-			r.Add(app.Name, pol.String(), fmtS(sum.MeanIO), fmtMB(fgBW[i]),
-				hitPct, fmt.Sprintf("%.1f", savedMB), stagedMB,
-				fmt.Sprintf("%d", viol), paused, ticks)
+				sess := runOne(app.Name, nNoise, h, cfg, sc)
+				sum := sess.Summary(cfg.SkipWarmup)
+				viol := 0
+				hits, misses := 0, 0
+				var savedMB, slowSum float64
+				measured := sess.Stats()[min(cfg.SkipWarmup, len(sess.Stats())):]
+				for _, st := range measured {
+					if st.Cursor < mandatory {
+						viol++
+					}
+					hits += st.CacheHits
+					misses += st.CacheMisses
+					savedMB += st.CacheHitBytes / (1024 * 1024)
+					slowSum += st.SlowBW
+				}
+				// Foreground capacity-tier bandwidth: the default-share probe
+				// sample, measured on the HDD each step. This is the quantity
+				// the background prefetch flow must not depress.
+				var fg float64
+				if len(measured) > 0 {
+					fg = slowSum / float64(len(measured))
+				}
+				hitPct := "-"
+				if hits+misses > 0 {
+					hitPct = fmt.Sprintf("%.1f", 100*float64(hits)/float64(hits+misses))
+				}
+				stagedMB, paused, ticks := "-", "-", "-"
+				if c := sess.Cache(); c != nil {
+					stagedMB = fmt.Sprintf("%.1f", c.Stats().StagedBytes/(1024*1024))
+				}
+				if pf := sess.Prefetcher(); pf != nil {
+					ps := pf.Stats()
+					paused = fmt.Sprintf("%d", ps.Paused+ps.Aborted)
+					ticks = fmt.Sprintf("%d", ps.Ticks)
+				}
+				row := []string{app.Name, pol.String(), fmtS(sum.MeanIO), fmtMB(fg),
+					hitPct, fmt.Sprintf("%.1f", savedMB), stagedMB,
+					fmt.Sprintf("%d", viol), paused, ticks}
+				return polRes{row: row, fgBW: fg}
+			})
+		}
+		apps = append(apps, ar)
+	}
+	for _, ar := range apps {
+		var fgBW [2]float64
+		for i, t := range ar.pols {
+			res := t.Wait()
+			fgBW[i] = res.fgBW
+			r.Add(res.row...)
 		}
 		// The prefetch flow runs at the floor weight behind byte-rate
 		// caps, so the foreground's measured capacity-tier share must not
@@ -79,7 +105,7 @@ func Prefetch(cfg Config) *Result {
 		if fgBW[0] > 0 {
 			delta = 100 * (fgBW[1] - fgBW[0]) / fgBW[0]
 		}
-		r.Notef("%s: foreground capacity-tier BW %+.1f%% with prefetch enabled", app.Name, delta)
+		r.Notef("%s: foreground capacity-tier BW %+.1f%% with prefetch enabled", ar.name, delta)
 	}
 	r.Notef("Cache serves level prefixes from the fast tier; eviction keeps high reuse × refetch-cost runs, with prescribed-bound prefixes sticky.")
 	return r

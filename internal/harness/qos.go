@@ -8,6 +8,7 @@ import (
 	"tango/internal/device"
 	"tango/internal/dftestim"
 	"tango/internal/refactor"
+	"tango/internal/runpool"
 	"tango/internal/synth"
 	"tango/internal/tensor"
 	"tango/internal/workload"
@@ -52,12 +53,22 @@ func ThrottleVsTango(cfg Config) *Result {
 		return sess.Summary(cfg.SkipWarmup).MeanIO, noiseBytes / elapsed / device.MB
 	}
 
-	io0, n0 := run(0, core.NoAdapt)
-	r.Add("none (baseline)", fmtS(io0), fmt.Sprintf("%.1f", n0))
-	io1, n1 := run(10*device.MB, core.NoAdapt)
-	r.Add("admin throttles noise to 10 MB/s each", fmtS(io1), fmt.Sprintf("%.1f", n1))
-	io2, n2 := run(0, core.CrossLayer)
-	r.Add("tango cross-layer (no admin action)", fmtS(io2), fmt.Sprintf("%.1f", n2))
+	type res struct{ io, noise float64 }
+	submit := func(label string, throttleBps float64, policy core.Policy) *runpool.Task[res] {
+		return runpool.Submit("throttle/"+label, func() res {
+			io, n := run(throttleBps, policy)
+			return res{io, n}
+		})
+	}
+	t0 := submit("baseline", 0, core.NoAdapt)
+	t1 := submit("throttled", 10*device.MB, core.NoAdapt)
+	t2 := submit("tango", 0, core.CrossLayer)
+	v0 := t0.Wait()
+	r.Add("none (baseline)", fmtS(v0.io), fmt.Sprintf("%.1f", v0.noise))
+	v1 := t1.Wait()
+	r.Add("admin throttles noise to 10 MB/s each", fmtS(v1.io), fmt.Sprintf("%.1f", v1.noise))
+	v2 := t2.Wait()
+	r.Add("tango cross-layer (no admin action)", fmtS(v2.io), fmt.Sprintf("%.1f", v2.noise))
 	r.Notef("Static throttling stretches each checkpoint's write window (1 GB at 10 MB/s holds the disk ~100 s), so interference becomes near-continuous and seek thrash collapses aggregate throughput — the analytics gets SLOWER. Tango improves the analytics without admin action and without taxing the checkpoints.")
 	return r
 }
@@ -90,8 +101,10 @@ func RandomNoiseRobustness(cfg Config) *Result {
 		return out
 	}
 
-	clean := collect(false)
-	noisy := collect(true)
+	cleanT := runpool.Submit("random-noise/periodic-only", func() []float64 { return collect(false) })
+	noisyT := runpool.Submit("random-noise/with-aperiodic", func() []float64 { return collect(true) })
+	clean := cleanT.Wait()
+	noisy := noisyT.Wait()
 	mae := func(samples []float64, frac float64) float64 {
 		est := dftestim.NewEstimator()
 		est.ThreshFrac = frac
@@ -129,17 +142,26 @@ func AblationFIFO(cfg Config) *Result {
 	}
 	app := analytics.XGCApp()
 	h := appHierarchy(app, cfg, defaultOpts())
+	type pair struct {
+		sched          device.Scheduler
+		appOnly, cross *runpool.Task[float64]
+	}
+	var pairs []pair
 	for _, sched := range []device.Scheduler{device.ProportionalShare, device.FIFO} {
-		run := func(policy core.Policy) float64 {
-			hdd := device.HDD("hdd")
-			hdd.Scheduler = sched
-			scen := newScenarioWithHDD("fifo", 6, hdd)
-			sc := core.Config{Policy: policy, ErrorControl: true, Bound: 0.01, Priority: 10}
-			return runOnScenario(scen, app.Name, h, cfg, sc).Summary(cfg.SkipWarmup).MeanIO
+		run := func(policy core.Policy) *runpool.Task[float64] {
+			return runpool.Submit("ablation-fifo/"+sched.String()+"/"+policy.String(), func() float64 {
+				hdd := device.HDD("hdd")
+				hdd.Scheduler = sched
+				scen := newScenarioWithHDD("fifo", 6, hdd)
+				sc := core.Config{Policy: policy, ErrorControl: true, Bound: 0.01, Priority: 10}
+				return runOnScenario(scen, app.Name, h, cfg, sc).Summary(cfg.SkipWarmup).MeanIO
+			})
 		}
-		appOnly := run(core.AppOnly)
-		cross := run(core.CrossLayer)
-		r.Add(sched.String(), fmtS(appOnly), fmtS(cross),
+		pairs = append(pairs, pair{sched, run(core.AppOnly), run(core.CrossLayer)})
+	}
+	for _, p := range pairs {
+		appOnly, cross := p.appOnly.Wait(), p.cross.Wait()
+		r.Add(p.sched.String(), fmtS(appOnly), fmtS(cross),
 			fmt.Sprintf("%.0f%%", 100*(1-cross/appOnly)))
 	}
 	r.Notef("Under FIFO the weight function has nothing to act on, so the cross-layer gain over application-only adaptivity collapses; proportional share is the substrate assumption.")
@@ -166,23 +188,30 @@ func Tracking(cfg Config) *Result {
 	r.Add("full", fmt.Sprintf("%d", ref.Tracks), fmt.Sprintf("%.1f", ref.MeanLength),
 		fmt.Sprintf("%.2f", ref.MeanSpeed), "0.0000")
 
-	for _, bound := range []float64{0.05, 0.1} {
-		var reduced []*tensor.Tensor
-		for _, f := range frames {
-			h, err := refactor.Decompose(f, refactor.Options{Levels: 3, Bounds: []float64{bound}})
-			if err != nil {
-				panic(err)
+	bounds := []float64{0.05, 0.1}
+	rows := make([]*runpool.Task[[]string], len(bounds))
+	for i, bound := range bounds {
+		rows[i] = runpool.Submit(fmt.Sprintf("tracking/nrmse%g", bound), func() []string {
+			var reduced []*tensor.Tensor
+			for _, f := range frames {
+				h, err := refactor.Decompose(f, refactor.Options{Levels: 3, Bounds: []float64{bound}})
+				if err != nil {
+					panic(err)
+				}
+				cur, err := h.CursorForBound(bound)
+				if err != nil {
+					panic(err)
+				}
+				reduced = append(reduced, h.Recompose(cur))
 			}
-			cur, err := h.CursorForBound(bound)
-			if err != nil {
-				panic(err)
-			}
-			reduced = append(reduced, h.Recompose(cur))
-		}
-		st := analytics.SummarizeTracks(analytics.TrackBlobs(reduced, o, 8), 2)
-		r.Add(fmt.Sprintf("NRMSE %g", bound), fmt.Sprintf("%d", st.Tracks),
-			fmt.Sprintf("%.1f", st.MeanLength), fmt.Sprintf("%.2f", st.MeanSpeed),
-			fmt.Sprintf("%.4f", st.RelErrVs(ref)))
+			st := analytics.SummarizeTracks(analytics.TrackBlobs(reduced, o, 8), 2)
+			return []string{fmt.Sprintf("NRMSE %g", bound), fmt.Sprintf("%d", st.Tracks),
+				fmt.Sprintf("%.1f", st.MeanLength), fmt.Sprintf("%.2f", st.MeanSpeed),
+				fmt.Sprintf("%.4f", st.RelErrVs(ref))}
+		})
+	}
+	for _, t := range rows {
+		r.Add(t.Wait()...)
 	}
 	r.Notef("Greedy nearest-centroid tracking, gate 8 cells/frame; blobs drift 1.5 cells/frame.")
 	return r

@@ -51,6 +51,8 @@ type Options struct {
 	Analyzers []string
 	// SimPackages overrides the package names subject to simdeterminism.
 	SimPackages []string
+	// ParPackages overrides the package names subject to parhygiene.
+	ParPackages []string
 }
 
 // DefaultSimPackages are the sim-driven package names in which
@@ -59,7 +61,18 @@ type Options struct {
 // schedules must be bit-reproducible for a fixed seed).
 var DefaultSimPackages = []string{
 	"sim", "device", "core", "coordinator", "harness", "dftestim", "weightfn",
-	"fault", "staging", "cache",
+	"fault", "staging", "cache", "runpool",
+}
+
+// DefaultParPackages are the package names parhygiene audits: every
+// package that spawns goroutines itself (the engine, the chunked-loop
+// and scenario-runner pools, the transform fan-outs) plus the sim-driven
+// set those workers call into, and "main" so the cmd binaries stay
+// covered.
+var DefaultParPackages = []string{
+	"sim", "device", "core", "coordinator", "harness", "dftestim", "weightfn",
+	"fault", "staging", "cache", "par", "runpool", "refactor", "trace",
+	"workload", "analytics", "lint", "main",
 }
 
 type reportFunc func(pos token.Pos, format string, args ...any)
@@ -73,6 +86,7 @@ type analyzer struct {
 // config is the resolved per-run analyzer configuration.
 type config struct {
 	simPackages map[string]bool
+	parPackages map[string]bool
 }
 
 func analyzers() []*analyzer {
@@ -124,9 +138,16 @@ func (o *Options) resolved() (*config, []*analyzer, error) {
 	if sim == nil {
 		sim = DefaultSimPackages
 	}
-	cfg := &config{simPackages: map[string]bool{}}
+	par := o.ParPackages
+	if par == nil {
+		par = DefaultParPackages
+	}
+	cfg := &config{simPackages: map[string]bool{}, parPackages: map[string]bool{}}
 	for _, n := range sim {
 		cfg.simPackages[n] = true
+	}
+	for _, n := range par {
+		cfg.parPackages[n] = true
 	}
 	all := analyzers()
 	if len(o.Analyzers) == 0 {

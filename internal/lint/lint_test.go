@@ -72,8 +72,10 @@ func TestFixtures(t *testing.T) {
 			dir := filepath.Join("testdata", "src", tc.dir)
 			opts := Options{
 				Analyzers: []string{tc.analyzer},
-				// The simdet fixture plays the role of a sim-driven package.
+				// The fixtures play the roles of sim-driven and
+				// goroutine-spawning packages respectively.
 				SimPackages: append(append([]string{}, DefaultSimPackages...), "simdet"),
+				ParPackages: append(append([]string{}, DefaultParPackages...), "parfix"),
 			}
 			findings, pkg, err := CheckFixtureDir(dir, "tango/internal/fixture/"+tc.dir, opts)
 			if err != nil {

@@ -15,7 +15,10 @@ import (
 //  2. assigning to a variable declared outside the closure without any
 //     lock in the closure body (indexed writes to disjoint slots, the
 //     par.For idiom, remain allowed).
-func runParHygiene(p *Package, _ *config, report reportFunc) {
+func runParHygiene(p *Package, cfg *config, report reportFunc) {
+	if !cfg.parPackages[p.Name] {
+		return
+	}
 	for _, f := range p.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)

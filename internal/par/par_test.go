@@ -99,6 +99,52 @@ func TestMapReduceSmallInline(t *testing.T) {
 	}
 }
 
+func TestMapReduceBitsUnchangedByBusyGate(t *testing.T) {
+	// The busy gate may shrink the goroutine budget, but chunk boundaries
+	// are a function of n alone, so a gated reduction must be bit-identical
+	// to an ungated one.
+	n := 1<<18 + 101
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = 1.0 / float64(i+3)
+	}
+	run := func() float64 {
+		return MapReduce(n, func(lo, hi int) float64 {
+			var s float64
+			for i := lo; i < hi; i++ {
+				s += vals[i]
+			}
+			return s
+		}, func(a, b float64) float64 { return a + b })
+	}
+	free := run()
+	for k := 0; k < 4; k++ {
+		EnterBusy()
+	}
+	gated := run()
+	for k := 0; k < 4; k++ {
+		ExitBusy()
+	}
+	if free != gated {
+		t.Fatalf("busy gate changed reduction bits: %x vs %x", free, gated)
+	}
+}
+
+func TestChunkSizeDependsOnlyOnN(t *testing.T) {
+	for _, n := range []int{1, Threshold, Threshold * maxChunks, Threshold*maxChunks + 1, 1 << 26} {
+		c := chunkSize(n)
+		if c < Threshold {
+			t.Fatalf("chunkSize(%d) = %d below Threshold", n, c)
+		}
+		if nChunks := (n + c - 1) / c; nChunks > maxChunks {
+			t.Fatalf("chunkSize(%d) = %d yields %d chunks (> %d)", n, c, nChunks, maxChunks)
+		}
+		if c2 := chunkSize(n); c2 != c {
+			t.Fatalf("chunkSize(%d) unstable: %d then %d", n, c, c2)
+		}
+	}
+}
+
 func TestForMatchesSequentialProperty(t *testing.T) {
 	f := func(seed int64) bool {
 		n := int(seed%100000 + 100000)

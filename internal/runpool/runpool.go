@@ -1,0 +1,177 @@
+// Package runpool is the deterministic parallel scenario runner behind
+// tangobench: a bounded worker pool whose jobs are independent simulation
+// scenarios (each owning its own sim.Engine, trace.Recorder, and staged
+// store), submitted as futures and collected in submission order.
+//
+// The determinism contract (docs/performance.md):
+//
+//   - Jobs must be independent: no shared mutable state beyond
+//     synchronized, value-deterministic caches (e.g. the harness's
+//     single-flight hierarchy memo). Each job builds everything else it
+//     touches.
+//   - Results are collected by Wait in submission order at the call site,
+//     so tables, JSON suites, and byte-match determinism tests render
+//     identically whatever the interleaving of job execution.
+//   - With Workers() == 1 nothing runs concurrently at all: Submit only
+//     records the job and Wait executes it inline on the caller's
+//     goroutine, reproducing the exact sequential execution order.
+//
+// Nested submission is safe: a job may itself Submit sub-jobs and Wait on
+// them. Wait executes a still-unclaimed task inline on the waiting
+// goroutine (claim-or-wait), so progress never depends on a free worker
+// and the pool cannot deadlock however deep the nesting.
+//
+// Scenario-level workers register with par.EnterBusy while a job runs, so
+// kernel-level data parallelism (par.For) inside a job divides the
+// remaining GOMAXPROCS instead of oversubscribing it.
+package runpool
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"tango/internal/par"
+)
+
+// Task states, transitioned with atomic CAS so exactly one goroutine
+// (a pool worker or the waiter) executes the job.
+const (
+	statePending int32 = iota
+	stateRunning
+	stateDone
+)
+
+// runnable is the untyped view of a Task the queue holds.
+type runnable interface {
+	// tryRun claims and executes the task; it reports false if another
+	// goroutine had already claimed it.
+	tryRun() bool
+}
+
+// Task is a submitted job: a future resolved by Wait.
+type Task[T any] struct {
+	name  string
+	fn    func() T
+	state atomic.Int32
+	done  chan struct{}
+	res   T
+	panic any // non-nil if fn panicked; re-raised by Wait
+}
+
+// tryRun claims the task and runs it on the calling goroutine.
+func (t *Task[T]) tryRun() bool {
+	if !t.state.CompareAndSwap(statePending, stateRunning) {
+		return false
+	}
+	par.EnterBusy()
+	defer func() {
+		par.ExitBusy()
+		if r := recover(); r != nil {
+			t.panic = r
+		}
+		t.state.Store(stateDone)
+		close(t.done)
+	}()
+	t.res = t.fn()
+	return true
+}
+
+// Wait blocks until the task has run and returns its result. If the task
+// is still unclaimed, Wait executes it inline on the calling goroutine —
+// this is what makes nested submission deadlock-free and what makes the
+// single-worker pool identical to sequential execution. A panic raised by
+// the job resurfaces from Wait on the waiting goroutine.
+func (t *Task[T]) Wait() T {
+	if !t.tryRun() {
+		<-t.done
+	}
+	if t.panic != nil {
+		panic(fmt.Sprintf("runpool: job %q: %v", t.name, t.panic))
+	}
+	return t.res
+}
+
+// Name returns the label the task was submitted under.
+func (t *Task[T]) Name() string { return t.name }
+
+// pool is the process-wide queue and worker accounting. Workers are
+// spawned lazily up to the configured width and exit when the queue
+// drains, so an idle pool holds no goroutines.
+var pool struct {
+	mu      sync.Mutex
+	queue   []runnable // guarded by mu; FIFO of submitted, possibly claimed tasks
+	workers int        // guarded by mu; configured width (0 = GOMAXPROCS)
+	live    int        // guarded by mu; running worker goroutines
+}
+
+// SetWorkers configures the pool width: the maximum number of jobs
+// executing concurrently (not counting Wait running a job inline).
+// n <= 0 resets to GOMAXPROCS. Width 1 disables pooled execution
+// entirely: jobs run inline at Wait, in collection order.
+//
+// Call between runs, not while jobs are in flight: tangobench sets it
+// once from -parallel before submitting anything.
+func SetWorkers(n int) {
+	pool.mu.Lock()
+	defer pool.mu.Unlock()
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	pool.workers = n
+}
+
+// Workers reports the configured pool width.
+func Workers() int {
+	pool.mu.Lock()
+	defer pool.mu.Unlock()
+	if pool.workers == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return pool.workers
+}
+
+// Submit registers a job and returns its future. With pool width 1 the
+// job is only recorded — Wait runs it inline, preserving the sequential
+// execution order exactly. Otherwise the job is queued and a worker is
+// spawned if the pool is below width.
+func Submit[T any](name string, fn func() T) *Task[T] {
+	t := &Task[T]{name: name, fn: fn, done: make(chan struct{})}
+	pool.mu.Lock()
+	width := pool.workers
+	if width == 0 {
+		width = runtime.GOMAXPROCS(0)
+	}
+	if width <= 1 {
+		pool.mu.Unlock()
+		return t
+	}
+	pool.queue = append(pool.queue, t)
+	spawn := pool.live < width
+	if spawn {
+		pool.live++
+	}
+	pool.mu.Unlock()
+	if spawn {
+		go work()
+	}
+	return t
+}
+
+// work drains the queue, claiming tasks FIFO, and exits when empty.
+func work() {
+	for {
+		pool.mu.Lock()
+		if len(pool.queue) == 0 {
+			pool.live--
+			pool.mu.Unlock()
+			return
+		}
+		t := pool.queue[0]
+		pool.queue[0] = nil
+		pool.queue = pool.queue[1:]
+		pool.mu.Unlock()
+		t.tryRun() // false when the submitter already ran it inline via Wait
+	}
+}

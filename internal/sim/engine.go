@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -19,7 +18,8 @@ type Engine struct {
 	now    float64
 	seq    int64
 	events eventHeap
-	procs  int // live (not yet finished) processes
+	free   []*event // recycled event structs; bounds steady-state allocation
+	procs  int      // live (not yet finished) processes
 	err    error
 	trace  func(t float64, msg string)
 }
@@ -45,45 +45,76 @@ func (e *Engine) tracef(format string, args ...any) {
 // Err returns the first process failure observed by the engine, if any.
 func (e *Engine) Err() error { return e.err }
 
+// newEvent takes a struct off the freelist (or allocates one) and stamps it
+// with the next sequence number. seq is monotone and never reused, so a
+// Timer holding a stale pointer can always detect that its event is gone.
+func (e *Engine) newEvent(t float64, fn func()) *event {
+	var ev *event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+	} else {
+		ev = new(event)
+	}
+	ev.t = t
+	ev.seq = e.seq
+	ev.fn = fn
+	e.seq++
+	return ev
+}
+
+// recycle returns a drained event to the freelist. The callback reference
+// is dropped so the freelist does not pin closures.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	e.free = append(e.free, ev)
+}
+
 // At schedules fn to run at virtual time t. Times in the past are clamped
 // to the present (the event still fires, after already-scheduled events at
 // the current instant). Returns a handle that can cancel the event.
-func (e *Engine) At(t float64, fn func()) *Timer {
+func (e *Engine) At(t float64, fn func()) Timer {
 	if t < e.now {
 		t = e.now
 	}
 	if math.IsNaN(t) {
 		panic("sim: event scheduled at NaN time")
 	}
-	ev := &event{t: t, seq: e.seq, fn: fn}
-	e.seq++
-	heap.Push(&e.events, ev)
-	return &Timer{ev: ev}
+	ev := e.newEvent(t, fn)
+	e.events.push(ev)
+	return Timer{ev: ev, seq: ev.seq, when: t}
 }
 
 // After schedules fn to run d seconds from now.
-func (e *Engine) After(d float64, fn func()) *Timer {
+func (e *Engine) After(d float64, fn func()) Timer {
 	return e.At(e.now+d, fn)
 }
 
-// Timer is a handle to a scheduled event.
+// Timer is a handle to a scheduled event. Timers are small values; copy
+// them freely. The zero Timer is valid and behaves as already expired.
 type Timer struct {
-	ev *event
+	ev   *event
+	seq  int64
+	when float64
 }
 
 // Stop cancels the event if it has not fired. It reports whether the event
 // was still pending. Cancellation is implemented by neutering the callback,
-// so the heap entry drains harmlessly.
-func (t *Timer) Stop() bool {
-	if t.ev == nil || t.ev.fn == nil {
+// so the heap entry drains harmlessly. Fired events are recycled; the
+// sequence guard makes Stop on a stale handle a safe no-op even after the
+// underlying struct has been reused for a later event.
+func (t Timer) Stop() bool {
+	if t.ev == nil || t.ev.seq != t.seq || t.ev.fn == nil {
 		return false
 	}
 	t.ev.fn = nil
 	return true
 }
 
-// When returns the virtual time at which the timer fires (or fired).
-func (t *Timer) When() float64 { return t.ev.t }
+// When returns the virtual time at which the timer fires (or fired). It
+// stays valid after the event drains and the struct is recycled.
+func (t Timer) When() float64 { return t.when }
 
 // Run processes events in order until the clock would pass `until`, then
 // sets the clock to `until` and returns. Events scheduled exactly at
@@ -94,10 +125,12 @@ func (e *Engine) Run(until float64) error {
 		if ev.t > until {
 			break
 		}
-		heap.Pop(&e.events)
+		e.events.pop()
 		e.now = ev.t
-		if ev.fn != nil {
-			ev.fn()
+		fn := ev.fn
+		e.recycle(ev) // before firing: fn may reschedule and reuse it
+		if fn != nil {
+			fn()
 		}
 	}
 	if e.err == nil && e.now < until {
@@ -110,10 +143,12 @@ func (e *Engine) Run(until float64) error {
 // finished or parked indefinitely). Returns the first process error.
 func (e *Engine) RunAll() error {
 	for len(e.events) > 0 && e.err == nil {
-		ev := heap.Pop(&e.events).(*event)
+		ev := e.events.pop()
 		e.now = ev.t
-		if ev.fn != nil {
-			ev.fn()
+		fn := ev.fn
+		e.recycle(ev)
+		if fn != nil {
+			fn()
 		}
 	}
 	return e.err

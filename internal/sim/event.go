@@ -10,39 +10,81 @@
 // and runs are bit-deterministic for a given seed and spawn order.
 package sim
 
-import "container/heap"
-
 // event is a scheduled callback. Events fire in (time, seq) order; seq is a
-// monotone counter that breaks ties deterministically in FIFO order.
+// monotone counter that breaks ties deterministically in FIFO order. Event
+// structs are recycled through the engine's freelist once they drain from
+// the heap; Timer handles guard against reuse via the seq field.
 type event struct {
 	t   float64
 	seq int64
 	fn  func()
 }
 
-// eventHeap is a min-heap of events ordered by time then sequence.
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
+// before reports whether a fires strictly before b.
+func before(a, b *event) bool {
+	if a.t != b.t {
+		return a.t < b.t
 	}
-	return h[i].seq < h[j].seq
+	return a.seq < b.seq
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+// eventHeap is a min-heap of events ordered by time then sequence. It is a
+// concrete implementation — sift operations are called directly from the
+// engine's hot path, with no container/heap interface indirection.
+type eventHeap []*event
 
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+// push appends ev and restores the heap property.
+func (h *eventHeap) push(ev *event) {
+	*h = append(*h, ev)
+	h.siftUp(len(*h) - 1)
+}
 
-func (h *eventHeap) Pop() any {
+// pop removes and returns the minimum event.
+func (h *eventHeap) pop() *event {
 	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
+	n := len(old) - 1
+	ev := old[0]
+	old[0] = old[n]
+	old[n] = nil
+	*h = old[:n]
+	if n > 0 {
+		h.siftDown(0)
+	}
 	return ev
 }
 
-var _ heap.Interface = (*eventHeap)(nil)
+// siftUp bubbles the element at i toward the root, moving parents down into
+// the hole rather than swapping pairwise.
+func (h eventHeap) siftUp(i int) {
+	ev := h[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !before(ev, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = ev
+}
+
+// siftDown pushes the element at i toward the leaves.
+func (h eventHeap) siftDown(i int) {
+	n := len(h)
+	ev := h[i]
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && before(h[r], h[child]) {
+			child = r
+		}
+		if !before(h[child], ev) {
+			break
+		}
+		h[i] = h[child]
+		i = child
+	}
+	h[i] = ev
+}

@@ -16,6 +16,8 @@ type Proc struct {
 	wake chan struct{} // engine -> proc: run until next yield
 	yld  chan struct{} // proc -> engine: parked or finished
 
+	resumeFn func() // cached e.resume(p) closure; one alloc per process, not per Sleep
+
 	done      bool
 	suspended bool
 	err       error
@@ -31,6 +33,7 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 		wake: make(chan struct{}),
 		yld:  make(chan struct{}),
 	}
+	p.resumeFn = func() { e.resume(p) }
 	e.procs++
 	e.tracef("spawn %q", name)
 	go func() {
@@ -45,7 +48,7 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 		}()
 		fn(p)
 	}()
-	e.At(e.now, func() { e.resume(p) })
+	e.At(e.now, p.resumeFn)
 	return p
 }
 
@@ -88,7 +91,7 @@ func (p *Proc) Sleep(d float64) {
 		d = 0
 	}
 	e := p.eng
-	e.At(e.now+d, func() { e.resume(p) })
+	e.At(e.now+d, p.resumeFn)
 	p.yield()
 }
 
@@ -108,7 +111,7 @@ func (e *Engine) Wake(p *Proc) {
 		return
 	}
 	p.suspended = false
-	e.At(e.now, func() { e.resume(p) })
+	e.At(e.now, p.resumeFn)
 }
 
 // Wake is a convenience for Engine.Wake from another process context.

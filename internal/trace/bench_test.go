@@ -1,0 +1,33 @@
+package trace
+
+import "testing"
+
+// BenchmarkEmitPreformatted measures the no-argument fast path used by
+// hot call sites that already hold a complete message.
+func BenchmarkEmitPreformatted(b *testing.B) {
+	b.ReportAllocs()
+	r := New(4096)
+	for i := 0; i < b.N; i++ {
+		r.Emit(float64(i), "sess", KindStep, "step complete")
+	}
+}
+
+// BenchmarkEmitFormatted measures the formatting path the controller's
+// per-step telemetry takes.
+func BenchmarkEmitFormatted(b *testing.B) {
+	b.ReportAllocs()
+	r := New(4096)
+	for i := 0; i < b.N; i++ {
+		r.Emit(float64(i), "sess", KindStep, "step=%d io=%.3f", i, 0.25)
+	}
+}
+
+// BenchmarkEmitNilRecorder pins the disabled path: a nil recorder must
+// cost nothing measurable.
+func BenchmarkEmitNilRecorder(b *testing.B) {
+	b.ReportAllocs()
+	var r *Recorder
+	for i := 0; i < b.N; i++ {
+		r.Emit(float64(i), "sess", KindStep, "step=%d", i)
+	}
+}

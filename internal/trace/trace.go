@@ -68,12 +68,18 @@ func (r *Recorder) Subscribe(fn func(Event)) {
 }
 
 // Emit records an event. A nil recorder ignores it, so call sites do not
-// need to guard.
+// need to guard. When called with no args the format string is recorded
+// verbatim — hot call sites that already hold a complete message skip the
+// fmt.Sprintf pass (and its argument boxing) entirely.
 func (r *Recorder) Emit(t float64, source, kind, format string, args ...any) {
 	if r == nil {
 		return
 	}
-	ev := Event{T: t, Source: source, Kind: kind, Msg: fmt.Sprintf(format, args...)}
+	msg := format
+	if len(args) > 0 {
+		msg = fmt.Sprintf(format, args...)
+	}
+	ev := Event{T: t, Source: source, Kind: kind, Msg: msg}
 	r.mu.Lock()
 	if len(r.events) < r.cap {
 		r.events = append(r.events, ev)
