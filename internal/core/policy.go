@@ -96,8 +96,17 @@ type Config struct {
 	// retrieves less than the bound's rung, regardless of interference.
 	ErrorControl bool
 	// Bound is the prescribed error bound ε_i; it must be one of the
-	// bounds the hierarchy was decomposed with.
+	// bounds the hierarchy was decomposed with, unless InterpolateBound
+	// is set.
 	Bound float64
+	// InterpolateBound accepts a Bound between (or looser than) the
+	// hierarchy's ladder bounds: the mandatory cursor is interpolated
+	// from the accuracy curve the decomposition sweep recorded, instead
+	// of requiring an exact rung. Off by default — exact rungs keep the
+	// retrieval plan identical to the paper's ladder semantics, and the
+	// curve only exists for hierarchies decomposed in this process (it
+	// is not persisted by Encode/Decode).
+	InterpolateBound bool
 
 	// Plot is the augmentation-bandwidth plot (default 30–120 MB/s).
 	Plot abplot.Plot

@@ -84,15 +84,51 @@ func Range(x []float64) float64 {
 	return max - min
 }
 
-// NRMSEOf returns RMSE normalized by the range of x:
-//
-//	NRMSE = sqrt(mean((x-x̂)²)) / (x_max - x_min)
-//
-// A constant signal (zero range) with any mismatch yields +Inf; a perfect
-// reconstruction yields 0 even at zero range.
-func NRMSEOf(x, xhat []float64) float64 {
-	rmse := RMSE(x, xhat)
-	r := Range(x)
+// Stats holds single-pass statistics of a reference field, precomputed
+// once so hot loops that measure many reconstructions against the same
+// reference (the refactor ladder sweep, per-ratio accuracy tables) stop
+// re-scanning it for Range/peak on every call. All derived values are
+// bit-identical to what the free functions compute: min/max/peak are
+// order-independent and the formulas are shared.
+type Stats struct {
+	Min, Max float64 // data range endpoints (Range() = Max − Min)
+	Peak     float64 // max |v|, PSNR's reference peak
+	Mean     float64
+	N        int
+}
+
+// NewStats scans x once. It panics on empty input, as MSE does.
+func NewStats(x []float64) Stats {
+	if len(x) == 0 {
+		panic("errmetric: empty input")
+	}
+	min, max := math.Inf(1), math.Inf(-1)
+	var peak, sum float64
+	for _, v := range x {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+		if a := math.Abs(v); a > peak {
+			peak = a
+		}
+		sum += v
+	}
+	return Stats{Min: min, Max: max, Peak: peak, Mean: sum / float64(len(x)), N: len(x)}
+}
+
+// Range returns max(x) − min(x), as the free Range computes it.
+func (s Stats) Range() float64 { return s.Max - s.Min }
+
+// NRMSE is NRMSEOf with the reference range precomputed.
+func (s Stats) NRMSE(x, xhat []float64) float64 {
+	return s.nrmseFromRMSE(RMSE(x, xhat))
+}
+
+func (s Stats) nrmseFromRMSE(rmse float64) float64 {
+	r := s.Range()
 	if r == 0 {
 		if rmse == 0 {
 			return 0
@@ -102,6 +138,71 @@ func NRMSEOf(x, xhat []float64) float64 {
 	return rmse / r
 }
 
+// PSNR is PSNROf with the reference peak precomputed.
+func (s Stats) PSNR(x, xhat []float64) float64 {
+	return s.psnrFromMSE(MSE(x, xhat))
+}
+
+func (s Stats) psnrFromMSE(mse float64) float64 {
+	if mse == 0 {
+		return math.Inf(1)
+	}
+	if s.Peak == 0 {
+		return math.Inf(-1)
+	}
+	return 10 * math.Log10(s.Peak*s.Peak/mse)
+}
+
+// Measure computes the accuracy of xhat against the reference x the
+// stats were built from, under k.
+func (s Stats) Measure(k Kind, x, xhat []float64) float64 {
+	if k == PSNR {
+		return s.PSNR(x, xhat)
+	}
+	return s.NRMSE(x, xhat)
+}
+
+// FromSSE converts a sum of squared errors over the reference's N points
+// into the metric value, using the same formulas as the free functions —
+// the incremental path of refactor's single-sweep ladder construction.
+func (s Stats) FromSSE(k Kind, sse float64) float64 {
+	mse := sse / float64(s.N)
+	if k == PSNR {
+		return s.psnrFromMSE(mse)
+	}
+	return s.nrmseFromRMSE(math.Sqrt(mse))
+}
+
+// SSEBudget returns the largest sum of squared errors over N points that
+// still satisfies bound under k (FromSSE inverted at the bound), so a
+// running SSE can be checked with one comparison instead of a sqrt or
+// log10 per probe. Degenerate references (zero range, zero peak) get a
+// zero budget: only an exact reconstruction satisfies.
+func (s Stats) SSEBudget(k Kind, bound float64) float64 {
+	if k == PSNR {
+		if s.Peak == 0 {
+			return 0
+		}
+		return s.Peak * s.Peak * float64(s.N) * math.Pow(10, -bound/10)
+	}
+	r := s.Range()
+	if r == 0 {
+		return 0
+	}
+	t := bound * r
+	return t * t * float64(s.N)
+}
+
+// NRMSEOf returns RMSE normalized by the range of x:
+//
+//	NRMSE = sqrt(mean((x-x̂)²)) / (x_max - x_min)
+//
+// A constant signal (zero range) with any mismatch yields +Inf; a perfect
+// reconstruction yields 0 even at zero range.
+func NRMSEOf(x, xhat []float64) float64 {
+	return NewStats(x).NRMSE(x, xhat)
+}
+
 // PSNROf returns the peak signal-to-noise ratio in dB:
 //
 //	PSNR = 10·log10(x_max² / mean((x-x̂)²))
@@ -109,20 +210,7 @@ func NRMSEOf(x, xhat []float64) float64 {
 // following the paper's formula, with x_max taken as the peak magnitude of
 // the reference signal. A perfect reconstruction yields +Inf.
 func PSNROf(x, xhat []float64) float64 {
-	mse := MSE(x, xhat)
-	var peak float64
-	for _, v := range x {
-		if a := math.Abs(v); a > peak {
-			peak = a
-		}
-	}
-	if mse == 0 {
-		return math.Inf(1)
-	}
-	if peak == 0 {
-		return math.Inf(-1)
-	}
-	return 10 * math.Log10(peak*peak/mse)
+	return NewStats(x).PSNR(x, xhat)
 }
 
 // Measure computes the accuracy of xhat against x under k.

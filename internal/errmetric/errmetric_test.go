@@ -249,3 +249,113 @@ func TestThresholdMask(t *testing.T) {
 		t.Fatalf("mask = %v", m)
 	}
 }
+
+// TestStatsMatchesFreeFunctions pins the precomputed-stats path to the
+// free functions bit for bit across varied signals, including
+// degenerate ones (constant, zero-peak is impossible with nonzero data,
+// so an all-zero reference covers it).
+func TestStatsMatchesFreeFunctions(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	signals := [][]float64{
+		make([]float64, 64), // all zeros: zero range, zero peak
+		{5, 5, 5, 5},        // constant, nonzero
+		{-3, 0, 7, 1e-9, -2.5},
+	}
+	big := make([]float64, 10000)
+	for i := range big {
+		big[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(12)-6))
+	}
+	signals = append(signals, big)
+	for si, x := range signals {
+		st := NewStats(x)
+		if st.N != len(x) {
+			t.Errorf("signal %d: N=%d want %d", si, st.N, len(x))
+		}
+		if got, want := st.Range(), Range(x); got != want {
+			t.Errorf("signal %d: Range %v != %v", si, got, want)
+		}
+		for trial := 0; trial < 3; trial++ {
+			xhat := make([]float64, len(x))
+			for i := range xhat {
+				xhat[i] = x[i] + rng.NormFloat64()*0.1*float64(trial)
+			}
+			if got, want := st.NRMSE(x, xhat), NRMSEOf(x, xhat); got != want {
+				t.Errorf("signal %d trial %d: NRMSE %v != %v", si, trial, got, want)
+			}
+			if got, want := st.PSNR(x, xhat), PSNROf(x, xhat); got != want {
+				t.Errorf("signal %d trial %d: PSNR %v != %v", si, trial, got, want)
+			}
+			for _, k := range []Kind{NRMSE, PSNR} {
+				if got, want := st.Measure(k, x, xhat), Measure(k, x, xhat); got != want {
+					t.Errorf("signal %d trial %d: Measure(%v) %v != %v", si, trial, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestStatsFromSSERoundTrip checks that FromSSE applied to the exact sum
+// of squared errors reproduces the direct metric computation, and that
+// SSEBudget inverts FromSSE at the bound.
+func TestStatsFromSSERoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	x := make([]float64, 5000)
+	xhat := make([]float64, 5000)
+	for i := range x {
+		x[i] = rng.NormFloat64() * 10
+		xhat[i] = x[i] + rng.NormFloat64()*0.01
+	}
+	st := NewStats(x)
+	var sse float64
+	for i := range x {
+		d := x[i] - xhat[i]
+		sse += d * d
+	}
+	for _, k := range []Kind{NRMSE, PSNR} {
+		got := st.FromSSE(k, sse)
+		want := Measure(k, x, xhat)
+		if got != want {
+			t.Errorf("FromSSE(%v) = %v, direct measure %v", k, got, want)
+		}
+	}
+	// Budget inversion: an SSE exactly at the budget satisfies the
+	// bound; slightly above does not (up to the round trip's rounding,
+	// checked with a 1-ulp-scale margin via Nextafter).
+	for _, tc := range []struct {
+		k     Kind
+		bound float64
+	}{{NRMSE, 1e-3}, {NRMSE, 0.5}, {PSNR, 30}, {PSNR, 80}} {
+		budget := st.SSEBudget(tc.k, tc.bound)
+		if budget <= 0 {
+			t.Fatalf("budget %v for %v bound %v", budget, tc.k, tc.bound)
+		}
+		if acc := st.FromSSE(tc.k, budget); !tc.k.Satisfies(acc, tc.bound) {
+			// The analytic inversion can land a rounding step past the
+			// bound; it must be within one ulp of satisfying.
+			if acc2 := st.FromSSE(tc.k, math.Nextafter(budget, 0)); !tc.k.Satisfies(acc2, tc.bound) {
+				t.Errorf("%v bound %v: FromSSE(budget)=%v does not satisfy", tc.k, tc.bound, acc)
+			}
+		}
+		if acc := st.FromSSE(tc.k, budget*1.01); tc.k.Satisfies(acc, tc.bound) {
+			t.Errorf("%v bound %v: SSE 1%% over budget still satisfies (%v)", tc.k, tc.bound, acc)
+		}
+	}
+	// Degenerate references get a zero budget.
+	zero := NewStats(make([]float64, 8))
+	if b := zero.SSEBudget(NRMSE, 0.1); b != 0 {
+		t.Errorf("zero-range NRMSE budget %v, want 0", b)
+	}
+	if b := zero.SSEBudget(PSNR, 30); b != 0 {
+		t.Errorf("zero-peak PSNR budget %v, want 0", b)
+	}
+}
+
+// TestNewStatsPanicsOnEmpty matches MSE's contract.
+func TestNewStatsPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewStats(nil)
+}

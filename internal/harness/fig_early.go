@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"tango/internal/device"
-	"tango/internal/errmetric"
 	"tango/internal/refactor"
 	"tango/internal/runpool"
 	"tango/internal/workload"
@@ -125,7 +124,7 @@ func Fig02(cfg Config) *Result {
 				levels := refactor.LevelsForRatio(ratio, 2, 2)
 				h := appHierarchy(app, cfg, refactor.Options{Levels: levels})
 				rec := h.Recompose(0) // reduced representation only
-				psnr := errmetric.PSNROf(orig.Data(), rec.Data())
+				psnr := appStats(app, cfg).PSNR(orig.Data(), rec.Data())
 				relerr := app.OutcomeErr(orig, rec)
 				row = append(row, fmt.Sprintf("%.1f", psnr), fmt.Sprintf("%.3f", relerr))
 			}

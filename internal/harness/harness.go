@@ -255,10 +255,16 @@ type fieldEntry struct {
 	t    *tensor.Tensor
 }
 
+type statsEntry struct {
+	once sync.Once
+	st   errmetric.Stats
+}
+
 var (
 	hierMu     sync.Mutex
 	hierCache  = map[hierKey]*hierEntry{}  // guarded by hierMu
 	fieldCache = map[hierKey]*fieldEntry{} // guarded by hierMu
+	statsCache = map[hierKey]*statsEntry{} // guarded by hierMu
 )
 
 // appField returns the app's (memoized) synthetic field.
@@ -273,6 +279,24 @@ func appField(app analytics.App, cfg Config) *tensor.Tensor {
 	hierMu.Unlock()
 	e.once.Do(func() { e.t = app.Generate(cfg.GridN, cfg.Seed) })
 	return e.t
+}
+
+// appStats returns the (memoized, single-flight) reference statistics of
+// the app's field, so figures that measure many reconstructions against
+// it (Fig 2's PSNR table) scan the reference once per field instead of
+// once per ratio. Stats are order-independent, so the derived metrics
+// are bit-identical to the unmemoized free functions.
+func appStats(app analytics.App, cfg Config) errmetric.Stats {
+	key := hierKey{app: app.Name, n: cfg.GridN, seed: cfg.Seed}
+	hierMu.Lock()
+	e, ok := statsCache[key]
+	if !ok {
+		e = &statsEntry{}
+		statsCache[key] = e
+	}
+	hierMu.Unlock()
+	e.once.Do(func() { e.st = errmetric.NewStats(appField(app, cfg).Data()) })
+	return e.st
 }
 
 // appHierarchy decomposes (memoized, single-flight) the app's field.

@@ -61,7 +61,7 @@ type Options struct {
 // schedules must be bit-reproducible for a fixed seed).
 var DefaultSimPackages = []string{
 	"sim", "device", "core", "coordinator", "harness", "dftestim", "weightfn",
-	"fault", "staging", "cache", "runpool",
+	"fault", "staging", "cache", "runpool", "refactor", "errmetric",
 }
 
 // DefaultParPackages are the package names parhygiene audits: every

@@ -109,6 +109,44 @@ func run(n, nChunks, w int, fn func(chunk, lo, hi int)) {
 	wg.Wait()
 }
 
+// NumChunks returns how many fixed chunks [0, n) splits into — the
+// partition For and ForChunk iterate. Like chunkSize it is a function of
+// n alone, so callers can preallocate per-chunk result slots that line
+// up across passes.
+func NumChunks(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	if n < Threshold {
+		return 1
+	}
+	size := chunkSize(n)
+	return (n + size - 1) / size
+}
+
+// ForChunk is For with the chunk index passed alongside the range, for
+// two-pass count/fill patterns that stage per-chunk results into
+// disjoint, chunk-ordered slots (an ordered merge without locks). Same
+// contract as For: fn must only write state derived from its own chunk,
+// and chunk boundaries depend only on n.
+func ForChunk(n int, fn func(chunk, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if n < Threshold {
+		fn(0, 0, n)
+		return
+	}
+	size := chunkSize(n)
+	nChunks := (n + size - 1) / size
+	w := workers(nChunks)
+	if w == 1 && nChunks == 1 {
+		fn(0, 0, n)
+		return
+	}
+	run(n, nChunks, w, fn)
+}
+
 // For runs fn over [0, n) split into contiguous fixed-size chunks. fn
 // must only write state derived from its own range. Small problems run
 // inline on the calling goroutine.

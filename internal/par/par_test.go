@@ -1,6 +1,7 @@
 package par
 
 import (
+	"sync"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -168,5 +169,78 @@ func TestForMatchesSequentialProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 5}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestForChunkCoversRangeWithChunkIDs(t *testing.T) {
+	for _, n := range []int{0, 1, Threshold - 1, Threshold, Threshold*3 + 17, Threshold*maxChunks + 5} {
+		nc := NumChunks(n)
+		seen := make([]int32, n)
+		var calls atomic.Int32
+		maxChunk := int32(-1)
+		var mu sync.Mutex
+		ForChunk(n, func(chunk, lo, hi int) {
+			calls.Add(1)
+			mu.Lock()
+			if int32(chunk) > maxChunk {
+				maxChunk = int32(chunk)
+			}
+			mu.Unlock()
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&seen[i], 1)
+			}
+		})
+		if n == 0 {
+			if calls.Load() != 0 {
+				t.Errorf("n=0: fn called %d times", calls.Load())
+			}
+			continue
+		}
+		if int(calls.Load()) != nc {
+			t.Errorf("n=%d: %d calls, NumChunks says %d", n, calls.Load(), nc)
+		}
+		if int(maxChunk) != nc-1 {
+			t.Errorf("n=%d: max chunk id %d, want %d", n, maxChunk, nc-1)
+		}
+		for i, c := range seen {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d covered %d times", n, i, c)
+			}
+		}
+	}
+}
+
+// TestNumChunksMatchesForChunkPartition pins the preallocation contract:
+// chunk ids from ForChunk index exactly [0, NumChunks(n)).
+func TestNumChunksMatchesForChunkPartition(t *testing.T) {
+	if got := NumChunks(0); got != 0 {
+		t.Errorf("NumChunks(0) = %d", got)
+	}
+	if got := NumChunks(-5); got != 0 {
+		t.Errorf("NumChunks(-5) = %d", got)
+	}
+	if got := NumChunks(1); got != 1 {
+		t.Errorf("NumChunks(1) = %d", got)
+	}
+	if got := NumChunks(Threshold - 1); got != 1 {
+		t.Errorf("NumChunks(Threshold-1) = %d", got)
+	}
+	n := Threshold * 4
+	slots := make([][2]int, NumChunks(n))
+	ForChunk(n, func(chunk, lo, hi int) {
+		slots[chunk] = [2]int{lo, hi}
+	})
+	prev := 0
+	for c, s := range slots {
+		if s[0] != prev {
+			t.Fatalf("chunk %d starts at %d, want %d", c, s[0], prev)
+		}
+		if s[1] <= s[0] {
+			t.Fatalf("chunk %d empty: %v", c, s)
+		}
+		prev = s[1]
+	}
+	if prev != n {
+		t.Fatalf("chunks end at %d, want %d", prev, n)
 	}
 }

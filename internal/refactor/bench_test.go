@@ -63,6 +63,53 @@ func BenchmarkLadderSearch513(b *testing.B) {
 	}
 }
 
+// BenchmarkDecompose1025 measures the decomposition kernels alone
+// (pyramid, chunked extraction, radix sort) without ladder search.
+func BenchmarkDecompose1025(b *testing.B) {
+	f := benchGrid(1025)
+	opts := Options{Levels: 4}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompose(f, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLadder1025 measures the full decomposition with ladder
+// construction at the large grid — the single-sweep path end to end.
+func BenchmarkLadder1025(b *testing.B) {
+	f := benchGrid(1025)
+	opts := Options{Levels: 4, Bounds: []float64{1e-1, 1e-2, 1e-3}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompose(f, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEncodeEntries isolates the entry-stream encoder; the alloc
+// count is the point (scratch batching keeps it at zero).
+func BenchmarkEncodeEntries(b *testing.B) {
+	f := benchGrid(257)
+	h, err := Decompose(f, Options{Levels: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	entries := h.augs[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf writeCounter
+		if _, err := EncodeEntries(&buf, entries); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkSegmentsQuery(b *testing.B) {
 	f := benchGrid(513)
 	h, err := Decompose(f, Options{Levels: 4})

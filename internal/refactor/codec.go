@@ -23,14 +23,30 @@ func entrySize(e Entry) int {
 	return binary.PutUvarint(buf[:], uint64(e.Index)) + 8
 }
 
-// EncodeEntries writes a run of entries to w.
+// EncodeEntries writes a run of entries to w. Entries are staged into a
+// stack scratch buffer and flushed in batches, so a long stream costs a
+// handful of w.Write calls (and zero heap allocations) instead of one
+// per entry — the per-entry buffer would otherwise escape through the
+// io.Writer and dominate Encode's allocation profile.
 func EncodeEntries(w io.Writer, entries []Entry) (int64, error) {
-	var buf [binary.MaxVarintLen64 + 8]byte
+	var buf [4096]byte
 	var total int64
+	k := 0
 	for _, e := range entries {
-		n := binary.PutUvarint(buf[:], uint64(e.Index))
-		binary.LittleEndian.PutUint64(buf[n:], math.Float64bits(e.Value))
-		m, err := w.Write(buf[:n+8])
+		if k+binary.MaxVarintLen64+8 > len(buf) {
+			m, err := w.Write(buf[:k])
+			total += int64(m)
+			if err != nil {
+				return total, err
+			}
+			k = 0
+		}
+		k += binary.PutUvarint(buf[k:], uint64(e.Index))
+		binary.LittleEndian.PutUint64(buf[k:], math.Float64bits(e.Value))
+		k += 8
+	}
+	if k > 0 {
+		m, err := w.Write(buf[:k])
 		total += int64(m)
 		if err != nil {
 			return total, err
@@ -74,16 +90,17 @@ func (h *Hierarchy) Encode(w io.Writer) error {
 		return err
 	}
 	// bufio.Writer errors are sticky: the final Flush reports the first
-	// failure, so per-write errors are explicitly discarded here.
+	// failure, so per-write errors are explicitly discarded here. The
+	// scratch buffer is shared by both closures so it escapes once per
+	// Encode, not once per write.
+	var scratch [binary.MaxVarintLen64 + 8]byte
 	writeU := func(v uint64) {
-		var b [binary.MaxVarintLen64]byte
-		n := binary.PutUvarint(b[:], v)
-		_, _ = bw.Write(b[:n])
+		n := binary.PutUvarint(scratch[:], v)
+		_, _ = bw.Write(scratch[:n])
 	}
 	writeF := func(v float64) {
-		var b [8]byte
-		binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
-		_, _ = bw.Write(b[:])
+		binary.LittleEndian.PutUint64(scratch[:8], math.Float64bits(v))
+		_, _ = bw.Write(scratch[:8])
 	}
 
 	writeU(uint64(h.opts.Levels))
@@ -151,12 +168,12 @@ func Decode(r io.Reader) (*Hierarchy, error) {
 		}
 		return v
 	}
+	var fbuf [8]byte
 	readF := func() float64 {
-		var b [8]byte
-		if _, err := io.ReadFull(br, b[:]); err != nil && firstErr == nil {
+		if _, err := io.ReadFull(br, fbuf[:]); err != nil && firstErr == nil {
 			firstErr = err
 		}
-		return math.Float64frombits(binary.LittleEndian.Uint64(b[:]))
+		return math.Float64frombits(binary.LittleEndian.Uint64(fbuf[:]))
 	}
 
 	h := &Hierarchy{}

@@ -1,11 +1,12 @@
 package refactor
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
 
 	"tango/internal/errmetric"
+	"tango/internal/par"
 	"tango/internal/tensor"
 )
 
@@ -59,25 +60,11 @@ func Decompose(orig *tensor.Tensor, opts Options) (*Hierarchy, error) {
 
 	for l := 0; l < L-1; l++ {
 		pro := Prolongate(levels[l+1], levelDims[l], opts.Decimation)
-		fine := levels[l].Data()
-		pd := pro.Data()
-		var entries []Entry
-		for i := range fine {
-			diff := fine[i] - pd[i]
-			if diff != 0 {
-				entries = append(entries, Entry{Index: i, Value: diff})
-			}
-		}
+		entries := extractEntries(levels[l].Data(), pro.Data())
 		// Descending |value|; ties broken by index for determinism.
 		// (NoSort keeps index order — ablation of §III-B2 step 3.)
 		if !opts.NoSort {
-			sort.Slice(entries, func(a, b int) bool {
-				av, bv := math.Abs(entries[a].Value), math.Abs(entries[b].Value)
-				if av != bv {
-					return av > bv
-				}
-				return entries[a].Index < entries[b].Index
-			})
+			sortEntries(entries)
 		}
 		h.augs[l] = entries
 	}
@@ -103,7 +90,9 @@ func Decompose(orig *tensor.Tensor, opts Options) (*Hierarchy, error) {
 		h.byteCum[l] = pre
 	}
 
-	h.baseAcc = h.Achieved(orig, 0)
+	if len(opts.Bounds) == 0 || len(h.order) == 0 {
+		h.baseAcc = h.Achieved(orig, 0)
+	}
 	if err := h.buildLadder(orig); err != nil {
 		return nil, err
 	}
@@ -142,45 +131,143 @@ func validateBounds(k errmetric.Kind, bounds []float64) error {
 	return nil
 }
 
-// buildLadder finds, for each bound, the smallest cursor whose
-// reconstruction satisfies it. Because entries are magnitude-ordered the
-// achieved error is (near-)monotone in the cursor; we binary-search and
-// then verify, advancing if local non-monotonicity fooled the search.
-func (h *Hierarchy) buildLadder(orig *tensor.Tensor) error {
-	h.rungs = h.rungs[:0]
-	prevCursor := 0
-	total := h.TotalEntries()
-	for _, bound := range h.opts.Bounds {
-		lo, hi := prevCursor, total
-		// Early out: previous rung (or base) may already satisfy.
-		if acc := h.Achieved(orig, lo); h.opts.Metric.Satisfies(acc, bound) {
-			h.pushRung(bound, acc, lo, prevCursor)
-			prevCursor = lo
-			continue
-		}
-		for lo < hi {
-			mid := (lo + hi) / 2
-			if h.opts.Metric.Satisfies(h.Achieved(orig, mid), bound) {
-				hi = mid
-			} else {
-				lo = mid + 1
+// extractEntries collects the nonzero fine−prolongated differences in
+// index order. Chunks are counted and filled in parallel into disjoint
+// output ranges; chunk-ordered offsets make the concatenation identical
+// to a sequential scan.
+func extractEntries(fine, pd []float64) []Entry {
+	n := len(fine)
+	nc := par.NumChunks(n)
+	if nc <= 1 {
+		var entries []Entry
+		for i, v := range fine {
+			if diff := v - pd[i]; diff != 0 {
+				entries = append(entries, Entry{Index: i, Value: diff})
 			}
 		}
-		cursor := lo
-		// Verify; on rare non-monotone wobble, advance in coarse steps.
-		step := maxInt(1, total/256)
-		acc := h.Achieved(orig, cursor)
+		return entries
+	}
+	counts := make([]int, nc)
+	par.ForChunk(n, func(c, lo, hi int) {
+		k := 0
+		for i := lo; i < hi; i++ {
+			if fine[i]-pd[i] != 0 {
+				k++
+			}
+		}
+		counts[c] = k
+	})
+	offs := make([]int, nc+1)
+	for c, k := range counts {
+		offs[c+1] = offs[c] + k
+	}
+	if offs[nc] == 0 {
+		return nil
+	}
+	entries := make([]Entry, offs[nc])
+	par.ForChunk(n, func(c, lo, hi int) {
+		k := offs[c]
+		for i := lo; i < hi; i++ {
+			if diff := fine[i] - pd[i]; diff != 0 {
+				entries[k] = Entry{Index: i, Value: diff}
+				k++
+			}
+		}
+	})
+	return entries
+}
+
+// compareEntries orders augmentation entries by descending |value|, ties
+// by ascending index — a strict total order, so the (unstable) pdqsort
+// result is unique and deterministic.
+func compareEntries(a, b Entry) int {
+	av, bv := math.Abs(a.Value), math.Abs(b.Value)
+	switch {
+	case av > bv:
+		return -1
+	case av < bv:
+		return 1
+	}
+	return cmp.Compare(a.Index, b.Index)
+}
+
+// buildLadder finds, for each bound, the smallest cursor whose
+// reconstruction satisfies it. A single incremental sweep (sweep.go)
+// walks the whole augmentation stream once in retrieval order,
+// maintaining the sum of squared errors of the running reconstruction,
+// and records the first cursor crossing each bound's SSE budget —
+// O(n·L + TotalEntries) for the whole hierarchy, versus O(B·n·L·log n)
+// for per-bound binary search with a full Recompose and full-array
+// measure per probe. The reported accuracy then comes from one exact
+// Achieved call per rung, and a ±1-step verification against that exact
+// measure absorbs the few-ulp difference between the incrementally
+// maintained SSE and a fresh measure, so rung cursors and recorded
+// accuracies are the ones the probing search produced. (This also
+// retires the old coarse-step "non-monotone wobble" re-verify loop: the
+// sweep observes every cursor, not just probe midpoints.)
+func (h *Hierarchy) buildLadder(orig *tensor.Tensor) error {
+	h.rungs = h.rungs[:0]
+	if len(h.opts.Bounds) == 0 {
+		return nil
+	}
+	st := errmetric.NewStats(orig.Data())
+	if len(h.order) == 0 {
+		// Degenerate single-level hierarchy: the base is the original;
+		// every bound is satisfied (or unreachable) at cursor 0.
+		acc := h.achievedWith(st, orig, 0)
+		for _, bound := range h.opts.Bounds {
+			if !h.opts.Metric.Satisfies(acc, bound) {
+				return fmt.Errorf("refactor: bound %v unreachable (full reconstruction achieves %v)", bound, acc)
+			}
+			h.pushRung(bound, acc, 0, 0)
+		}
+		return nil
+	}
+	sw := h.runSweep(orig, st)
+	h.curve = sw.curve
+	h.baseAcc = sw.baseAcc
+	pr := newProber(h, st, orig, sw.floors)
+	total := h.TotalEntries()
+	prevCursor := 0
+	for bi, bound := range h.opts.Bounds {
+		cursor := sw.candidates[bi]
+		if cursor < 0 {
+			cursor = total
+		}
+		if cursor < prevCursor {
+			cursor = prevCursor
+		}
+		acc := pr.achieved(cursor)
+		// Forward: the swept SSE can sit a few ulps under the exact
+		// measure right at the crossing; advance until exact agreement.
 		for !h.opts.Metric.Satisfies(acc, bound) && cursor < total {
-			cursor = min(cursor+step, total)
-			acc = h.Achieved(orig, cursor)
+			cursor++
+			acc = pr.achieved(cursor)
 		}
 		if !h.opts.Metric.Satisfies(acc, bound) {
 			return fmt.Errorf("refactor: bound %v unreachable (full reconstruction achieves %v)", bound, acc)
+		}
+		// Backward: or a few ulps over; retreat to the smallest cursor
+		// the exact measure accepts.
+		for cursor > prevCursor {
+			a := pr.achieved(cursor - 1)
+			if !h.opts.Metric.Satisfies(a, bound) {
+				break
+			}
+			cursor--
+			acc = a
 		}
 		h.pushRung(bound, acc, cursor, prevCursor)
 		prevCursor = cursor
 	}
 	return nil
+}
+
+// achievedWith is Achieved with the reference statistics precomputed;
+// bit-identical results, one fewer reference scan per probe.
+func (h *Hierarchy) achievedWith(st errmetric.Stats, orig *tensor.Tensor, cursor int) float64 {
+	rec := h.Recompose(cursor)
+	return st.Measure(h.opts.Metric, orig.Data(), rec.Data())
 }
 
 func (h *Hierarchy) pushRung(bound, achieved float64, cursor, prevCursor int) {

@@ -1,0 +1,270 @@
+package refactor
+
+import (
+	"tango/internal/errmetric"
+	"tango/internal/tensor"
+)
+
+// prober evaluates the exact achieved accuracy at a sequence of ladder
+// cursors, reusing reconstruction state between probes. The ladder
+// refinement probes runs of adjacent cursors (a sweep candidate, then
+// its ±1 neighbours), so rebuilding the full prolongate-and-add chain
+// per probe — what Achieved does — redoes almost identical work each
+// time. The prober instead keeps the cursor zone's coarse field and its
+// prolongation, and on a cursor step:
+//
+//   - applies (or exactly un-applies, from saved pre-apply values) the
+//     delta entries to the coarse field, and
+//   - recomputes only the fine points inside the changed coarse nodes'
+//     interpolation support, with the same corner-sum expression
+//     Prolongate evaluates.
+//
+// Every fine point is therefore either untouched or recomputed from
+// identical inputs with identical arithmetic, so the probed accuracy is
+// bit-identical to Achieved at the same cursor. Zones more than one
+// prolongation away from the finest level fall back to re-running the
+// chain below the zone (still skipping everything at or above it);
+// their entries are a geometrically small share of the stream.
+type prober struct {
+	h      *Hierarchy
+	st     errmetric.Stats
+	ref    []float64
+	floors []*tensor.Tensor
+
+	pos    int // current zone (order position); -1 before the first probe
+	take   int // entries of zone pos currently applied to coarse
+	coarse *tensor.Tensor
+	saved  []float64 // pre-apply coarse values, aligned with entry order
+	rec    *tensor.Tensor
+
+	// Single-prolongation fast path (zone level interpolates straight to
+	// the finest level): Prolongate's per-dimension interpolation tables,
+	// rebuilt on zone entry.
+	direct   bool
+	fineDims []int
+	cd       []int
+	lo       [][]int
+	fr       [][]float64
+	cStrides []int
+	fStrides []int
+
+	jbuf, idxbuf, lobuf, hibuf []int // recomputeSupport scratch
+}
+
+func newProber(h *Hierarchy, st errmetric.Stats, orig *tensor.Tensor, floors []*tensor.Tensor) *prober {
+	return &prober{h: h, st: st, ref: orig.Data(), floors: floors, pos: -1}
+}
+
+// achieved returns the exact accuracy of Recompose(cursor) against the
+// reference — bit-identical to Achieved(orig, cursor).
+func (p *prober) achieved(cursor int) float64 {
+	pos, take := p.h.split(cursor)
+	if pos != p.pos {
+		p.enterZone(pos, take)
+	} else {
+		p.moveTo(take)
+	}
+	return p.st.Measure(p.h.opts.Metric, p.ref, p.rec.Data())
+}
+
+// enterZone initializes probe state for the zone at order position pos
+// with take entries applied.
+func (p *prober) enterZone(pos, take int) {
+	h := p.h
+	lvl := h.order[pos]
+	p.pos = pos
+	p.coarse = p.floors[pos].Clone()
+	p.saved = p.saved[:0]
+	data := p.coarse.Data()
+	for _, e := range h.augs[lvl][:take] {
+		p.saved = append(p.saved, data[e.Index])
+		data[e.Index] += e.Value
+	}
+	p.take = take
+	switch len(h.order) - pos - 1 {
+	case 0:
+		// Finest zone: the coarse field is the reconstruction.
+		p.direct = false
+		p.rec = p.coarse
+	case 1:
+		p.direct = true
+		p.buildTables()
+		p.rec = Prolongate(p.coarse, p.fineDims, h.opts.Decimation)
+	default:
+		p.direct = false
+		p.rec = p.reprolongate()
+	}
+}
+
+// moveTo steps the applied-entry count of the current zone to take.
+func (p *prober) moveTo(take int) {
+	h := p.h
+	lvl := h.order[p.pos]
+	data := p.coarse.Data()
+	lo, hi := take, p.take // changed entry range [lo, hi)
+	switch {
+	case take == p.take:
+		return
+	case take > p.take:
+		lo, hi = p.take, take
+		for _, e := range h.augs[lvl][lo:hi] {
+			p.saved = append(p.saved, data[e.Index])
+			data[e.Index] += e.Value
+		}
+	default:
+		// Un-apply by restoring saved values: exact, where subtracting
+		// the entry back out would round.
+		for i := p.take - 1; i >= take; i-- {
+			data[h.augs[lvl][i].Index] = p.saved[i]
+		}
+		p.saved = p.saved[:take]
+	}
+	p.take = take
+	switch {
+	case p.rec == p.coarse:
+		// Finest zone: the single-point coarse writes were the update.
+	case p.direct:
+		sup := 1
+		for range p.cd {
+			sup *= 2*h.opts.Decimation - 1
+		}
+		if (hi-lo)*sup >= p.rec.Len() {
+			p.rec = Prolongate(p.coarse, p.fineDims, h.opts.Decimation)
+			return
+		}
+		for _, e := range h.augs[lvl][lo:hi] {
+			p.recomputeSupport(e.Index)
+		}
+	default:
+		p.rec = p.reprolongate()
+	}
+}
+
+// reprolongate runs the prolongation chain below the current zone.
+func (p *prober) reprolongate() *tensor.Tensor {
+	h := p.h
+	r := p.coarse
+	for _, j := range h.order[p.pos+1:] {
+		r = Prolongate(r, h.levelDims[j], h.opts.Decimation)
+	}
+	return r
+}
+
+// buildTables precomputes Prolongate's per-dimension interpolation
+// tables for the current zone's single-step prolongation, so support
+// recomputation evaluates the identical corner sums.
+func (p *prober) buildTables() {
+	h := p.h
+	d := h.opts.Decimation
+	p.fineDims = h.levelDims[h.order[p.pos+1]]
+	p.cd = p.coarse.Dims()
+	rank := len(p.fineDims)
+	p.lo = make([][]int, rank)
+	p.fr = make([][]float64, rank)
+	for i := 0; i < rank; i++ {
+		n, nc := p.fineDims[i], p.cd[i]
+		p.lo[i] = make([]int, n)
+		p.fr[i] = make([]float64, n)
+		for x := 0; x < n; x++ {
+			q := x / d
+			f := float64(x-q*d) / float64(d)
+			if q >= nc-1 {
+				q = nc - 1
+				f = 0
+			}
+			p.lo[i][x] = q
+			p.fr[i][x] = f
+		}
+	}
+	p.cStrides = rowMajorStrides(p.cd)
+	p.fStrides = rowMajorStrides(p.fineDims)
+	p.jbuf = make([]int, rank)
+	p.idxbuf = make([]int, rank)
+	p.lobuf = make([]int, rank)
+	p.hibuf = make([]int, rank)
+}
+
+// recomputeSupport refreshes the fine points whose interpolation reads
+// the coarse node at flat offset coarseOff.
+func (p *prober) recomputeSupport(coarseOff int) {
+	d := p.h.opts.Decimation
+	rank := len(p.cd)
+	j := p.jbuf
+	unravel(coarseOff, p.cd, j)
+	for i := 0; i < rank; i++ {
+		nf, nc := p.fineDims[i], p.cd[i]
+		lo := (j[i]-1)*d + 1
+		if lo < 0 {
+			lo = 0
+		}
+		hi := (j[i]+1)*d - 1
+		// Fine points past the last coarse node clamp to it.
+		if j[i] == nc-1 || hi > nf-1 {
+			hi = nf - 1
+		}
+		p.lobuf[i], p.hibuf[i] = lo, hi
+		p.idxbuf[i] = lo
+	}
+	for {
+		p.recomputePoint(p.idxbuf)
+		i := rank - 1
+		for ; i >= 0; i-- {
+			p.idxbuf[i]++
+			if p.idxbuf[i] <= p.hibuf[i] {
+				break
+			}
+			p.idxbuf[i] = p.lobuf[i]
+		}
+		if i < 0 {
+			return
+		}
+	}
+}
+
+// recomputePoint re-evaluates one fine point exactly as Prolongate's
+// inner loop does: same corner order, same weight products, same
+// accumulation order.
+func (p *prober) recomputePoint(idx []int) {
+	rank := len(idx)
+	corners := 1 << rank
+	src := p.coarse.Data()
+	var v float64
+	for c := 0; c < corners; c++ {
+		w := 1.0
+		cOff := 0
+		for i := 0; i < rank; i++ {
+			x := idx[i]
+			if c&(1<<i) != 0 {
+				f := p.fr[i][x]
+				if f == 0 {
+					w = 0
+					break
+				}
+				w *= f
+				cOff += (p.lo[i][x] + 1) * p.cStrides[i]
+			} else {
+				w *= 1 - p.fr[i][x]
+				cOff += p.lo[i][x] * p.cStrides[i]
+			}
+		}
+		if w != 0 {
+			v += w * src[cOff]
+		}
+	}
+	off := 0
+	for i := 0; i < rank; i++ {
+		off += idx[i] * p.fStrides[i]
+	}
+	p.rec.Data()[off] = v
+}
+
+// rowMajorStrides returns the row-major strides of dims.
+func rowMajorStrides(dims []int) []int {
+	s := make([]int, len(dims))
+	st := 1
+	for i := len(dims) - 1; i >= 0; i-- {
+		s[i] = st
+		st *= dims[i]
+	}
+	return s
+}

@@ -1,0 +1,75 @@
+package refactor
+
+import (
+	"math"
+	"slices"
+)
+
+// radixMin is the slice length above which sortEntries switches from
+// comparison sorting to the radix path; below it the histogram passes
+// cost more than pdqsort.
+const radixMin = 1 << 12
+
+// sortEntries orders entries by descending |value|, ties broken by
+// ascending index — the order compareEntries defines. Large slices use
+// a stable LSD radix sort on the complemented IEEE bit pattern of
+// |value|: bits(|v|) is monotone in |v| for non-NaN values, so
+// ascending passes over the complement yield descending magnitude, and
+// stability supplies the index tiebreak because extraction emits
+// entries in ascending index order. The result matches compareEntries
+// for every non-NaN input; NaN differences (possible only from
+// Inf−Inf) order deterministically before +Inf here, whereas a NaN is
+// incomparable under compareEntries and pdqsort may place it
+// arbitrarily — the radix order is the better-defined of the two.
+func sortEntries(entries []Entry) {
+	n := len(entries)
+	if n < radixMin {
+		slices.SortFunc(entries, compareEntries)
+		return
+	}
+
+	keys := make([]uint64, n)
+	for i, e := range entries {
+		keys[i] = ^math.Float64bits(math.Abs(e.Value))
+	}
+
+	// One scan builds all eight digit histograms; digit counts do not
+	// depend on the order of earlier passes.
+	var count [8][256]int
+	for _, k := range keys {
+		for b := uint(0); b < 8; b++ {
+			count[b][byte(k>>(8*b))]++
+		}
+	}
+
+	tmpE := make([]Entry, n)
+	tmpK := make([]uint64, n)
+	src, dst := entries, tmpE
+	ksrc, kdst := keys, tmpK
+	for b := uint(0); b < 8; b++ {
+		c := &count[b]
+		// A digit every key shares permutes nothing; skip the pass.
+		if c[byte(ksrc[0]>>(8*b))] == n {
+			continue
+		}
+		var offs [256]int
+		off := 0
+		for v := 0; v < 256; v++ {
+			offs[v] = off
+			off += c[v]
+		}
+		for i := 0; i < n; i++ {
+			k := ksrc[i]
+			v := byte(k >> (8 * b))
+			o := offs[v]
+			offs[v] = o + 1
+			dst[o] = src[i]
+			kdst[o] = k
+		}
+		src, dst = dst, src
+		ksrc, kdst = kdst, ksrc
+	}
+	if &src[0] != &entries[0] {
+		copy(entries, src)
+	}
+}

@@ -1,0 +1,297 @@
+package refactor
+
+import (
+	"fmt"
+	"math"
+
+	"tango/internal/errmetric"
+	"tango/internal/par"
+	"tango/internal/tensor"
+)
+
+// Single-sweep incremental ladder construction.
+//
+// The retrieval order applies each level's entries only after every
+// coarser level is complete, so for all cursors inside one level the
+// reconstruction is
+//
+//	rec(c) = prolongate⁰(floor_l) + Σ_{applied e} e.Value · B_e
+//
+// where floor_l is the running level-l field before any of level l's
+// entries and B_e is entry e's basis prolongated to the original grid.
+// The prolongated floor is therefore fixed once per level boundary:
+// the sweep re-anchors the error field err = orig − prolongate⁰(floor_l)
+// and its sum of squared errors there (one O(n) pass), then updates both
+// in O(|support(B_e)|) as the cursor advances — O(1) for level-0 entries
+// (the bulk of the stream; their basis is a single point) and a small
+// constant box for the few coarse-level entries. One pass over the
+// whole hierarchy costs O(n·L + TotalEntries) instead of the
+// O(B·n·L·log n) of per-bound binary search with a full Recompose and
+// full-array measure per probe.
+
+// CurvePoint is one sample of the cursor→accuracy curve the ladder
+// sweep records while walking the augmentation stream.
+type CurvePoint struct {
+	Cursor   int
+	Achieved float64
+}
+
+// maxCurveSamples bounds the evenly spaced samples of the stored curve;
+// level boundaries and the stream's endpoints are always included.
+const maxCurveSamples = 512
+
+// wpt is one (fine position, weight) pair of a composed 1-D
+// prolongation column.
+type wpt struct {
+	pos int
+	w   float64
+}
+
+type sweepResult struct {
+	// candidates[i] is the first cursor whose swept SSE satisfies
+	// bounds[i], or -1 if the sweep never crossed that budget.
+	candidates []int
+	curve      []CurvePoint
+	// floors[pos] is the level-order[pos] field at that zone's boundary
+	// (coarser zones fully applied, none of this zone's entries) — the
+	// state Recompose reaches right after its pos-th prolongation.
+	// exactAchieved resumes a reconstruction from here instead of
+	// replaying the whole prolongate-and-add chain from the base.
+	floors []*tensor.Tensor
+	// baseAcc is the exact (sequential-measure) accuracy of the base
+	// alone, computed from the first boundary's prolongated floor —
+	// bit-identical to Achieved(orig, 0), one reconstruction cheaper.
+	baseAcc float64
+}
+
+// composedColumns returns, for one dimension, the level-lvl → level-0
+// prolongation columns: cols[j] lists the (fine position, weight) pairs
+// of coarse node j's composed basis along that dimension. Prolongation
+// is separable, so a level-lvl entry's full basis is the tensor product
+// of its per-dimension columns.
+func (h *Hierarchy) composedColumns(lvl, dim int) [][]wpt {
+	d := h.opts.Decimation
+	m := func(l int) int { return h.levelDims[l][dim] }
+	cols := make([][]wpt, m(lvl))
+	for j := range cols {
+		w := make([]float64, m(lvl))
+		w[j] = 1
+		for l := lvl; l >= 1; l-- {
+			nf, nc := m(l-1), m(l)
+			fine := make([]float64, nf)
+			for x := 0; x < nf; x++ {
+				p := x / d
+				f := float64(x-p*d) / float64(d)
+				if p >= nc-1 {
+					p, f = nc-1, 0
+				}
+				if f == 0 {
+					fine[x] = w[p]
+				} else {
+					fine[x] = (1-f)*w[p] + f*w[p+1]
+				}
+			}
+			w = fine
+		}
+		var col []wpt
+		for x, v := range w {
+			if v != 0 {
+				col = append(col, wpt{x, v})
+			}
+		}
+		cols[j] = col
+	}
+	return cols
+}
+
+// runSweep walks the augmentation stream once in retrieval order,
+// maintaining the reconstruction error against orig, and returns the
+// per-bound candidate cursors plus the sampled accuracy curve. The
+// per-entry updates are sequential in stream order and the boundary
+// re-anchor uses chunk-ordered reduction, so the result is deterministic
+// at any worker count.
+func (h *Hierarchy) runSweep(orig *tensor.Tensor, st errmetric.Stats) sweepResult {
+	ref := orig.Data()
+	n := len(ref)
+	metric := h.opts.Metric
+	bounds := h.opts.Bounds
+	total := h.TotalEntries()
+
+	res := sweepResult{candidates: make([]int, len(bounds))}
+	budgets := make([]float64, len(bounds))
+	for i, b := range bounds {
+		res.candidates[i] = -1
+		budgets[i] = st.SSEBudget(metric, b)
+	}
+
+	sampleEvery := 1
+	if total > maxCurveSamples {
+		sampleEvery = (total + maxCurveSamples - 1) / maxCurveSamples
+	}
+
+	errv := make([]float64, n)
+	var sse float64
+	cursor := 0
+	nextBound := 0
+
+	check := func() {
+		for nextBound < len(bounds) && sse <= budgets[nextBound] {
+			res.candidates[nextBound] = cursor
+			nextBound++
+		}
+	}
+	nextSample := 0
+	sample := func(force bool) {
+		if !force && cursor < nextSample {
+			return
+		}
+		nextSample = cursor - cursor%sampleEvery + sampleEvery
+		if k := len(res.curve); k > 0 && res.curve[k-1].Cursor == cursor {
+			return
+		}
+		res.curve = append(res.curve, CurvePoint{cursor, st.FromSSE(metric, sse)})
+	}
+
+	dims0 := h.levelDims[0]
+	rank := len(dims0)
+	strides0 := make([]int, rank)
+	stv := 1
+	for i := rank - 1; i >= 0; i-- {
+		strides0[i] = stv
+		stv *= dims0[i]
+	}
+
+	d := h.opts.Decimation
+	res.floors = make([]*tensor.Tensor, len(h.order))
+	cur := h.base.Clone()
+	for pos, lvl := range h.order {
+		cur = Prolongate(cur, h.levelDims[lvl], d)
+		res.floors[pos] = cur.Clone()
+		floor := cur
+		for j := lvl - 1; j >= 0; j-- {
+			floor = Prolongate(floor, h.levelDims[j], d)
+		}
+		fd := floor.Data()
+		if pos == 0 {
+			// fd is Recompose(0)'s data; measure ε_0 here sequentially
+			// rather than reconstructing it a second time.
+			res.baseAcc = st.Measure(metric, ref, fd)
+		}
+		// Re-anchor err and SSE at the level boundary: the prolongated
+		// floor is fixed for every cursor inside this level.
+		sse = par.MapReduce(n, func(lo, hi int) float64 {
+			var s float64
+			for i := lo; i < hi; i++ {
+				e := ref[i] - fd[i]
+				errv[i] = e
+				s += e * e
+			}
+			return s
+		}, func(a, b float64) float64 { return a + b })
+		check()
+		sample(true)
+
+		curData := cur.Data()
+		if lvl == 0 {
+			// Finest level: the basis is a single point — O(1) per entry.
+			// Nothing prolongates after this zone, so cur itself needs no
+			// update (the cached floor was cloned above).
+			for _, e := range h.augs[0] {
+				old := errv[e.Index]
+				nw := old - e.Value
+				sse += nw*nw - old*old
+				errv[e.Index] = nw
+				cursor++
+				check()
+				sample(cursor == total)
+			}
+			continue
+		}
+
+		cols := make([][][]wpt, rank)
+		for dim := range cols {
+			cols[dim] = h.composedColumns(lvl, dim)
+		}
+		cd := h.levelDims[lvl]
+		idx := make([]int, rank)
+		var v float64
+		var apply func(dim, off int, w float64)
+		apply = func(dim, off int, w float64) {
+			if dim == rank {
+				old := errv[off]
+				nw := old - v*w
+				sse += nw*nw - old*old
+				errv[off] = nw
+				return
+			}
+			for _, p := range cols[dim][idx[dim]] {
+				apply(dim+1, off+p.pos*strides0[dim], w*p.w)
+			}
+		}
+		for _, e := range h.augs[lvl] {
+			curData[e.Index] += e.Value
+			unravel(e.Index, cd, idx)
+			v = e.Value
+			apply(0, 0, 1)
+			cursor++
+			check()
+			sample(cursor == total)
+		}
+	}
+	return res
+}
+
+// AccuracyCurve returns the sampled cursor→accuracy curve the ladder
+// sweep recorded (cursor-ascending, from the base-only point to the full
+// stream), or nil when the hierarchy was built without bounds or decoded
+// from storage — the sweep runs only during Decompose with a ladder.
+// Level-boundary points are freshly measured (no incremental drift);
+// points between boundaries come from the incrementally maintained SSE.
+// Both agree with a fresh Achieved measure to within a few ulps. The
+// returned slice is a copy.
+func (h *Hierarchy) AccuracyCurve() []CurvePoint {
+	return append([]CurvePoint(nil), h.curve...)
+}
+
+// CursorForAccuracy maps an accuracy target to the smallest cursor whose
+// swept accuracy satisfies it, interpolating linearly between curve
+// samples and rounding up so the returned prefix is conservative. Unlike
+// CursorForBound it accepts targets between (or looser than) ladder
+// bounds — the controller uses it to interpolate retrieval targets
+// between rungs instead of snapping up to the next rung boundary.
+func (h *Hierarchy) CursorForAccuracy(target float64) (int, error) {
+	if len(h.curve) == 0 {
+		return 0, fmt.Errorf("refactor: no accuracy curve (hierarchy built without bounds, or decoded)")
+	}
+	m := h.opts.Metric
+	for i, p := range h.curve {
+		if !m.Satisfies(p.Achieved, target) {
+			continue
+		}
+		if i == 0 {
+			return p.Cursor, nil
+		}
+		prev := h.curve[i-1]
+		den := p.Achieved - prev.Achieved
+		gap := p.Cursor - prev.Cursor
+		if den == 0 || gap <= 1 {
+			return p.Cursor, nil
+		}
+		f := (target - prev.Achieved) / den
+		if f < 0 {
+			f = 0
+		} else if f > 1 {
+			f = 1
+		}
+		c := prev.Cursor + int(math.Ceil(f*float64(gap)))
+		if c > p.Cursor {
+			c = p.Cursor
+		}
+		if c <= prev.Cursor {
+			c = prev.Cursor + 1
+		}
+		return c, nil
+	}
+	last := h.curve[len(h.curve)-1]
+	return 0, fmt.Errorf("refactor: accuracy %v unreachable (curve ends at %v)", target, last.Achieved)
+}

@@ -1,0 +1,379 @@
+package refactor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"tango/internal/analytics"
+	"tango/internal/errmetric"
+	"tango/internal/tensor"
+)
+
+// referenceLadder is the pre-sweep ladder construction, kept verbatim as
+// the differential oracle: per-bound binary search over exact Achieved
+// measures, with the coarse-step re-verify for non-monotone wobble. The
+// sweep must reproduce its rungs bit for bit.
+func referenceLadder(h *Hierarchy, orig *tensor.Tensor) ([]Rung, error) {
+	var rungs []Rung
+	push := func(bound, achieved float64, cursor, prevCursor int) {
+		rungs = append(rungs, Rung{
+			Bound:       bound,
+			Achieved:    achieved,
+			Cursor:      cursor,
+			Cardinality: cursor - prevCursor,
+			Bytes:       h.BytesForRange(prevCursor, cursor),
+			Level:       h.LevelOfCursor(cursor),
+		})
+	}
+	prevCursor := 0
+	total := h.TotalEntries()
+	for _, bound := range h.opts.Bounds {
+		lo, hi := prevCursor, total
+		if acc := h.Achieved(orig, lo); h.opts.Metric.Satisfies(acc, bound) {
+			push(bound, acc, lo, prevCursor)
+			prevCursor = lo
+			continue
+		}
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if h.opts.Metric.Satisfies(h.Achieved(orig, mid), bound) {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		cursor := lo
+		step := maxInt(1, total/256)
+		acc := h.Achieved(orig, cursor)
+		for !h.opts.Metric.Satisfies(acc, bound) && cursor < total {
+			cursor = min(cursor+step, total)
+			acc = h.Achieved(orig, cursor)
+		}
+		if !h.opts.Metric.Satisfies(acc, bound) {
+			return nil, fmt.Errorf("bound %v unreachable (achieves %v)", bound, acc)
+		}
+		push(bound, acc, cursor, prevCursor)
+		prevCursor = cursor
+	}
+	return rungs, nil
+}
+
+// sweepCases spans the three applications, both metrics, and several
+// bound ladders (including ones that land rungs in coarse-level zones).
+func sweepCases() []struct {
+	name string
+	gen  func() *tensor.Tensor
+	opts Options
+} {
+	apps := analytics.Apps()
+	var cases []struct {
+		name string
+		gen  func() *tensor.Tensor
+		opts Options
+	}
+	boundSets := []struct {
+		tag    string
+		metric errmetric.Kind
+		bounds []float64
+		levels int
+	}{
+		{"nrmse3", errmetric.NRMSE, []float64{1e-1, 1e-2, 1e-3}, 3},
+		{"nrmse-loose", errmetric.NRMSE, []float64{0.5, 0.2}, 4},
+		{"nrmse-tight", errmetric.NRMSE, []float64{1e-4}, 2},
+		{"psnr3", errmetric.PSNR, []float64{20, 40, 60}, 3},
+		{"psnr-deep", errmetric.PSNR, []float64{10, 30, 50, 70}, 4},
+	}
+	for _, app := range apps {
+		app := app
+		for _, bs := range boundSets {
+			cases = append(cases, struct {
+				name string
+				gen  func() *tensor.Tensor
+				opts Options
+			}{
+				name: app.Name + "/" + bs.tag,
+				gen:  func() *tensor.Tensor { return app.Generate(129, 42) },
+				opts: Options{Levels: bs.levels, Metric: bs.metric, Bounds: bs.bounds},
+			})
+		}
+	}
+	return cases
+}
+
+// TestSweepMatchesBinarySearch pins the tentpole's contract: the
+// single-sweep ladder produces exactly the rungs the per-bound binary
+// search produced — same cursors, same recorded accuracies (bitwise),
+// same cardinalities, bytes, and levels.
+func TestSweepMatchesBinarySearch(t *testing.T) {
+	for _, tc := range sweepCases() {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			orig := tc.gen()
+			h, err := Decompose(orig, tc.opts)
+			if err != nil {
+				t.Fatalf("Decompose: %v", err)
+			}
+			want, err := referenceLadder(h, orig)
+			if err != nil {
+				t.Fatalf("referenceLadder: %v", err)
+			}
+			got := h.Rungs()
+			if len(got) != len(want) {
+				t.Fatalf("rung count %d, want %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("rung %d:\n got %+v\nwant %+v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestSweepBaseAccuracy pins the shared base-accuracy computation to the
+// standalone exact measure.
+func TestSweepBaseAccuracy(t *testing.T) {
+	for _, tc := range sweepCases()[:3] {
+		orig := tc.gen()
+		h, err := Decompose(orig, tc.opts)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if want := h.Achieved(orig, 0); h.BaseAccuracy() != want {
+			t.Errorf("%s: BaseAccuracy %v, want %v", tc.name, h.BaseAccuracy(), want)
+		}
+	}
+}
+
+// TestProberMatchesAchieved drives the stateful prober over random
+// cursor sequences (jumps and ±1 runs across zone boundaries) and
+// checks every probe bitwise against the full reconstruction.
+func TestProberMatchesAchieved(t *testing.T) {
+	apps := analytics.Apps()
+	for _, app := range apps {
+		app := app
+		t.Run(app.Name, func(t *testing.T) {
+			orig := app.Generate(65, 7)
+			h, err := Decompose(orig, Options{Levels: 3, Bounds: []float64{1e-1, 1e-3}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := errmetric.NewStats(orig.Data())
+			sw := h.runSweep(orig, st)
+			pr := newProber(h, st, orig, sw.floors)
+			total := h.TotalEntries()
+			rng := rand.New(rand.NewSource(1))
+			cursor := rng.Intn(total + 1)
+			for i := 0; i < 200; i++ {
+				switch rng.Intn(4) {
+				case 0: // long jump
+					cursor = rng.Intn(total + 1)
+				case 1: // step down
+					cursor = maxInt(cursor-1, 0)
+				default: // step up
+					cursor = min(cursor+1, total)
+				}
+				got := pr.achieved(cursor)
+				want := h.achievedWith(st, orig, cursor)
+				if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+					t.Fatalf("step %d cursor %d: prober %v, Achieved %v", i, cursor, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestProber3D exercises the support-recompute path on a rank-3 grid,
+// where clamped edges and corner weights are hardest to get right.
+func TestProber3D(t *testing.T) {
+	orig := tensor.New(17, 17, 17)
+	d := orig.Data()
+	for i := range d {
+		d[i] = math.Sin(float64(i)) * float64(i%13)
+	}
+	h, err := Decompose(orig, Options{Levels: 3, Bounds: []float64{1e-1, 1e-3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := errmetric.NewStats(orig.Data())
+	sw := h.runSweep(orig, st)
+	pr := newProber(h, st, orig, sw.floors)
+	total := h.TotalEntries()
+	for cursor := 0; cursor <= total; cursor += maxInt(1, total/97) {
+		got := pr.achieved(cursor)
+		want := h.achievedWith(st, orig, cursor)
+		if got != want {
+			t.Fatalf("cursor %d: prober %v, Achieved %v", cursor, got, want)
+		}
+	}
+	// Walk backward over a zone boundary: un-apply must restore exactly.
+	for cursor := total; cursor >= 0; cursor -= maxInt(1, total/53) {
+		got := pr.achieved(cursor)
+		want := h.achievedWith(st, orig, cursor)
+		if got != want {
+			t.Fatalf("backward cursor %d: prober %v, Achieved %v", cursor, got, want)
+		}
+	}
+}
+
+// TestAccuracyCurve checks the sweep's recorded curve: cursor-ascending,
+// spanning base to full stream, monotone-improving under the metric, and
+// agreeing with a fresh exact measure to within a tight relative
+// tolerance (boundary points are exact up to reduction order; interior
+// points carry only ulp-scale incremental drift).
+func TestAccuracyCurve(t *testing.T) {
+	orig := analytics.XGCApp().Generate(129, 3)
+	h, err := Decompose(orig, Options{Levels: 3, Bounds: []float64{1e-1, 1e-2, 1e-3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve := h.AccuracyCurve()
+	if len(curve) < 3 {
+		t.Fatalf("curve too short: %d points", len(curve))
+	}
+	if curve[0].Cursor != 0 {
+		t.Errorf("curve starts at cursor %d, want 0", curve[0].Cursor)
+	}
+	if last := curve[len(curve)-1]; last.Cursor != h.TotalEntries() {
+		t.Errorf("curve ends at cursor %d, want %d", last.Cursor, h.TotalEntries())
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Cursor <= curve[i-1].Cursor {
+			t.Fatalf("curve not cursor-ascending at %d: %d after %d", i, curve[i].Cursor, curve[i-1].Cursor)
+		}
+	}
+	for _, p := range curve {
+		want := h.Achieved(orig, p.Cursor)
+		if want == 0 || math.IsInf(want, 0) {
+			continue
+		}
+		// Incremental drift is ulp-scale on the SSE; relative error on
+		// the metric grows as the residual shrinks toward zero
+		// (cancellation), so the tail of the curve sits around 1e-8.
+		if rel := math.Abs(p.Achieved-want) / math.Abs(want); rel > 1e-6 {
+			t.Errorf("cursor %d: curve %v vs exact %v (rel %v)", p.Cursor, p.Achieved, want, rel)
+		}
+	}
+	// The returned slice is a copy.
+	curve[0].Achieved = -1
+	if h.AccuracyCurve()[0].Achieved == -1 {
+		t.Error("AccuracyCurve returned internal slice, not a copy")
+	}
+}
+
+// TestCursorForAccuracy checks interpolation between rungs: targets
+// between two ladder bounds map to cursors between (and tighter targets
+// to larger cursors than) the bracketing rungs, and the returned
+// prefix's exact accuracy satisfies the target to curve tolerance.
+func TestCursorForAccuracy(t *testing.T) {
+	orig := analytics.CFDApp().Generate(129, 5)
+	h, err := Decompose(orig, Options{Levels: 3, Bounds: []float64{1e-1, 1e-2, 1e-3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rungs := h.Rungs()
+	target := 3e-2 // between 1e-1 and 1e-2
+	c, err := h.CursorForAccuracy(target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c > rungs[1].Cursor {
+		t.Errorf("interpolated cursor %d exceeds tighter rung's %d", c, rungs[1].Cursor)
+	}
+	acc := h.Achieved(orig, c)
+	// Conservative rounding plus curve drift: allow a sliver over.
+	if acc > target*(1+1e-6) {
+		t.Errorf("cursor %d achieves %v, wanted <= %v", c, acc, target)
+	}
+	// A looser target must not need more entries.
+	cLoose, err := h.CursorForAccuracy(6e-2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cLoose > c {
+		t.Errorf("looser target cursor %d > tighter target cursor %d", cLoose, c)
+	}
+	// Unreachable target errors.
+	if _, err := h.CursorForAccuracy(0); err == nil {
+		t.Error("expected error for unreachable target 0")
+	}
+	// No curve (built without bounds) errors.
+	h2, err := Decompose(orig, Options{Levels: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h2.CursorForAccuracy(1e-2); err == nil {
+		t.Error("expected error for hierarchy built without bounds")
+	}
+}
+
+// TestSortEntriesMatchesComparator pins the radix sort to the
+// comparison order on adversarial value patterns: duplicated
+// magnitudes, ±0, sign pairs, denormals, and infinities.
+func TestSortEntriesMatchesComparator(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	vals := []float64{0, math.Copysign(0, -1), 1, -1, 0.5, -0.5,
+		math.SmallestNonzeroFloat64, -math.SmallestNonzeroFloat64,
+		math.MaxFloat64, math.Inf(1), math.Inf(-1), 1e-300, 2.5, -2.5}
+	n := radixMin + 1000 // force the radix path
+	entries := make([]Entry, n)
+	for i := range entries {
+		entries[i] = Entry{Index: i, Value: vals[rng.Intn(len(vals))] * (1 + float64(rng.Intn(3)))}
+	}
+	want := append([]Entry(nil), entries...)
+	slices.SortFunc(want, compareEntries)
+	sortEntries(entries)
+	for i := range entries {
+		if entries[i] != want[i] {
+			t.Fatalf("order differs at %d: got %+v, want %+v", i, entries[i], want[i])
+		}
+	}
+	// Small slices take the comparison path; spot-check it too.
+	small := []Entry{{3, 1}, {1, -2}, {2, 1}, {0, 2}}
+	sortEntries(small)
+	wantSmall := []Entry{{0, 2}, {1, -2}, {2, 1}, {3, 1}}
+	for i := range small {
+		if small[i] != wantSmall[i] {
+			t.Fatalf("small sort: got %v, want %v", small, wantSmall)
+		}
+	}
+}
+
+// TestExtractEntriesParallelMatchesSequential forces the chunked
+// extraction path and compares it against the simple scan.
+func TestExtractEntriesParallelMatchesSequential(t *testing.T) {
+	n := 1 << 16 // above par.Threshold: multiple chunks
+	fine := make([]float64, n)
+	pd := make([]float64, n)
+	rng := rand.New(rand.NewSource(11))
+	for i := range fine {
+		fine[i] = rng.Float64()
+		if rng.Intn(3) == 0 {
+			pd[i] = fine[i] // zero diff: must be skipped
+		} else {
+			pd[i] = rng.Float64()
+		}
+	}
+	got := extractEntries(fine, pd)
+	var want []Entry
+	for i, v := range fine {
+		if diff := v - pd[i]; diff != 0 {
+			want = append(want, Entry{Index: i, Value: diff})
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d: got %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// All-equal input returns nil, matching the sequential scan's nil.
+	if e := extractEntries(fine, fine); e != nil {
+		t.Errorf("expected nil for zero-diff input, got %d entries", len(e))
+	}
+}
