@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint race test check clean
+.PHONY: all build vet lint lint-json race test check clean
 
 all: build
 
@@ -15,10 +15,14 @@ vet:
 	$(GO) vet ./...
 
 # tangolint: the project's own static-analysis suite (internal/lint).
-# See docs/determinism.md for the rules and the //lint:ignore escape
-# hatch.
+# See docs/lint.md for the analyzers and the //lint:ignore escape hatch.
 lint:
 	$(GO) run ./cmd/tangolint ./...
+
+# Machine-readable findings (file/line/analyzer/message/witness) for CI
+# artifacts; writes tangolint.json and still fails on findings.
+lint-json:
+	$(GO) run ./cmd/tangolint -json ./... > tangolint.json
 
 race:
 	$(GO) test -race ./...

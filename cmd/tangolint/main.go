@@ -6,12 +6,20 @@
 // exiting non-zero when anything is found. See docs/determinism.md for
 // the rules and the //lint:ignore escape hatch.
 //
+// With -json, findings are emitted instead as one JSON array of
+//
+//	{"file": ..., "line": ..., "analyzer": ..., "message": ..., "witness": [...]}
+//
+// objects (witness is the call-chain evidence the interprocedural
+// analyzers attach), which is what CI archives as its lint artifact.
+//
 // Usage:
 //
-//	tangolint [-analyzers a,b] [-list] [-v] [./... | dir ...]
+//	tangolint [-analyzers a,b] [-json] [-list] [-v] [./... | dir ...]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +29,17 @@ import (
 	"tango/internal/lint"
 )
 
+// jsonFinding is the -json wire format, one object per finding. File is
+// module-root-relative with forward slashes, so artifacts diff cleanly
+// across machines.
+type jsonFinding struct {
+	File     string   `json:"file"`
+	Line     int      `json:"line"`
+	Analyzer string   `json:"analyzer"`
+	Message  string   `json:"message"`
+	Witness  []string `json:"witness,omitempty"`
+}
+
 func main() {
 	os.Exit(run())
 }
@@ -28,10 +47,11 @@ func main() {
 func run() int {
 	fs := flag.NewFlagSet("tangolint", flag.ExitOnError)
 	analyzersFlag := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout")
 	list := fs.Bool("list", false, "list analyzers and exit")
 	verbose := fs.Bool("v", false, "print a summary even when clean")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: tangolint [-analyzers a,b] [-list] [-v] [./... | dir ...]\n\nanalyzers:\n")
+		fmt.Fprintf(fs.Output(), "usage: tangolint [-analyzers a,b] [-json] [-list] [-v] [./... | dir ...]\n\nanalyzers:\n")
 		for _, name := range lint.AnalyzerNames() {
 			fmt.Fprintf(fs.Output(), "  %-16s %s\n", name, lint.AnalyzerDoc(name))
 		}
@@ -84,12 +104,34 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "tangolint:", err)
 		return 2
 	}
-	for _, f := range findings {
-		rel, err := filepath.Rel(root, f.Pos.Filename)
+	relFile := func(name string) string {
+		rel, err := filepath.Rel(root, name)
 		if err != nil {
-			rel = f.Pos.Filename
+			return name
 		}
-		fmt.Printf("%s:%d: [%s] %s\n", rel, f.Pos.Line, f.Analyzer, f.Message)
+		return filepath.ToSlash(rel)
+	}
+	if *jsonOut {
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				File:     relFile(f.Pos.Filename),
+				Line:     f.Pos.Line,
+				Analyzer: f.Analyzer,
+				Message:  f.Message,
+				Witness:  f.Witness,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintln(os.Stderr, "tangolint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Printf("%s:%d: [%s] %s\n", relFile(f.Pos.Filename), f.Pos.Line, f.Analyzer, f.Message)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "tangolint: %d finding(s)\n", len(findings))

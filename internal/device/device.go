@@ -182,6 +182,12 @@ type Device struct {
 	armedEpoch int64 // epoch at which the completion timer was armed
 	timer      sim.Timer
 	onTimer    func() // cached completion callback; one alloc per device
+	onTouch    func() // cached Touch bound-method value for cgroup subscriptions
+
+	// wrappedReadErr is the "device %q: ErrRead" chain TryRead returns,
+	// built once at construction so the fallible read path does not call
+	// fmt.Errorf per request.
+	wrappedReadErr error
 
 	flowFree []*flow   // recycled flow structs
 	groups   []wfGroup // reshape scratch: groups in first-appearance order
@@ -225,6 +231,8 @@ func New(eng *sim.Engine, p Params) *Device {
 		d.advance()
 		d.reshape()
 	}
+	d.onTouch = d.Touch
+	d.wrappedReadErr = fmt.Errorf("device %q: %w", p.Name, ErrRead)
 	return d
 }
 
@@ -346,6 +354,12 @@ func (d *Device) Used() float64 { return d.used }
 // calling process until complete. It returns the elapsed virtual time.
 // Read never fails (injected read errors affect only TryRead; see
 // internal/fault).
+//
+// The request path (transfer → reshape → water-filling) is the device
+// service loop; tangolint's hotpath analyzer verifies it allocates only
+// through the flow freelist (BenchmarkDeviceServiceLoop).
+//
+//tango:hotpath
 func (d *Device) Read(p *sim.Proc, cg *blkio.Cgroup, bytes float64) float64 {
 	el, _ := d.transfer(p, cg, bytes, false, false)
 	return el
@@ -354,12 +368,16 @@ func (d *Device) Read(p *sim.Proc, cg *blkio.Cgroup, bytes float64) float64 {
 // TryRead is Read on a fallible path: while a read-error fault is
 // injected it pays the request latency and returns ErrRead without
 // transferring. Fault-aware read paths (staging retries) use this.
+//
+//tango:hotpath
 func (d *Device) TryRead(p *sim.Proc, cg *blkio.Cgroup, bytes float64) (float64, error) {
 	return d.transfer(p, cg, bytes, false, true)
 }
 
 // Write transfers `bytes` to the device under cgroup cg, blocking the
 // calling process until complete. It returns the elapsed virtual time.
+//
+//tango:hotpath
 func (d *Device) Write(p *sim.Proc, cg *blkio.Cgroup, bytes float64) float64 {
 	el, _ := d.transfer(p, cg, bytes, true, false)
 	return el
@@ -374,14 +392,14 @@ func (d *Device) transfer(p *sim.Proc, cg *blkio.Cgroup, bytes float64, write, f
 		p.Sleep(lat)
 	}
 	if fallible && d.readErr {
-		return d.eng.Now() - start, fmt.Errorf("device %q: %w", d.p.Name, ErrRead)
+		return d.eng.Now() - start, d.wrappedReadErr
 	}
 	if bytes == 0 {
 		return d.eng.Now() - start, nil
 	}
 	if !d.subscribed[cg] {
 		d.subscribed[cg] = true
-		cg.Subscribe(d.Touch)
+		cg.Subscribe(d.onTouch)
 	}
 	f := d.newFlow()
 	f.id = d.nextID
@@ -420,6 +438,8 @@ func (d *Device) newFlow() *flow {
 // Touch forces a share recomputation at the current instant; cgroup
 // parameter changes call this so weight adjustments take effect on
 // in-flight flows immediately.
+//
+//tango:hotpath
 func (d *Device) Touch() {
 	if len(d.flows) == 0 {
 		return

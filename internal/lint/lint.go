@@ -28,11 +28,14 @@ import (
 	"strings"
 )
 
-// Finding is one analyzer diagnosis.
+// Finding is one analyzer diagnosis. Witness, set by the interprocedural
+// analyzers, is the call-chain (or lock-cycle) evidence trail, outermost
+// first; intra-procedural analyzers leave it nil.
 type Finding struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	Witness  []string
 }
 
 func (f Finding) String() string {
@@ -83,6 +86,17 @@ type analyzer struct {
 	run  func(p *Package, cfg *config, report reportFunc)
 }
 
+// progReportFunc reports a whole-program finding with its witness chain.
+type progReportFunc func(pos token.Pos, witness []string, format string, args ...any)
+
+// programAnalyzer runs once over the whole loaded program (all packages
+// plus the shared call graph), rather than per package.
+type programAnalyzer struct {
+	name string
+	doc  string
+	run  func(prog *Program, cfg *config, report progReportFunc)
+}
+
 // config is the resolved per-run analyzer configuration.
 type config struct {
 	simPackages map[string]bool
@@ -114,10 +128,35 @@ func analyzers() []*analyzer {
 	}
 }
 
+// programAnalyzers lists the interprocedural analyzers that run over the
+// whole program (see callgraph.go).
+func programAnalyzers() []*programAnalyzer {
+	return []*programAnalyzer{
+		{
+			name: "detertaint",
+			doc:  "propagate nondeterminism taint (wall clock, global rand, map order, multi-way select) through the call graph into sim-driven packages",
+			run:  runDeterTaint,
+		},
+		{
+			name: "lockorder",
+			doc:  "report cycles in the global lock-acquisition-order graph (potential deadlocks) with the witness chain",
+			run:  runLockOrder,
+		},
+		{
+			name: "hotpath",
+			doc:  "forbid allocation-inducing constructs in functions reachable from //tango:hotpath annotations",
+			run:  runHotPath,
+		},
+	}
+}
+
 // AnalyzerNames lists the available analyzers.
 func AnalyzerNames() []string {
 	var names []string
 	for _, a := range analyzers() {
+		names = append(names, a.name)
+	}
+	for _, a := range programAnalyzers() {
 		names = append(names, a.name)
 	}
 	return names
@@ -130,10 +169,15 @@ func AnalyzerDoc(name string) string {
 			return a.doc
 		}
 	}
+	for _, a := range programAnalyzers() {
+		if a.name == name {
+			return a.doc
+		}
+	}
 	return ""
 }
 
-func (o *Options) resolved() (*config, []*analyzer, error) {
+func (o *Options) resolved() (*config, []*analyzer, []*programAnalyzer, error) {
 	sim := o.SimPackages
 	if sim == nil {
 		sim = DefaultSimPackages
@@ -150,28 +194,41 @@ func (o *Options) resolved() (*config, []*analyzer, error) {
 		cfg.parPackages[n] = true
 	}
 	all := analyzers()
+	allProg := programAnalyzers()
 	if len(o.Analyzers) == 0 {
-		return cfg, all, nil
+		return cfg, all, allProg, nil
 	}
 	byName := map[string]*analyzer{}
 	for _, a := range all {
 		byName[a.name] = a
 	}
-	var sel []*analyzer
-	for _, n := range o.Analyzers {
-		a, ok := byName[n]
-		if !ok {
-			return nil, nil, fmt.Errorf("lint: unknown analyzer %q (have %s)", n, strings.Join(AnalyzerNames(), ", "))
-		}
-		sel = append(sel, a)
+	progByName := map[string]*programAnalyzer{}
+	for _, a := range allProg {
+		progByName[a.name] = a
 	}
-	return cfg, sel, nil
+	var sel []*analyzer
+	var selProg []*programAnalyzer
+	for _, n := range o.Analyzers {
+		if a, ok := byName[n]; ok {
+			sel = append(sel, a)
+			continue
+		}
+		if a, ok := progByName[n]; ok {
+			selProg = append(selProg, a)
+			continue
+		}
+		return nil, nil, nil, fmt.Errorf("lint: unknown analyzer %q (have %s)", n, strings.Join(AnalyzerNames(), ", "))
+	}
+	return cfg, sel, selProg, nil
 }
 
 // Run loads the module at opts.Root and applies the analyzers, returning
-// unsuppressed findings sorted by position.
+// unsuppressed findings sorted by position. Per-package analyzers run
+// over the selected packages; interprocedural analyzers always see the
+// whole program (cross-package evidence), with their findings filtered
+// to the selected directories afterwards.
 func Run(opts Options) ([]Finding, error) {
-	cfg, sel, err := opts.resolved()
+	cfg, sel, selProg, err := opts.resolved()
 	if err != nil {
 		return nil, err
 	}
@@ -186,6 +243,19 @@ func Run(opts Options) ([]Finding, error) {
 		}
 		findings = append(findings, analyzePackage(p, cfg, sel)...)
 	}
+	if len(selProg) > 0 {
+		prog := NewProgram(pkgs)
+		byDir := map[string]*Package{}
+		for _, p := range pkgs {
+			byDir[p.Dir] = p
+		}
+		for _, f := range analyzeProgram(prog, cfg, selProg) {
+			if p, ok := byDir[filepath.Dir(f.Pos.Filename)]; ok && !dirSelected(p.RelDir, opts.Dirs) {
+				continue
+			}
+			findings = append(findings, f)
+		}
+	}
 	sortFindings(findings)
 	return findings, nil
 }
@@ -194,17 +264,72 @@ func Run(opts Options) ([]Finding, error) {
 // the given synthetic import path (fixture corpora live outside the
 // module build graph, under testdata/).
 func CheckFixtureDir(dir, importPath string, opts Options) ([]Finding, *Package, error) {
-	cfg, sel, err := opts.resolved()
+	findings, pkgs, err := CheckFixtureProgram([]FixtureDir{{Dir: dir, ImportPath: importPath}}, opts)
 	if err != nil {
 		return nil, nil, err
 	}
-	p, err := loadSingleDir(dir, importPath)
+	return findings, pkgs[0], nil
+}
+
+// FixtureDir names one fixture directory and the synthetic import path it
+// is loaded under.
+type FixtureDir struct {
+	Dir        string
+	ImportPath string
+}
+
+// CheckFixtureProgram loads several standalone directories as one
+// program, in order (later directories may import earlier ones by their
+// synthetic paths), and applies both the per-package and the
+// interprocedural analyzers. Fixture corpora for the call-graph
+// analyzers use this to seed cross-package chains.
+func CheckFixtureProgram(dirs []FixtureDir, opts Options) ([]Finding, []*Package, error) {
+	cfg, sel, selProg, err := opts.resolved()
 	if err != nil {
 		return nil, nil, err
 	}
-	findings := analyzePackage(p, cfg, sel)
+	pkgs, err := loadFixtureDirs(dirs)
+	if err != nil {
+		return nil, nil, err
+	}
+	var findings []Finding
+	for _, p := range pkgs {
+		findings = append(findings, analyzePackage(p, cfg, sel)...)
+	}
+	if len(selProg) > 0 {
+		findings = append(findings, analyzeProgram(NewProgram(pkgs), cfg, selProg)...)
+	}
 	sortFindings(findings)
-	return findings, p, nil
+	return findings, pkgs, nil
+}
+
+// analyzeProgram runs the interprocedural analyzers over the whole
+// program, applying //lint:ignore suppressions from every package.
+func analyzeProgram(prog *Program, cfg *config, sel []*programAnalyzer) []Finding {
+	sup := suppressions{}
+	for _, p := range prog.Pkgs {
+		for file, byLine := range collectSuppressions(p) {
+			sup[file] = byLine
+		}
+	}
+	var findings []Finding
+	for _, a := range sel {
+		a := a
+		report := func(pos token.Pos, witness []string, format string, args ...any) {
+			position := prog.Fset.Position(pos)
+			if sup.suppressed(a.name, position) {
+				return
+			}
+			findings = append(findings, Finding{
+				Pos:      position,
+				Analyzer: a.name,
+				Message:  fmt.Sprintf(format, args...),
+				Witness:  witness,
+			})
+		}
+		a.run(prog, cfg, report)
+	}
+	return findings
 }
 
 func dirSelected(relDir string, dirs []string) bool {

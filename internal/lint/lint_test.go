@@ -65,6 +65,8 @@ func TestFixtures(t *testing.T) {
 		{"locks", "locksafety"},
 		{"errs", "errdiscard"},
 		{"parfix", "parhygiene"},
+		{"lockfix", "lockorder"},
+		{"hotfix", "hotpath"},
 	}
 	for _, tc := range cases {
 		tc := tc
@@ -91,27 +93,100 @@ func TestFixtures(t *testing.T) {
 			for _, f := range findings {
 				if f.Analyzer != tc.analyzer {
 					t.Errorf("unexpected analyzer %q in finding %s", f.Analyzer, f)
-					continue
-				}
-				ok := false
-				for _, w := range wants {
-					if !w.matched && w.line == f.Pos.Line && filepath.Base(w.file) == filepath.Base(f.Pos.Filename) &&
-						w.analyzer == f.Analyzer && strings.Contains(f.Message, w.substr) {
-						w.matched = true
-						ok = true
-						break
-					}
-				}
-				if !ok {
-					t.Errorf("unwanted finding: %s", f)
 				}
 			}
-			for _, w := range wants {
-				if !w.matched {
-					t.Errorf("missing finding at %s:%d matching [%s] %q", w.file, w.line, w.analyzer, w.substr)
-				}
-			}
+			matchWants(t, findings, wants)
 		})
+	}
+}
+
+// matchWants asserts findings against `// want` expectations both ways:
+// every want must be found, and every finding must be wanted.
+func matchWants(t *testing.T, findings []Finding, wants []*wantLine) {
+	t.Helper()
+	for _, f := range findings {
+		ok := false
+		for _, w := range wants {
+			if !w.matched && w.line == f.Pos.Line && filepath.Base(w.file) == filepath.Base(f.Pos.Filename) &&
+				w.analyzer == f.Analyzer && strings.Contains(f.Message, w.substr) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unwanted finding: %s", f)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("missing finding at %s:%d matching [%s] %q", w.file, w.line, w.analyzer, w.substr)
+		}
+	}
+}
+
+// TestDeterTaintFixture loads the tickutil helper and the detfix sim
+// package as one program, so the taint chain crosses a package boundary
+// exactly the way a real helper package would smuggle a wall-clock read
+// past the per-package scan. Every finding must carry a non-empty
+// witness chain.
+func TestDeterTaintFixture(t *testing.T) {
+	dirs := []FixtureDir{
+		{Dir: filepath.Join("testdata", "src", "tickutil"), ImportPath: "tango/internal/fixture/tickutil"},
+		{Dir: filepath.Join("testdata", "src", "detfix"), ImportPath: "tango/internal/fixture/detfix"},
+	}
+	opts := Options{
+		Analyzers:   []string{"detertaint"},
+		SimPackages: append(append([]string{}, DefaultSimPackages...), "detfix"),
+	}
+	findings, pkgs, err := CheckFixtureProgram(dirs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkgs {
+		if len(p.TypeErrs) > 0 {
+			t.Fatalf("fixture %s does not type-check: %v", p.Path, p.TypeErrs)
+		}
+	}
+	var wants []*wantLine
+	for _, d := range dirs {
+		wants = append(wants, parseWants(t, d.Dir)...)
+	}
+	matchWants(t, findings, wants)
+	for _, f := range findings {
+		if len(f.Witness) == 0 {
+			t.Errorf("detertaint finding without witness: %s", f)
+		}
+	}
+}
+
+// TestHotpathWitness pins the acceptance contract for transitive hotpath
+// findings: a violation in a function reached through a call chain must
+// name the whole chain from the annotated root.
+func TestHotpathWitness(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "hotfix")
+	findings, _, err := CheckFixtureDir(dir, "tango/internal/fixture/hotfix", Options{Analyzers: []string{"hotpath"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) == 0 {
+		t.Fatal("hotfix fixture produced no findings")
+	}
+	deep := false
+	for _, f := range findings {
+		if len(f.Witness) == 0 {
+			t.Errorf("hotpath finding without witness: %s", f)
+			continue
+		}
+		if f.Witness[0] != "(*hotfix.Sink).Emit" {
+			t.Errorf("witness does not start at the annotated root: %v", f.Witness)
+		}
+		if len(f.Witness) >= 3 {
+			deep = true
+		}
+	}
+	if !deep {
+		t.Error("no finding carries a multi-hop call-chain witness (root → … → violating function)")
 	}
 }
 
@@ -159,7 +234,10 @@ func TestFindingFormat(t *testing.T) {
 
 // TestAnalyzerNames guards the documented analyzer set.
 func TestAnalyzerNames(t *testing.T) {
-	want := []string{"simdeterminism", "locksafety", "errdiscard", "parhygiene"}
+	want := []string{
+		"simdeterminism", "locksafety", "errdiscard", "parhygiene",
+		"detertaint", "lockorder", "hotpath",
+	}
 	got := AnalyzerNames()
 	if fmt.Sprint(got) != fmt.Sprint(want) {
 		t.Fatalf("AnalyzerNames() = %v, want %v", got, want)
@@ -176,5 +254,17 @@ func TestRunUnknownAnalyzer(t *testing.T) {
 	_, err := Run(Options{Root: "../..", Analyzers: []string{"nope"}})
 	if err == nil || !strings.Contains(err.Error(), "unknown analyzer") {
 		t.Fatalf("want unknown-analyzer error, got %v", err)
+	}
+}
+
+// BenchmarkLintRepo measures a full-repo run of every analyzer —
+// module load, type check, call-graph construction, and all seven
+// analyzers. The whole-repo budget is a few seconds (the CI lint gate
+// runs this exact configuration).
+func BenchmarkLintRepo(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(Options{Root: "../.."}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

@@ -68,13 +68,37 @@ func runSimDeterminism(p *Package, cfg *config, report reportFunc) {
 	}
 }
 
+// mapLeak is one range-over-map loop whose iteration order escapes the
+// loop. Shared between simdeterminism (which reports it directly in
+// sim-driven packages) and detertaint (which treats it as a taint source
+// anywhere in the program).
+type mapLeak struct {
+	pos     token.Pos
+	kind    string // "send" or "append"
+	mapExpr string
+	target  string // appended slice name (append leaks only)
+}
+
 // checkMapRangeOrder flags range-over-map loops whose iteration order
 // escapes: appends to a slice declared outside the loop, or sends on a
 // channel declared outside the loop, with no later sort of that slice in
 // the same function. Order-insensitive folds (counting, summing, max)
 // pass untouched.
 func checkMapRangeOrder(p *Package, fd *ast.FuncDecl, report reportFunc) {
+	for _, leak := range mapOrderLeaks(p, fd) {
+		switch leak.kind {
+		case "send":
+			report(leak.pos, "channel send inside range over map %s leaks iteration order; collect and sort first", leak.mapExpr)
+		case "append":
+			report(leak.pos, "range over map %s appends to %s in iteration order with no later sort; sort keys first or sort %s after the loop", leak.mapExpr, leak.target, leak.target)
+		}
+	}
+}
+
+// mapOrderLeaks collects the order-escaping map ranges of one function.
+func mapOrderLeaks(p *Package, fd *ast.FuncDecl) []mapLeak {
 	info := p.Info
+	var leaks []mapLeak
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		rng, ok := n.(*ast.RangeStmt)
 		if !ok {
@@ -119,16 +143,17 @@ func checkMapRangeOrder(p *Package, fd *ast.FuncDecl, report reportFunc) {
 			return true
 		})
 		if sendPos.IsValid() {
-			report(sendPos, "channel send inside range over map %s leaks iteration order; collect and sort first", exprText(rng.X))
+			leaks = append(leaks, mapLeak{pos: sendPos, kind: "send", mapExpr: exprText(rng.X)})
 		}
 		for _, id := range escapes {
 			if sortedLater(info, fd, rng, info.ObjectOf(id)) {
 				continue
 			}
-			report(rng.Pos(), "range over map %s appends to %s in iteration order with no later sort; sort keys first or sort %s after the loop", exprText(rng.X), id.Name, id.Name)
+			leaks = append(leaks, mapLeak{pos: rng.Pos(), kind: "append", mapExpr: exprText(rng.X), target: id.Name})
 		}
 		return true
 	})
+	return leaks
 }
 
 // sortedLater reports whether obj (the appended slice) is passed to a

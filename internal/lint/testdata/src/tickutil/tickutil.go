@@ -1,0 +1,15 @@
+// Package tickutil is a tangolint fixture helper: a non-sim utility
+// package that hides a wall-clock read behind a layer of calls, so the
+// detfix fixture can assert the interprocedural taint chain
+// (detfix → Stamp → now → time.Now).
+package tickutil
+
+import "time"
+
+// Stamp returns a wall-clock timestamp — tainted transitively.
+func Stamp() int64 { return now() }
+
+func now() int64 { return time.Now().UnixNano() }
+
+// Pure is taint-free: calling it from sim-driven code is fine.
+func Pure(x int64) int64 { return x * 2 }

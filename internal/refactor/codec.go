@@ -28,6 +28,8 @@ func entrySize(e Entry) int {
 // handful of w.Write calls (and zero heap allocations) instead of one
 // per entry — the per-entry buffer would otherwise escape through the
 // io.Writer and dominate Encode's allocation profile.
+//
+//tango:hotpath
 func EncodeEntries(w io.Writer, entries []Entry) (int64, error) {
 	var buf [4096]byte
 	var total int64

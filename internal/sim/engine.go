@@ -74,6 +74,8 @@ func (e *Engine) recycle(ev *event) {
 // At schedules fn to run at virtual time t. Times in the past are clamped
 // to the present (the event still fires, after already-scheduled events at
 // the current instant). Returns a handle that can cancel the event.
+//
+//tango:hotpath
 func (e *Engine) At(t float64, fn func()) Timer {
 	if t < e.now {
 		t = e.now
@@ -87,6 +89,8 @@ func (e *Engine) At(t float64, fn func()) Timer {
 }
 
 // After schedules fn to run d seconds from now.
+//
+//tango:hotpath
 func (e *Engine) After(d float64, fn func()) Timer {
 	return e.At(e.now+d, fn)
 }
@@ -104,6 +108,8 @@ type Timer struct {
 // so the heap entry drains harmlessly. Fired events are recycled; the
 // sequence guard makes Stop on a stale handle a safe no-op even after the
 // underlying struct has been reused for a later event.
+//
+//tango:hotpath
 func (t Timer) Stop() bool {
 	if t.ev == nil || t.ev.seq != t.seq || t.ev.fn == nil {
 		return false
@@ -119,6 +125,12 @@ func (t Timer) When() float64 { return t.when }
 // Run processes events in order until the clock would pass `until`, then
 // sets the clock to `until` and returns. Events scheduled exactly at
 // `until` do fire. Returns the first process error, if any.
+//
+// The dispatch loop is the simulator's innermost loop
+// (BenchmarkEngine*); tangolint's hotpath analyzer verifies it and
+// everything it reaches stay free of per-event allocation.
+//
+//tango:hotpath
 func (e *Engine) Run(until float64) error {
 	for len(e.events) > 0 && e.err == nil {
 		ev := e.events[0]
@@ -141,6 +153,8 @@ func (e *Engine) Run(until float64) error {
 
 // RunAll processes events until no events remain (all processes have
 // finished or parked indefinitely). Returns the first process error.
+//
+//tango:hotpath
 func (e *Engine) RunAll() error {
 	for len(e.events) > 0 && e.err == nil {
 		ev := e.events.pop()

@@ -71,12 +71,15 @@ func (r *Recorder) Subscribe(fn func(Event)) {
 // need to guard. When called with no args the format string is recorded
 // verbatim — hot call sites that already hold a complete message skip the
 // fmt.Sprintf pass (and its argument boxing) entirely.
+//
+//tango:hotpath
 func (r *Recorder) Emit(t float64, source, kind, format string, args ...any) {
 	if r == nil {
 		return
 	}
 	msg := format
 	if len(args) > 0 {
+		//lint:ignore hotpath the formatted path is opt-in: hot call sites pass zero args and skip it (documented above); cold call sites pay for their own formatting
 		msg = fmt.Sprintf(format, args...)
 	}
 	ev := Event{T: t, Source: source, Kind: kind, Msg: msg}
