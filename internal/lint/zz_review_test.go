@@ -1,0 +1,20 @@
+package lint
+
+import "testing"
+
+func TestZZReviewEdgeKinds(t *testing.T) {
+	pkgs, err := loadFixtureDirs([]FixtureDir{{Dir: "/tmp/fx/a", ImportPath: "fx/a"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := NewProgram(pkgs)
+	g := prog.Graph()
+	for _, n := range g.Nodes {
+		for _, e := range n.Out {
+			t.Logf("%s -> %s [%s]", n.DisplayName(), e.Callee.DisplayName(), e.Kind)
+		}
+	}
+	t.Logf("addrTaken check: rebuild")
+	b := &graphBuilder{}
+	_ = b
+}
