@@ -33,6 +33,8 @@ func main() {
 		faults   = flag.String("faults", "", "fault plan spec (docs/faults.md), e.g. 'bw-collapse@900:dev=hdd,factor=0.2,dur=120; leave@2400:name=noise1', or 'auto' for a seed-generated plan")
 		prefetch = flag.Bool("prefetch", false, "enable the fast-tier cache + idle-window prefetcher (implied by -policy prefetch)")
 		cacheMB  = flag.Int("cache", 0, "fast-tier cache capacity in MB (0 = default 512; implies -prefetch)")
+		resilOn  = flag.Bool("resil", false, "route recovery through the resilience control plane (policy-keyed retries, budgets, breakers; docs/resil.md)")
+		hedge    = flag.Bool("hedge", false, "enable forecast-driven hedged reads (implies -resil; pairs best with -prefetch)")
 	)
 	flag.Parse()
 
@@ -130,6 +132,17 @@ func main() {
 		rec = tango.NewTraceRecorder(1 << 16)
 		cfg.Trace = rec
 	}
+	if *hedge {
+		*resilOn = true
+	}
+	var rc *tango.ResilController
+	if *resilOn {
+		rc = tango.NewResilController(node.Engine(), tango.ResilOptions{
+			Trace: rec,
+			Hedge: tango.HedgeConfig{Enabled: *hedge},
+		})
+		cfg.Resil = rc
+	}
 	if *bound > 0 {
 		cfg.ErrorControl = true
 		cfg.Bound = *bound
@@ -180,6 +193,13 @@ func main() {
 		ps := sess.Prefetcher().Stats()
 		fmt.Printf("prefetcher: %d ticks, %d staging runs, %d paused, %d busy, %d aborted\n",
 			ps.Ticks, ps.Runs, ps.Paused, ps.Busy, ps.Aborted)
+	}
+	if rc != nil {
+		tot := rc.Totals()
+		fmt.Printf("resil: %d ops, %d attempts (amp %.3f), %d retries, %d timeouts, %d degraded, %d breaker opens, %d hedges (%d fast / %d slow wins), %.1f MB wasted\n",
+			tot.Ops, tot.Attempts, tot.Amplification(), tot.Retries, tot.Timeouts,
+			tot.Degraded, tot.BreakerOpens, tot.Hedges, tot.HedgeFastWins,
+			tot.HedgeSlowWins, tot.WastedBytes/(1024*1024))
 	}
 	if injector != nil {
 		retries := 0

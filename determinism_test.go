@@ -185,6 +185,31 @@ func TestSyntheticFieldsByteMatch(t *testing.T) {
 	}
 }
 
+// TestResilExperimentByteMatch extends the contract to the resilience
+// control plane: policy-keyed retries, budget pacing, breaker
+// transitions, and hedged-read races (the hedged arm runs faulted with
+// hedging enabled, cancelling loser legs mid-flight) are all driven by
+// the virtual clock, so two runs of `-exp resil` at the same seed must
+// render identically — including every per-attempt counter the table
+// reports.
+func TestResilExperimentByteMatch(t *testing.T) {
+	run := func() []byte {
+		r := harness.Resil(harness.Config{
+			GridN: 65, Seed: 7, Steps: 40, SkipWarmup: 30, DatasetMB: 256,
+		})
+		return []byte(r.String())
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		for i := range a {
+			if i >= len(b) || a[i] != b[i] {
+				t.Fatalf("same-seed resil runs diverge at output byte %d of %d/%d:\n%s", i, len(a), len(b), a)
+			}
+		}
+		t.Fatalf("same-seed resil runs produced %d and %d bytes", len(a), len(b))
+	}
+}
+
 // TestPrefetchExperimentByteMatch extends the contract to the cache +
 // prefetcher subsystem: the background staging flow, cost-benefit
 // eviction, and forecast-gated pausing all run on the virtual clock, so

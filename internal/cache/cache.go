@@ -21,6 +21,7 @@ import (
 	"tango/internal/blkio"
 	"tango/internal/device"
 	"tango/internal/refactor"
+	"tango/internal/resil"
 	"tango/internal/sim"
 	"tango/internal/staging"
 	"tango/internal/trace"
@@ -112,6 +113,7 @@ type Stats struct {
 	StagedBytes  float64 // bytes transferred home tier -> cache by prefetching
 	EvictedBytes float64 // bytes trimmed by cost-benefit eviction
 	Shrinks      int     // capacity reductions forced by device pressure
+	StageFailures int    // staging reads abandoned by the resil policy
 }
 
 // run tracks the cached prefix of one augmentation level whose home tier
@@ -143,6 +145,19 @@ type Cache struct {
 	mandatory int
 	closed    bool
 	stats     Stats
+	kStage    *resil.Key // prefetch.stage handle (nil = plain reads)
+}
+
+// SetResil routes the staging reads PrefetchTo issues against the home
+// tier through the prefetch.stage policy: deadlined, budgeted, and
+// breaker-gated, so a faulted capacity tier pauses background staging
+// instead of wedging the prefetch process. Pass nil to detach.
+func (c *Cache) SetResil(rc *resil.Controller) {
+	if rc == nil {
+		c.kStage = nil
+		return
+	}
+	c.kStage = rc.Key(resil.KeyPrefetchStage)
 }
 
 // New builds a cache over the staged hierarchy, holding data on dev (the
@@ -379,7 +394,19 @@ func (c *Cache) PrefetchTo(p *sim.Proc, cg *blkio.Cgroup, target int, keepGoing 
 					c.shrink()
 					return staged, false
 				}
-				r.home.Read(p, cg, bytes)
+				if c.kStage != nil {
+					res := c.kStage.Read(p, r.home, cg, bytes)
+					if !res.OK {
+						// The home tier is faulted or the stage budget ran
+						// out: give the reservation back and end this run —
+						// the next quiet-window tick resumes from r.prefix.
+						c.dev.Release(bytes)
+						c.stats.StageFailures++
+						return staged, true
+					}
+				} else {
+					r.home.Read(p, cg, bytes)
+				}
 				c.dev.Write(p, cg, bytes)
 				c.used += bytes
 				r.bytes += bytes

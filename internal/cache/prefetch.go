@@ -4,6 +4,7 @@ import (
 	"tango/internal/blkio"
 	"tango/internal/container"
 	"tango/internal/device"
+	"tango/internal/resil"
 	"tango/internal/sim"
 	"tango/internal/trace"
 )
@@ -17,6 +18,7 @@ type PrefetchStats struct {
 	Runs          int // ticks that staged at least one chunk
 	Aborted       int // staging runs cut short by a mid-run pause
 	WeightRetries int // floor-weight writes rejected by an injected fault
+	WeightSkips   int // floor-weight writes suppressed by an open resil breaker
 }
 
 // Prefetcher drives the cache from inside the simulation: it wakes every
@@ -38,10 +40,17 @@ type Prefetcher struct {
 	// Done reports that the owning session has exited; the prefetcher
 	// stops at the next tick.
 	Done func() bool
+	// Resil, when non-nil, routes the heal loop's floor-weight writes
+	// through the prefetch.weight.floor policy (breaker-gated per
+	// cgroup: a wedged controller file is probed on the breaker's
+	// schedule instead of hammered every tick) and the staging reads
+	// through prefetch.stage (deadlined and budgeted). Set before Run.
+	Resil *resil.Controller
 
-	cache *Cache
-	cfg   Config
-	stats PrefetchStats
+	cache  *Cache
+	cfg    Config
+	stats  PrefetchStats
+	kFloor *resil.Key
 }
 
 // NewPrefetcher builds a prefetcher over the cache, sharing its Config.
@@ -72,6 +81,10 @@ func (pf *Prefetcher) emit(kind, format string, args ...any) {
 func (pf *Prefetcher) Run(c *container.Container, p *sim.Proc) {
 	cg := c.Cgroup()
 	bps := float64(pf.cfg.BpsLimitMB) * device.MB
+	if pf.Resil != nil {
+		pf.kFloor = pf.Resil.Key(resil.KeyPrefetchWeightFloor)
+		pf.cache.SetResil(pf.Resil)
+	}
 	for {
 		p.Sleep(pf.cfg.Interval)
 		if pf.Done != nil && pf.Done() {
@@ -83,7 +96,17 @@ func (pf *Prefetcher) Run(c *container.Container, p *sim.Proc) {
 		// write, and a throttle-reset fault may have cleared the caps.
 		// MinWeight pins the flow to the smallest proportional share the
 		// controller can grant, so foreground weight boosts always win.
-		if err := cg.TrySetWeight(blkio.MinWeight); err != nil {
+		// Through the control plane the write is breaker-gated: a wedged
+		// cgroup is probed on the breaker's half-open schedule instead
+		// of re-asserted blindly every tick.
+		if pf.kFloor != nil {
+			switch res := pf.kFloor.Weight(cg, blkio.MinWeight); {
+			case res.Skipped:
+				pf.stats.WeightSkips++
+			case !res.OK:
+				pf.stats.WeightRetries++
+			}
+		} else if err := cg.TrySetWeight(blkio.MinWeight); err != nil {
 			pf.stats.WeightRetries++
 		}
 		cg.SetReadBpsLimit(bps)

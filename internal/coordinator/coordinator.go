@@ -18,6 +18,7 @@ import (
 	"sync"
 
 	"tango/internal/blkio"
+	"tango/internal/resil"
 	"tango/internal/trace"
 )
 
@@ -31,6 +32,7 @@ type Allocator struct {
 	entries map[string]*entry // guarded by mu
 	rec     *trace.Recorder   // guarded by mu
 	now     func() float64    // guarded by mu
+	kApply  *resil.Key        // guarded by mu (coord.weight.apply; nil = legacy path)
 }
 
 type entry struct {
@@ -65,6 +67,35 @@ func (a *Allocator) SetTrace(rec *trace.Recorder, now func() float64) {
 	a.rec = rec
 	a.now = now
 	a.mu.Unlock()
+}
+
+// SetResil routes the allocator's weight writes through the
+// coord.weight.apply policy: breaker-gated per cgroup, so a wedged
+// weight file is probed on the breaker's half-open schedule instead of
+// re-written on every rebalance. Pass nil to restore the legacy ad-hoc
+// tolerate-and-retry path.
+func (a *Allocator) SetResil(rc *resil.Controller) {
+	a.mu.Lock()
+	if rc == nil {
+		a.kApply = nil
+	} else {
+		a.kApply = rc.Key(resil.KeyCoordWeightApply)
+	}
+	a.mu.Unlock()
+}
+
+// setWeight performs one weight write through the resil key when one is
+// attached (breaker-gated, self-tracing) or directly otherwise. It
+// reports whether the write landed; skipped (breaker-suppressed) and
+// failed writes both leave the entry pending for the next rebalance.
+func (a *Allocator) setWeight(cg *blkio.Cgroup, w int) bool {
+	a.mu.Lock()
+	k := a.kApply
+	a.mu.Unlock()
+	if k != nil {
+		return k.Weight(cg, w).OK
+	}
+	return cg.TrySetWeight(w) == nil
 }
 
 func (a *Allocator) emit(format string, args ...any) {
@@ -105,13 +136,14 @@ func (a *Allocator) Detach(name string) {
 // is recorded and, while the session stays attached, the next rebalance
 // re-applies.
 func (a *Allocator) revert(name string, cg *blkio.Cgroup) {
-	err := cg.TrySetWeight(blkio.DefaultWeight)
+	landed := a.setWeight(cg, blkio.DefaultWeight)
 	a.mu.Lock()
+	legacy := a.kApply == nil
 	if e, ok := a.entries[name]; ok {
-		e.pending = err != nil
+		e.pending = !landed
 	}
 	a.mu.Unlock()
-	if err != nil {
+	if !landed && legacy {
 		a.emit("weight revert failed for %s: tolerated, cgroup keeps w=%d", name, cg.Weight())
 	}
 }
@@ -200,16 +232,19 @@ func (a *Allocator) apply(grants map[string]int) {
 		if t.cg.Weight() == t.w && !t.pending {
 			continue
 		}
-		err := t.cg.TrySetWeight(t.w)
+		landed := a.setWeight(t.cg, t.w)
 		a.mu.Lock()
+		legacy := a.kApply == nil
 		if e, ok := a.entries[t.name]; ok {
-			e.pending = err != nil
+			e.pending = !landed
 		}
 		a.mu.Unlock()
-		if err != nil {
-			a.emit("weight write failed for %s (w=%d): will re-apply", t.name, t.w)
-		} else if t.pending {
-			a.emit("weight write recovered for %s: re-applied w=%d", t.name, t.w)
+		if legacy {
+			if !landed {
+				a.emit("weight write failed for %s (w=%d): will re-apply", t.name, t.w)
+			} else if t.pending {
+				a.emit("weight write recovered for %s: re-applied w=%d", t.name, t.w)
+			}
 		}
 	}
 }

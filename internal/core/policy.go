@@ -12,6 +12,7 @@ import (
 	"tango/internal/cache"
 	"tango/internal/coordinator"
 	"tango/internal/device"
+	"tango/internal/resil"
 	"tango/internal/staging"
 	"tango/internal/trace"
 	"tango/internal/weightfn"
@@ -168,6 +169,15 @@ type Config struct {
 	// prefetcher (see internal/cache). nil leaves caching off unless the
 	// policy is CrossLayerPrefetch, which defaults it.
 	Cache *cache.Config
+
+	// Resil, when non-nil, routes every I/O-issuing layer of this
+	// session — staging guarded reads and probes, session and
+	// coordinator weight writes, the prefetcher's heal loop and staging
+	// reads — through the resilience control plane (see internal/resil):
+	// policy-keyed retries, retry budgets, circuit breakers, and
+	// forecast-driven hedged reads. nil keeps the legacy ad-hoc
+	// recovery paths.
+	Resil *resil.Controller
 }
 
 func (c Config) withDefaults() Config {

@@ -10,6 +10,7 @@ import (
 	"tango/internal/dftestim"
 	"tango/internal/errmetric"
 	"tango/internal/refactor"
+	"tango/internal/resil"
 	"tango/internal/sim"
 	"tango/internal/staging"
 	"tango/internal/trace"
@@ -83,6 +84,8 @@ type Session struct {
 
 	regimeStreak  int  // consecutive mispredicted steps (regime detector)
 	weightPending bool // a weight write failed; re-apply on next success
+
+	kWeight *resil.Key // blkio.weight.apply handle (nil without Config.Resil)
 }
 
 // NewSession validates the configuration against the staged hierarchy and
@@ -213,6 +216,17 @@ func (s *Session) Stopped() bool { return s.stopped }
 // Config.Steps steps, each period seconds apart (start-to-start), and
 // records StepStats.
 func (s *Session) Launch(node *container.Node) error {
+	if rc := s.Config.Resil; rc != nil {
+		// Route the store's guarded reads/probes and this session's
+		// weight writes through the resilience control plane, and give
+		// its hedging decision the session's demand forecast.
+		s.store.SetResil(rc)
+		s.kWeight = rc.Key(resil.KeyWeightApply)
+		rc.SetForecast(s.forecast)
+		if s.Config.Allocator != nil {
+			s.Config.Allocator.SetResil(rc)
+		}
+	}
 	cont, err := node.Launch(s.Name, func(c *container.Container, p *sim.Proc) {
 		for step := 0; step < s.Config.Steps && !s.stopped; step++ {
 			s.runStep(c, p, step)
@@ -268,17 +282,9 @@ func (s *Session) launchPrefetcher(node *container.Node) error {
 	s.store.SetCache(cc)
 	s.cache = cc
 	pf := cache.NewPrefetcher(cc, ccfg)
-	pf.Forecast = func() (float64, float64, bool) {
-		if !s.est.Ready() {
-			return 0, 0, false
-		}
-		peak := 0.0
-		for _, v := range s.est.Model() {
-			if v > peak {
-				peak = v
-			}
-		}
-		return s.est.PredictNext(), peak, true
+	pf.Forecast = s.forecast
+	if s.Config.Resil != nil {
+		pf.Resil = s.Config.Resil
 	}
 	pf.Observed = func() float64 {
 		if len(s.stats) == 0 {
@@ -291,6 +297,22 @@ func (s *Session) launchPrefetcher(node *container.Node) error {
 	s.pf = pf
 	_, err := node.Launch(s.Name+"-prefetch", pf.Run)
 	return err
+}
+
+// forecast reports the estimator's next-window demand prediction and the
+// model peak; the prefetcher times its idle-window staging off it, and
+// the resilience control plane uses the same signal for its hedging
+// decision (hedge inside predicted-contended windows).
+func (s *Session) forecast() (next, peak float64, ok bool) {
+	if !s.est.Ready() {
+		return 0, 0, false
+	}
+	for _, v := range s.est.Model() {
+		if v > peak {
+			peak = v
+		}
+	}
+	return s.est.PredictNext(), peak, true
 }
 
 // prefetchTarget is the global cursor the prefetcher should stage up to:
@@ -453,8 +475,20 @@ func (s *Session) buckets(cursor int) []bucket {
 // weight-write faults: a failed write leaves the previous weight in
 // force (recorded as a recovery decision), and the first write that
 // lands after a failure is recorded as the re-apply. Returns the weight
-// actually in force.
+// actually in force. With the resilience control plane attached the
+// write goes through the blkio.weight.apply policy instead: the breaker
+// suppresses writes to a wedged cgroup until its half-open probe lands,
+// and the control plane records the per-attempt timeline.
 func (s *Session) applyWeight(c *container.Container, now float64, w int) int {
+	if s.kWeight != nil {
+		res := s.kWeight.Weight(c.Cgroup(), w)
+		if !res.OK {
+			s.weightPending = true
+			return c.Cgroup().Weight()
+		}
+		s.weightPending = false
+		return w
+	}
 	if err := c.Cgroup().TrySetWeight(w); err != nil {
 		s.weightPending = true
 		s.Config.Trace.Emit(now, s.Name, trace.KindRecover,

@@ -36,6 +36,12 @@ import (
 // issued, pays its latency, and fails without transferring data).
 var ErrRead = errors.New("device: transient read error")
 
+// ErrCanceled is returned by TryReadCancel when the transfer's Token is
+// cancelled mid-flight (a per-attempt timeout fired, or a hedged read's
+// other leg won). The bytes actually moved before the cancel are
+// accounted to the cgroup and reported by Token.Moved.
+var ErrCanceled = errors.New("device: transfer canceled")
+
 // Scheduler selects how concurrent flows share the device.
 type Scheduler int
 
@@ -153,7 +159,8 @@ type flow struct {
 	write    bool
 	start    float64
 	done     bool
-	gi       int // reshape scratch: index into Device.groups
+	canceled bool // aborted via Token.Cancel; issuer observes and recycles
+	gi       int  // reshape scratch: index into Device.groups
 }
 
 // wfGroup is reshape scratch: one (cgroup, direction) aggregation used by
@@ -186,8 +193,10 @@ type Device struct {
 
 	// wrappedReadErr is the "device %q: ErrRead" chain TryRead returns,
 	// built once at construction so the fallible read path does not call
-	// fmt.Errorf per request.
-	wrappedReadErr error
+	// fmt.Errorf per request. wrappedCancelErr is the same idiom for
+	// ErrCanceled on the cancellable path.
+	wrappedReadErr   error
+	wrappedCancelErr error
 
 	flowFree []*flow   // recycled flow structs
 	groups   []wfGroup // reshape scratch: groups in first-appearance order
@@ -222,6 +231,7 @@ func New(eng *sim.Engine, p Params) *Device {
 		eng:        eng,
 		p:          p,
 		bwFactor:   1,
+		nextID:     1, // 0 is reserved so a zero Token can never match a live flow
 		subscribed: make(map[*blkio.Cgroup]bool),
 	}
 	d.onTimer = func() {
@@ -233,6 +243,7 @@ func New(eng *sim.Engine, p Params) *Device {
 	}
 	d.onTouch = d.Touch
 	d.wrappedReadErr = fmt.Errorf("device %q: %w", p.Name, ErrRead)
+	d.wrappedCancelErr = fmt.Errorf("device %q: %w", p.Name, ErrCanceled)
 	return d
 }
 
@@ -361,7 +372,7 @@ func (d *Device) Used() float64 { return d.used }
 //
 //tango:hotpath
 func (d *Device) Read(p *sim.Proc, cg *blkio.Cgroup, bytes float64) float64 {
-	el, _ := d.transfer(p, cg, bytes, false, false)
+	el, _ := d.transfer(p, cg, bytes, false, false, nil)
 	return el
 }
 
@@ -371,7 +382,7 @@ func (d *Device) Read(p *sim.Proc, cg *blkio.Cgroup, bytes float64) float64 {
 //
 //tango:hotpath
 func (d *Device) TryRead(p *sim.Proc, cg *blkio.Cgroup, bytes float64) (float64, error) {
-	return d.transfer(p, cg, bytes, false, true)
+	return d.transfer(p, cg, bytes, false, true, nil)
 }
 
 // Write transfers `bytes` to the device under cgroup cg, blocking the
@@ -379,11 +390,62 @@ func (d *Device) TryRead(p *sim.Proc, cg *blkio.Cgroup, bytes float64) (float64,
 //
 //tango:hotpath
 func (d *Device) Write(p *sim.Proc, cg *blkio.Cgroup, bytes float64) float64 {
-	el, _ := d.transfer(p, cg, bytes, true, false)
+	el, _ := d.transfer(p, cg, bytes, true, false, nil)
 	return el
 }
 
-func (d *Device) transfer(p *sim.Proc, cg *blkio.Cgroup, bytes float64, write, fallible bool) (float64, error) {
+// Token identifies one in-flight cancellable transfer. The issuing call
+// (TryReadCancel) arms it; another event callback or process may then
+// call Cancel to abort the transfer. Tokens are plain values owned by the
+// caller and are re-armed on every call, so one long-lived Token per
+// retry context is the intended (zero-alloc) usage.
+type Token struct {
+	d     *Device
+	f     *flow
+	id    int64
+	pre   bool    // cancelled during the request-latency phase, before the flow was issued
+	spent bool    // the transfer has finished (success, error, or cancel); Cancel is a no-op
+	moved float64 // bytes actually transferred when the call returned
+}
+
+// Moved reports the bytes the last transfer actually moved: the full
+// request on success, the partial progress on cancel, 0 on a read error.
+func (t *Token) Moved() float64 { return t.moved }
+
+// Cancel aborts the token's in-flight transfer, if any. It reports
+// whether a transfer was actually cancelled. Safe to call at any time
+// (including after completion, where it is a no-op) and from any sim
+// context — typically a timeout timer callback or the winning leg of a
+// hedged read.
+//
+//tango:hotpath
+func (t *Token) Cancel() bool {
+	if t.f != nil {
+		return t.d.cancelFlow(t.f, t.id)
+	}
+	if t.d == nil || t.spent || t.pre {
+		return false
+	}
+	t.pre = true // transfer is still paying request latency; fail it on wake
+	return true
+}
+
+// TryReadCancel is TryRead with cooperative cancellation: tok is re-armed
+// for this transfer, and tok.Cancel() aborts it mid-flight (per-attempt
+// timeouts, hedged-read losers). A cancelled transfer accounts the bytes
+// it actually moved to the cgroup and returns an error wrapping
+// ErrCanceled; tok.Moved reports the partial progress. A nil tok degrades
+// to TryRead.
+//
+//tango:hotpath
+func (d *Device) TryReadCancel(p *sim.Proc, cg *blkio.Cgroup, bytes float64, tok *Token) (float64, error) {
+	if tok != nil {
+		*tok = Token{d: d}
+	}
+	return d.transfer(p, cg, bytes, false, true, tok)
+}
+
+func (d *Device) transfer(p *sim.Proc, cg *blkio.Cgroup, bytes float64, write, fallible bool, tok *Token) (float64, error) {
 	if bytes < 0 || math.IsNaN(bytes) {
 		panic(fmt.Sprintf("device %q: invalid transfer size %v", d.p.Name, bytes))
 	}
@@ -391,10 +453,22 @@ func (d *Device) transfer(p *sim.Proc, cg *blkio.Cgroup, bytes float64, write, f
 	if lat := d.p.RequestLatency + d.extraLatency; lat > 0 {
 		p.Sleep(lat)
 	}
+	if tok != nil && tok.pre {
+		// Cancelled while paying the request latency: no flow was issued,
+		// nothing transferred.
+		tok.spent = true
+		return d.eng.Now() - start, d.wrappedCancelErr
+	}
 	if fallible && d.readErr {
+		if tok != nil {
+			tok.spent = true
+		}
 		return d.eng.Now() - start, d.wrappedReadErr
 	}
 	if bytes == 0 {
+		if tok != nil {
+			tok.spent = true
+		}
 		return d.eng.Now() - start, nil
 	}
 	if !d.subscribed[cg] {
@@ -410,18 +484,65 @@ func (d *Device) transfer(p *sim.Proc, cg *blkio.Cgroup, bytes float64, write, f
 	f.write = write
 	f.start = start
 	d.nextID++
+	if tok != nil {
+		tok.f, tok.id = f, f.id
+	}
 	d.advance()
 	d.flows = append(d.flows, f)
 	d.reshape()
-	for !f.done {
+	for !f.done && !f.canceled {
 		p.Suspend()
 	}
-	// completeDrained dropped the device's reference; the struct is ours
-	// to recycle.
+	canceled := f.canceled
+	moved := bytes
+	if canceled {
+		moved = f.bytes - f.bytesRem
+		if moved < 0 {
+			moved = 0
+		}
+	}
+	// The device dropped its reference (completeDrained or cancelFlow);
+	// the struct is ours to recycle.
 	*f = flow{}
 	d.flowFree = append(d.flowFree, f)
-	cg.Account(bytes, write)
+	if tok != nil {
+		tok.f = nil
+		tok.spent = true
+		tok.moved = moved
+	}
+	cg.Account(moved, write)
+	if canceled {
+		return d.eng.Now() - start, d.wrappedCancelErr
+	}
 	return d.eng.Now() - start, nil
+}
+
+// cancelFlow aborts a live flow: it integrates progress to now, credits
+// the partial bytes to the device counters, removes the flow from the
+// active set, and wakes the issuing process, which observes f.canceled
+// and returns ErrCanceled. The (pointer, id) pair guards against struct
+// recycling: a stale token whose flow already drained is a no-op.
+func (d *Device) cancelFlow(f *flow, id int64) bool {
+	if f.id != id || f.done || f.canceled {
+		return false
+	}
+	d.advance()
+	f.canceled = true
+	f.rate = 0
+	d.totalBytes += f.bytes - f.bytesRem
+	kept := d.flows[:0]
+	for _, g := range d.flows {
+		if g != f {
+			kept = append(kept, g)
+		}
+	}
+	for i := len(kept); i < len(d.flows); i++ {
+		d.flows[i] = nil
+	}
+	d.flows = kept
+	d.eng.Wake(f.proc)
+	d.reshape()
+	return true
 }
 
 // newFlow takes a zeroed struct off the freelist or allocates one.

@@ -264,11 +264,14 @@ func (in *Injector) fireChurn(id int, e Event) {
 	}
 }
 
-// Unpaired scans a trace for injected faults with no recovery action
-// (trace.KindRecover or trace.KindRefit event) at or after the injection
-// time, returning the unpaired fault events. The chaos experiment and
-// its tests use this to enforce the "every injected fault is answered by
-// a recorded recovery" contract.
+// Unpaired scans a trace for injected faults with no recovery action at
+// or after the injection time, returning the unpaired fault events. A
+// recovery action is a trace.KindRecover or trace.KindRefit event (the
+// ad-hoc recovery paths), or any resil control-plane event —
+// KindAttempt/KindBreaker/KindHedge/KindBudget — since each of those
+// records an explicit per-fault decision. The chaos and resil
+// experiments and their tests use this to enforce the "every injected
+// fault is answered by a recorded recovery" contract.
 func Unpaired(events []trace.Event) []trace.Event {
 	var out []trace.Event
 	for _, f := range events {
@@ -277,7 +280,7 @@ func Unpaired(events []trace.Event) []trace.Event {
 		}
 		paired := false
 		for _, r := range events {
-			if (r.Kind == trace.KindRecover || r.Kind == trace.KindRefit) && r.T >= f.T {
+			if r.T >= f.T && recoveryKind(r.Kind) {
 				paired = true
 				break
 			}
@@ -287,4 +290,14 @@ func Unpaired(events []trace.Event) []trace.Event {
 		}
 	}
 	return out
+}
+
+// recoveryKind reports whether a trace kind records a recovery decision.
+func recoveryKind(kind string) bool {
+	switch kind {
+	case trace.KindRecover, trace.KindRefit,
+		trace.KindAttempt, trace.KindBreaker, trace.KindHedge, trace.KindBudget:
+		return true
+	}
+	return false
 }

@@ -175,6 +175,7 @@ func Experiments() []Experiment {
 		{"tracking", "Extension: blob dynamics on reduced data", Tracking},
 		{"chaos", "Extension: fault injection and cross-layer recovery", Chaos},
 		{"prefetch", "Extension: predictive fast-tier cache + prefetcher", Prefetch},
+		{"resil", "Extension: resilience control plane (retries, breakers, hedging)", Resil},
 	}
 }
 

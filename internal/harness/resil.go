@@ -1,0 +1,140 @@
+package harness
+
+import (
+	"fmt"
+
+	"tango/internal/analytics"
+	"tango/internal/core"
+	"tango/internal/fault"
+	"tango/internal/resil"
+	"tango/internal/runpool"
+	"tango/internal/trace"
+)
+
+// MassFaultPlan is the resilience experiment's heavy schedule: a denser
+// capacity-tier plan than ChaosPlan plus a fast-tier (SSD) plan, so both
+// legs of a hedged read see faults and the retry budget is actually
+// contended. Deterministic in cfg.Seed like every generated plan.
+func MassFaultPlan(cfg Config) *fault.Plan {
+	cfg = cfg.withDefaults()
+	horizon := float64(cfg.Steps) * 60
+	hdd, err := fault.Generate(cfg.Seed, fault.GenerateOptions{
+		Horizon:     horizon,
+		Device:      "hdd",
+		Cgroup:      chaosSession,
+		Interferers: []string{"noise1", "noise2", "noise3"},
+		Events:      15,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("harness: mass plan (hdd): %v", err))
+	}
+	ssd, err := fault.Generate(cfg.Seed+1, fault.GenerateOptions{
+		Horizon: horizon,
+		Device:  "ssd",
+		Events:  5,
+	})
+	if err != nil {
+		panic(fmt.Sprintf("harness: mass plan (ssd): %v", err))
+	}
+	return &fault.Plan{Events: append(hdd.Events, ssd.Events...)}
+}
+
+// Resil compares fault recovery disciplines under identical fault plans:
+// the legacy ad-hoc retry loops (PR 2's recovery paths), the resilience
+// control plane (policy-keyed retries, retry budgets, circuit breakers),
+// and the control plane with forecast-driven hedged reads on top of the
+// fast-tier cache. Two plans: the standard chaos schedule and a mass
+// schedule that also faults the fast tier. The control plane must salvage
+// at least the ad-hoc throughput while bounding retry amplification
+// (attempts per operation) and never violating the prescribed bound.
+func Resil(cfg Config) *Result {
+	cfg = cfg.withDefaults()
+	r := &Result{
+		ID:    "resil",
+		Title: "Resilience control plane: ad-hoc vs policy-keyed vs hedged recovery",
+		Header: []string{"recovery", "plan", "mean I/O (s)", "mean BW MB/s", "retries",
+			"amp", "degraded", "bound viol", "breaker opens", "hedges", "unpaired"},
+	}
+	app := analytics.XGCApp()
+	h := appHierarchy(app, cfg, defaultOpts())
+	const bound = 0.01
+	mandatory, err := h.CursorForBound(bound)
+	if err != nil {
+		panic(err)
+	}
+	arms := []struct {
+		name  string
+		pol   core.Policy
+		resil bool
+		hedge bool
+	}{
+		// The hedged arm runs on the prefetch policy: hedging races the
+		// cache's fast-tier copy against the capacity tier, so it needs
+		// cached prefixes to exist.
+		{"ad-hoc", core.CrossLayer, false, false},
+		{"policy-keyed", core.CrossLayer, true, false},
+		{"hedged", core.CrossLayerPrefetch, true, true},
+	}
+	plans := []struct {
+		name string
+		plan *fault.Plan
+	}{
+		{"chaos", ChaosPlan(cfg)},
+		{"mass", MassFaultPlan(cfg)},
+	}
+	rows := make([]*runpool.Task[[]string], 0, len(arms)*len(plans))
+	for _, arm := range arms {
+		for _, pl := range plans {
+			arm, pl := arm, pl
+			rows = append(rows, runpool.Submit("resil/"+arm.name+"/"+pl.name, func() []string {
+				rec := trace.New(32768)
+				scen := NewScenario(fmt.Sprintf("resil-%s-%s", arm.name, pl.name), 3)
+				runCfg := cfg
+				runCfg.FaultPlan = pl.plan
+				sc := core.Config{
+					Policy: arm.pol, ErrorControl: true, Bound: bound, Priority: 10,
+					RefitEvery: 10, Trace: rec,
+				}
+				var rc *resil.Controller
+				if arm.resil {
+					rc = resil.New(scen.Node.Engine(), resil.Options{
+						Trace: rec,
+						Hedge: resil.HedgeConfig{Enabled: arm.hedge},
+					})
+					sc.Resil = rc
+				}
+				sess := runOnScenario(scen, chaosSession, h, runCfg, sc)
+				sum := sess.Summary(cfg.SkipWarmup)
+				viol := 0
+				stepRetries := 0
+				for _, st := range sess.Stats() {
+					stepRetries += st.Retries
+					if st.Cursor < mandatory {
+						viol++
+					}
+				}
+				unpaired := len(fault.Unpaired(rec.Events()))
+				retries, amp, degraded, opens, hedges := stepRetries, "-", "-", "-", "-"
+				if rc != nil {
+					tot := rc.Totals()
+					retries = tot.Retries
+					amp = fmt.Sprintf("%.3f", tot.Amplification())
+					degraded = fmt.Sprintf("%d", tot.Degraded)
+					opens = fmt.Sprintf("%d", tot.BreakerOpens)
+					hedges = fmt.Sprintf("%d", tot.Hedges)
+				}
+				return []string{arm.name, pl.name, fmtS(sum.MeanIO), fmtMB(sum.MeanBW),
+					fmt.Sprintf("%d", retries), amp, degraded,
+					fmt.Sprintf("%d", viol), opens, hedges,
+					fmt.Sprintf("%d", unpaired)}
+			}))
+		}
+	}
+	for _, t := range rows {
+		r.Add(t.Wait()...)
+	}
+	r.Notef("Identical plans per arm — chaos: %s", plans[0].plan)
+	r.Notef("mass adds SSD-tier faults: %s", plans[1].plan)
+	r.Notef("Policy catalog: mandatory reads retry unbounded (budget-paced when dry), optional reads are deadlined at a minimum useful bandwidth and degrade, weight writes are breaker-gated per cgroup, hedged reads race the cache tier against the capacity tier during forecast-contended windows (see docs/resil.md).")
+	return r
+}

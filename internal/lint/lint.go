@@ -64,7 +64,7 @@ type Options struct {
 // schedules must be bit-reproducible for a fixed seed).
 var DefaultSimPackages = []string{
 	"sim", "device", "core", "coordinator", "harness", "dftestim", "weightfn",
-	"fault", "staging", "cache", "runpool", "refactor", "errmetric",
+	"fault", "staging", "cache", "resil", "runpool", "refactor", "errmetric",
 }
 
 // DefaultParPackages are the package names parhygiene audits: every
@@ -74,7 +74,7 @@ var DefaultSimPackages = []string{
 // covered.
 var DefaultParPackages = []string{
 	"sim", "device", "core", "coordinator", "harness", "dftestim", "weightfn",
-	"fault", "staging", "cache", "par", "runpool", "refactor", "trace",
+	"fault", "staging", "cache", "resil", "par", "runpool", "refactor", "trace",
 	"workload", "analytics", "lint", "main",
 }
 

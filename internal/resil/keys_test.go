@@ -1,0 +1,82 @@
+package resil
+
+import (
+	"reflect"
+	"testing"
+
+	"tango/internal/sim"
+)
+
+// TestRegisteredKeysAreStable pins the registered policy-key set and its
+// order. Keys are part of the operator contract — runbooks and trace
+// filters select on them — so renaming or reordering one is a breaking
+// change that must be made deliberately, updating this golden list and
+// docs/resil.md together.
+func TestRegisteredKeysAreStable(t *testing.T) {
+	golden := []string{
+		"staging.read.base",
+		"staging.read.capacity",
+		"staging.read.optional",
+		"staging.read.hedge",
+		"staging.probe.capacity",
+		"blkio.weight.apply",
+		"coord.weight.apply",
+		"prefetch.weight.floor",
+		"prefetch.stage",
+	}
+	c := New(sim.NewEngine(), Options{})
+	if got := c.Keys(); !reflect.DeepEqual(got, golden) {
+		t.Fatalf("registered key set drifted:\n got  %q\n want %q", got, golden)
+	}
+	// The exported constants must spell the same strings the catalog
+	// registers (call sites resolve handles by constant).
+	consts := []string{
+		KeyStagingReadBase, KeyStagingReadCapacity, KeyStagingReadOptional,
+		KeyStagingReadHedge, KeyStagingProbe, KeyWeightApply,
+		KeyCoordWeightApply, KeyPrefetchWeightFloor, KeyPrefetchStage,
+	}
+	if !reflect.DeepEqual(consts, golden) {
+		t.Fatalf("key constants drifted from the golden list:\n got  %q\n want %q", consts, golden)
+	}
+}
+
+// TestCatalogPolicyShape pins the structural invariants the call sites
+// rely on, without golden-testing every number.
+func TestCatalogPolicyShape(t *testing.T) {
+	c := New(sim.NewEngine(), Options{})
+	for _, name := range c.Keys() {
+		pol := c.Key(name).Policy()
+		if pol.Classify == nil {
+			t.Errorf("%s: nil classifier", name)
+		}
+		if pol.Factor < 1 {
+			t.Errorf("%s: backoff factor %v < 1", name, pol.Factor)
+		}
+	}
+	// Mandatory read keys: unbounded, no per-attempt timeout (cancelling
+	// a stalled-but-progressing flow would discard its progress).
+	for _, name := range []string{KeyStagingReadBase, KeyStagingReadCapacity} {
+		pol := c.Key(name).Policy()
+		if pol.MaxAttempts != 0 || pol.TimeoutMinBW != 0 {
+			t.Errorf("%s: mandatory key must be unbounded with no timeout: %+v", name, pol)
+		}
+		if pol.BreakerThreshold != 0 {
+			t.Errorf("%s: mandatory key must not be breaker-denied", name)
+		}
+	}
+	// Optional/background read keys: bounded and deadlined.
+	for _, name := range []string{KeyStagingReadOptional, KeyStagingProbe, KeyPrefetchStage} {
+		pol := c.Key(name).Policy()
+		if pol.MaxAttempts == 0 || pol.TimeoutMinBW == 0 {
+			t.Errorf("%s: optional key must bound attempts and deadline them: %+v", name, pol)
+		}
+	}
+	// Weight keys: single attempt (the control tick is the retry loop),
+	// breaker-gated, weight classifier.
+	for _, name := range []string{KeyWeightApply, KeyCoordWeightApply, KeyPrefetchWeightFloor} {
+		pol := c.Key(name).Policy()
+		if pol.MaxAttempts != 1 || pol.BreakerThreshold == 0 {
+			t.Errorf("%s: weight key must be single-attempt and breaker-gated: %+v", name, pol)
+		}
+	}
+}

@@ -1,0 +1,442 @@
+// Package resil is the resilience control plane for the simulated Tango
+// storage stack. Every I/O-issuing layer — staging guarded reads, blkio
+// and coordinator weight writes, the cache prefetcher's heal loop —
+// routes its fault handling through this package instead of carrying its
+// own ad-hoc retry loop.
+//
+// The design (PAIO-style: a policy layer between stages and storage,
+// without touching either side's internals):
+//
+//   - Stable policy keys per call site ("staging.read.capacity",
+//     "blkio.weight.apply", "prefetch.stage", …) map to declarative
+//     policies: max attempts, backoff curve, per-attempt timeout in
+//     virtual time, and an outcome classifier. Keys are part of the
+//     operator contract (runbooks filter traces by key), so the
+//     registered set is golden-tested.
+//   - Protocol-aware classifiers distinguish retryable faults (a stuck
+//     or bandwidth-collapsed device surfaces as a cancelled-by-timeout
+//     read, a media error as device.ErrRead, a throttle/weight fault as
+//     blkio.ErrWeightWrite) from terminal outcomes.
+//   - A global retry budget — a token bucket per policy key plus a
+//     node-wide cap — bounds retry amplification: a degraded device
+//     cannot trigger a retry storm. Over-budget bounded work degrades
+//     gracefully; over-budget mandatory work is paced to the refill
+//     rate instead of hammering.
+//   - Circuit breakers per device/cgroup target trip after consecutive
+//     failures and half-open on the sim clock, so optional work fails
+//     fast and weight writes stop hammering a wedged cgroup file.
+//   - Hedged reads race the fast tier against the capacity tier when
+//     the DFT forecast predicts a contended window, cancelling the
+//     loser (device.Token) and charging the extra leg to the budget.
+//
+// Everything runs in virtual time on the sim engine and is fully
+// deterministic; per-attempt decisions are emitted through
+// internal/trace (KindAttempt/KindBreaker/KindHedge/KindBudget) so
+// every recovery is explainable from the timeline. See docs/resil.md.
+package resil
+
+import (
+	"errors"
+	"fmt"
+
+	"tango/internal/blkio"
+	"tango/internal/device"
+	"tango/internal/sim"
+	"tango/internal/trace"
+)
+
+// Class is a classified attempt outcome.
+type Class int
+
+const (
+	// ClassOK — the attempt succeeded.
+	ClassOK Class = iota
+	// ClassRetryable — a transient fault worth retrying under policy.
+	ClassRetryable
+	// ClassTerminal — retrying cannot help; fail the operation now.
+	ClassTerminal
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassOK:
+		return "ok"
+	case ClassRetryable:
+		return "retryable"
+	case ClassTerminal:
+		return "terminal"
+	default:
+		return "Class(?)"
+	}
+}
+
+// Classifier maps an attempt error to a Class. Classifiers are plain
+// func values so the zero-alloc attempt path can invoke them without
+// interface dispatch.
+type Classifier func(err error) Class
+
+// ClassifyRead classifies read-path outcomes: transient media errors
+// (device.ErrRead) and timeout cancellations (device.ErrCanceled — how
+// a stuck or bandwidth-collapsed device surfaces to a deadlined read)
+// are retryable; anything else is terminal.
+func ClassifyRead(err error) Class {
+	switch {
+	case err == nil:
+		return ClassOK
+	case errors.Is(err, device.ErrRead), errors.Is(err, device.ErrCanceled):
+		return ClassRetryable
+	default:
+		return ClassTerminal
+	}
+}
+
+// ClassifyWeight classifies cgroup weight/limit writes: a faulted
+// controller file (blkio.ErrWeightWrite — also the signature of a
+// throttle-reset window) is retryable on the next control tick.
+func ClassifyWeight(err error) Class {
+	switch {
+	case err == nil:
+		return ClassOK
+	case errors.Is(err, blkio.ErrWeightWrite):
+		return ClassRetryable
+	default:
+		return ClassTerminal
+	}
+}
+
+// Stable policy keys, one per call site. Renaming one breaks operator
+// runbooks and trace filters; keys_test.go pins the registered set.
+const (
+	KeyStagingReadBase     = "staging.read.base"      // whole-range base read (mandatory, unbounded)
+	KeyStagingReadCapacity = "staging.read.capacity"  // mandatory capacity-tier range read (unbounded)
+	KeyStagingReadOptional = "staging.read.optional"  // above-bound augmentation read (bounded, degradable)
+	KeyStagingReadHedge    = "staging.read.hedge"     // cache-resident prefix: fast-vs-capacity hedge race
+	KeyStagingProbe        = "staging.probe.capacity" // background bandwidth probe on the slow tier
+	KeyWeightApply         = "blkio.weight.apply"     // session weight writes to the analytics cgroup
+	KeyCoordWeightApply    = "coord.weight.apply"     // coordinator grant/revert weight writes
+	KeyPrefetchWeightFloor = "prefetch.weight.floor"  // prefetcher re-asserting its low-priority floor
+	KeyPrefetchStage       = "prefetch.stage"         // background staging read into the fast tier
+)
+
+// Policy is the declarative resilience contract for one key.
+type Policy struct {
+	Key         string
+	MaxAttempts int     // per operation; 0 = unbounded (mandatory work never gives up)
+	Backoff     float64 // seconds before the first retry
+	Factor      float64 // backoff multiplier per retry (>= 1)
+	MaxBackoff  float64 // backoff ceiling in seconds
+
+	// Per-attempt timeout in virtual time, expressed as a minimum
+	// acceptable effective bandwidth: an attempt moving `bytes` is
+	// cancelled after TimeoutFloor + bytes/TimeoutMinBW seconds — i.e.
+	// "declare the attempt stuck if it is slower than TimeoutMinBW".
+	// TimeoutMinBW == 0 disables the timeout (the attempt may block
+	// until the fault clears, preserving flow progress).
+	TimeoutFloor float64 // seconds of slack on top of the bandwidth bound
+	TimeoutMinBW float64 // bytes/sec; 0 = no per-attempt timeout
+
+	Classify Classifier
+
+	// Retry budget: a token bucket per key. Each retry (and each hedge
+	// leg) consumes one token from this bucket and from the node-wide
+	// bucket. BudgetCap == 0 means the key draws only on the node cap.
+	BudgetCap    float64 // tokens
+	BudgetRefill float64 // tokens per virtual second
+
+	// Circuit breaker per target (device or cgroup name). Threshold 0
+	// disables the breaker for this key (mandatory work must never be
+	// denied). The first key to touch a target fixes the breaker's
+	// parameters; the catalog keeps them uniform per target class.
+	BreakerThreshold int     // consecutive failures before opening
+	BreakerCooldown  float64 // seconds open before a half-open probe
+}
+
+// Catalog returns the default policy catalog: one policy per registered
+// key. Mandatory read keys are unbounded with no timeout (blocking on a
+// stalled-but-progressing flow preserves its progress; cancelling would
+// discard it), optional/augmentation keys time out at a minimum-useful
+// bandwidth and degrade, and weight keys are single-attempt with a
+// short-cooldown breaker (the next control tick is the retry).
+func Catalog() []Policy {
+	const mb = 1024 * 1024
+	return []Policy{
+		{Key: KeyStagingReadBase, MaxAttempts: 0, Backoff: 0.05, Factor: 2, MaxBackoff: 5,
+			Classify: ClassifyRead, BudgetCap: 32, BudgetRefill: 0.5},
+		{Key: KeyStagingReadCapacity, MaxAttempts: 0, Backoff: 0.05, Factor: 2, MaxBackoff: 5,
+			Classify: ClassifyRead, BudgetCap: 32, BudgetRefill: 0.5},
+		{Key: KeyStagingReadOptional, MaxAttempts: 3, Backoff: 0.05, Factor: 2, MaxBackoff: 5,
+			TimeoutFloor: 10, TimeoutMinBW: 4 * mb,
+			Classify: ClassifyRead, BudgetCap: 16, BudgetRefill: 0.25,
+			BreakerThreshold: 4, BreakerCooldown: 20},
+		{Key: KeyStagingReadHedge, MaxAttempts: 1, Backoff: 0.05, Factor: 2, MaxBackoff: 5,
+			TimeoutFloor: 5, TimeoutMinBW: 2 * mb,
+			Classify: ClassifyRead, BudgetCap: 16, BudgetRefill: 0.25},
+		{Key: KeyStagingProbe, MaxAttempts: 1, Backoff: 0.05, Factor: 2, MaxBackoff: 5,
+			TimeoutFloor: 5, TimeoutMinBW: 1 * mb,
+			Classify: ClassifyRead, BudgetCap: 8, BudgetRefill: 0.1,
+			BreakerThreshold: 4, BreakerCooldown: 20},
+		{Key: KeyWeightApply, MaxAttempts: 1,
+			Classify: ClassifyWeight, BreakerThreshold: 3, BreakerCooldown: 5},
+		{Key: KeyCoordWeightApply, MaxAttempts: 1,
+			Classify: ClassifyWeight, BreakerThreshold: 3, BreakerCooldown: 5},
+		{Key: KeyPrefetchWeightFloor, MaxAttempts: 1,
+			Classify: ClassifyWeight, BreakerThreshold: 3, BreakerCooldown: 5},
+		{Key: KeyPrefetchStage, MaxAttempts: 2, Backoff: 0.1, Factor: 2, MaxBackoff: 5,
+			TimeoutFloor: 5, TimeoutMinBW: 2 * mb,
+			Classify: ClassifyRead, BudgetCap: 8, BudgetRefill: 0.1,
+			BreakerThreshold: 4, BreakerCooldown: 20},
+	}
+}
+
+// HedgeConfig controls forecast-driven hedged reads.
+type HedgeConfig struct {
+	Enabled bool
+	// ContentionFrac: hedge when the forecast's next-window capacity-
+	// tier bandwidth falls below ContentionFrac × the model peak — the
+	// regime where the storage stack is contended and tail insurance is
+	// worth the extra I/O. 0 defaults to 0.5.
+	ContentionFrac float64
+	// MinBytes skips hedging tiny reads where the race cannot win back
+	// its own request latency. 0 defaults to 4 MiB.
+	MinBytes float64
+}
+
+// KeyStats counts per-key control-plane decisions.
+type KeyStats struct {
+	Ops           int     // operations routed through the key
+	Attempts      int     // individual attempts issued
+	Retries       int     // attempts beyond the first
+	Timeouts      int     // attempts cancelled by the per-attempt deadline
+	Failures      int     // operations that ended terminally failed
+	Degraded      int     // bounded operations that gave up under policy
+	BudgetDenied  int     // retries/hedges denied by the budget
+	BudgetPaced   int     // mandatory retries slowed to the refill rate
+	BreakerDenied int     // attempts denied by an open breaker
+	Hedges        int     // hedge races launched
+	HedgeFastWins int     // races won by the fast tier
+	HedgeSlowWins int     // races won by the capacity tier
+	WastedBytes   float64 // bytes moved by cancelled attempts and hedge losers
+}
+
+// Totals aggregates stats across every registered key.
+type Totals struct {
+	Ops, Attempts, Retries, Timeouts, Degraded int
+	BudgetDenied, BreakerDenied, BreakerOpens  int
+	Hedges, HedgeFastWins, HedgeSlowWins       int
+	WastedBytes                                float64
+}
+
+// Amplification returns attempts per operation (1 = no retries). With no
+// operations it reports 1.
+func (t Totals) Amplification() float64 {
+	if t.Ops == 0 {
+		return 1
+	}
+	return float64(t.Attempts) / float64(t.Ops)
+}
+
+// Key is the per-call-site handle for one registered policy: call sites
+// resolve theirs once (at SetResil time) and execute operations through
+// it, so the per-operation path is a direct method call with no map
+// lookups or allocation.
+type Key struct {
+	c      *Controller
+	name   string
+	pol    Policy
+	bucket bucket
+	stats  KeyStats
+}
+
+// Name returns the policy key string.
+func (k *Key) Name() string { return k.name }
+
+// Stats returns the key's counters.
+func (k *Key) Stats() KeyStats { return k.stats }
+
+// Policy returns the key's policy.
+func (k *Key) Policy() Policy { return k.pol }
+
+// Options configures a Controller.
+type Options struct {
+	Trace  *trace.Recorder // per-attempt timeline sink (nil = silent)
+	Source string          // trace source label; default "resil"
+
+	// Node-wide retry budget shared by all keys. Zero values default to
+	// 64 tokens refilling at 0.5 tokens/s.
+	NodeBudget float64
+	NodeRefill float64
+
+	Hedge HedgeConfig
+
+	// Policies overrides the default Catalog() (tests, ablations). Nil
+	// registers the catalog.
+	Policies []Policy
+}
+
+// Controller owns the policy registry, budgets, breakers, and hedging
+// state for one node. Like the rest of the stack it is engine-serialized:
+// one controller per sim engine, no locking.
+type Controller struct {
+	eng *sim.Engine
+	rec *trace.Recorder
+	src string
+
+	keys   []*Key // registration order (golden-tested)
+	byName map[string]*Key
+
+	node bucket // node-wide retry budget
+
+	breakers map[string]*Breaker // by target (device or cgroup name)
+	brOpens  int
+
+	hedge    HedgeConfig
+	forecast func() (next, peak float64, ok bool)
+
+	attemptFree []*attemptCtx
+}
+
+// New creates a controller bound to an engine and registers the policy
+// catalog. It panics on duplicate keys (construction is programmer-
+// controlled).
+func New(eng *sim.Engine, opts Options) *Controller {
+	c := &Controller{
+		eng:      eng,
+		rec:      opts.Trace,
+		src:      opts.Source,
+		breakers: make(map[string]*Breaker),
+		hedge:    opts.Hedge,
+		byName:   make(map[string]*Key),
+	}
+	if c.src == "" {
+		c.src = "resil"
+	}
+	if c.hedge.ContentionFrac == 0 {
+		c.hedge.ContentionFrac = 0.5
+	}
+	if c.hedge.MinBytes == 0 {
+		c.hedge.MinBytes = 4 * 1024 * 1024
+	}
+	nodeCap, nodeRefill := opts.NodeBudget, opts.NodeRefill
+	if nodeCap == 0 {
+		nodeCap = 64
+	}
+	if nodeRefill == 0 {
+		nodeRefill = 0.5
+	}
+	c.node = bucket{cap: nodeCap, refill: nodeRefill, tokens: nodeCap}
+	pols := opts.Policies
+	if pols == nil {
+		pols = Catalog()
+	}
+	for _, pol := range pols {
+		c.register(pol)
+	}
+	return c
+}
+
+func (c *Controller) register(pol Policy) {
+	if pol.Key == "" {
+		panic("resil: policy with empty key")
+	}
+	if _, dup := c.byName[pol.Key]; dup {
+		panic(fmt.Sprintf("resil: duplicate policy key %q", pol.Key))
+	}
+	if pol.Factor < 1 {
+		pol.Factor = 2
+	}
+	if pol.Classify == nil {
+		pol.Classify = ClassifyRead
+	}
+	k := &Key{
+		c:    c,
+		name: pol.Key,
+		pol:  pol,
+		bucket: bucket{
+			cap: pol.BudgetCap, refill: pol.BudgetRefill, tokens: pol.BudgetCap,
+		},
+	}
+	c.keys = append(c.keys, k)
+	c.byName[pol.Key] = k
+}
+
+// Key returns the handle for a registered policy key; call sites resolve
+// their handle once (SetResil time) so the per-operation path is a plain
+// method call. It panics on an unknown key — a misspelled key is a
+// programming error, not a runtime condition.
+func (c *Controller) Key(name string) *Key {
+	k, ok := c.byName[name]
+	if !ok {
+		panic(fmt.Sprintf("resil: unknown policy key %q", name))
+	}
+	return k
+}
+
+// Keys returns the registered policy keys in registration order.
+func (c *Controller) Keys() []string {
+	out := make([]string, len(c.keys))
+	for i, k := range c.keys {
+		out[i] = k.name
+	}
+	return out
+}
+
+// Stats returns the named key's counters.
+func (c *Controller) Stats(name string) KeyStats { return c.Key(name).stats }
+
+// Totals aggregates counters across all keys.
+func (c *Controller) Totals() Totals {
+	var t Totals
+	for _, k := range c.keys {
+		s := k.stats
+		t.Ops += s.Ops
+		t.Attempts += s.Attempts
+		t.Retries += s.Retries
+		t.Timeouts += s.Timeouts
+		t.Degraded += s.Degraded
+		t.BudgetDenied += s.BudgetDenied
+		t.BreakerDenied += s.BreakerDenied
+		t.Hedges += s.Hedges
+		t.HedgeFastWins += s.HedgeFastWins
+		t.HedgeSlowWins += s.HedgeSlowWins
+		t.WastedBytes += s.WastedBytes
+	}
+	t.BreakerOpens = c.brOpens
+	return t
+}
+
+// SetForecast wires the contention forecast consulted by the hedging
+// decision: fn returns the next-window demand estimate, the model peak,
+// and whether the estimator is ready. The session wires this to the
+// dftestim-backed predictor it already maintains for the prefetcher.
+func (c *Controller) SetForecast(fn func() (next, peak float64, ok bool)) {
+	c.forecast = fn
+}
+
+// HedgingEnabled reports whether hedged reads are switched on.
+func (c *Controller) HedgingEnabled() bool { return c.hedge.Enabled }
+
+// Breaker returns the breaker for a target, or nil if no policy has
+// touched it yet.
+func (c *Controller) Breaker(target string) *Breaker { return c.breakers[target] }
+
+// breakerFor lazily creates the breaker for a target using pol's
+// parameters; an existing breaker is reused as-is. Keys with
+// BreakerThreshold 0 get no breaker (nil).
+func (c *Controller) breakerFor(target string, pol *Policy) *Breaker {
+	if pol.BreakerThreshold <= 0 {
+		return nil
+	}
+	b := c.breakers[target]
+	if b == nil {
+		b = &Breaker{target: target, threshold: pol.BreakerThreshold, cooldown: pol.BreakerCooldown}
+		c.breakers[target] = b
+	}
+	return b
+}
+
+func (c *Controller) emit(kind, format string, args ...any) {
+	if c.rec != nil {
+		c.rec.Emit(c.eng.Now(), c.src, kind, format, args...)
+	}
+}

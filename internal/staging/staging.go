@@ -14,6 +14,7 @@ import (
 	"tango/internal/blkio"
 	"tango/internal/device"
 	"tango/internal/refactor"
+	"tango/internal/resil"
 	"tango/internal/sim"
 	"tango/internal/trace"
 )
@@ -40,12 +41,40 @@ type Store struct {
 	scale    float64
 	released bool
 	cache    CacheView
+
+	// Resilience control plane (nil = legacy ad-hoc retry loops). Key
+	// handles are resolved once at SetResil time so the read paths pay
+	// no lookups.
+	rc     *resil.Controller
+	kBase  *resil.Key // staging.read.base
+	kMand  *resil.Key // staging.read.capacity
+	kOpt   *resil.Key // staging.read.optional
+	kHedge *resil.Key // staging.read.hedge
+	kProbe *resil.Key // staging.probe.capacity
 }
 
 // SetCache attaches a fast-tier cache to the augmentation read paths:
 // each segment's cached prefix is read from the cache device instead of
 // the level's home tier. Pass nil to detach.
 func (s *Store) SetCache(c CacheView) { s.cache = c }
+
+// SetResil routes the guarded read paths (and Probe) through the
+// resilience control plane: per-attempt deadlines, classified retries,
+// budgets, breakers, and — when the controller enables it — hedged reads
+// racing a cache-resident prefix against its capacity-tier home copy.
+// With a nil controller the store keeps its legacy ad-hoc retry loop.
+func (s *Store) SetResil(rc *resil.Controller) {
+	s.rc = rc
+	if rc == nil {
+		s.kBase, s.kMand, s.kOpt, s.kHedge, s.kProbe = nil, nil, nil, nil, nil
+		return
+	}
+	s.kBase = rc.Key(resil.KeyStagingReadBase)
+	s.kMand = rc.Key(resil.KeyStagingReadCapacity)
+	s.kOpt = rc.Key(resil.KeyStagingReadOptional)
+	s.kHedge = rc.Key(resil.KeyStagingReadHedge)
+	s.kProbe = rc.Key(resil.KeyStagingProbe)
+}
 
 // Stage places h across the given tiers (fastest first, as returned by
 // container.Node.Tiers) and reserves capacity. It fails if any tier would
@@ -415,6 +444,11 @@ func (s *Store) ReadBaseGuarded(p *sim.Proc, cg *blkio.Cgroup, pol RetryPolicy, 
 	pol = pol.withDefaults()
 	ts := newTierStats()
 	bytes := float64(s.h.BaseBytes()) * s.scale
+	if s.rc != nil {
+		res := s.kBase.Read(p, s.baseDev, cg, bytes)
+		ts.add(s.baseDev, res.Moved, res.Elapsed)
+		return ts, GuardedOutcome{Cursor: 0, Retries: res.Retries}
+	}
 	el, retries, _ := retryRead(p, s.baseDev, cg, bytes, pol, false, notify)
 	ts.add(s.baseDev, bytes, el)
 	return ts, GuardedOutcome{Cursor: 0, Retries: retries}
@@ -433,11 +467,19 @@ func (s *Store) ReadRangeGuarded(p *sim.Proc, cg *blkio.Cgroup, from, to, mandat
 	ts := newTierStats()
 	out := GuardedOutcome{Cursor: from}
 	for _, seg := range s.h.Segments(from, to) {
+		home := s.DeviceForLevel(seg.Level)
 		for _, part := range s.segmentParts(seg) {
 			needed := out.Cursor < mandatory // part starts inside the mandatory prefix
-			el, retries, ok := retryRead(p, part.dev, cg, part.bytes, pol, !needed, notify)
+			var retries int
+			var ok bool
+			if s.rc != nil {
+				retries, ok = s.resilPart(p, cg, ts, part, home, needed)
+			} else {
+				var el float64
+				el, retries, ok = retryRead(p, part.dev, cg, part.bytes, pol, !needed, notify)
+				ts.add(part.dev, part.bytes, el)
+			}
 			out.Retries += retries
-			ts.add(part.dev, part.bytes, el)
 			if !ok {
 				out.Degraded = true
 				if notify != nil {
@@ -451,12 +493,62 @@ func (s *Store) ReadRangeGuarded(p *sim.Proc, cg *blkio.Cgroup, from, to, mandat
 	return ts, out
 }
 
+// resilPart reads one segment part through the resilience control plane.
+// A cache-resident prefix (part.dev != home) is a hedging opportunity:
+// the same byte range exists on both the cache device and the level's
+// home tier, so the controller may race them and cancel the loser. On
+// any non-hedged (or failed-hedge) path the part goes through the
+// policy-keyed guarded read: unbounded for mandatory data, bounded and
+// degradable for optional augmentation.
+func (s *Store) resilPart(p *sim.Proc, cg *blkio.Cgroup, ts *TierStats, part segPart, home *device.Device, needed bool) (retries int, ok bool) {
+	if part.dev != home {
+		hr := s.kHedge.HedgedRead(p, part.dev, home, cg, part.bytes)
+		if hr.OK {
+			winDev, loserDev := part.dev, home
+			winMoved, loserMoved := hr.FastMoved, hr.SlowMoved
+			if !hr.FastWon {
+				winDev, loserDev = home, part.dev
+				winMoved, loserMoved = hr.SlowMoved, hr.FastMoved
+			}
+			ts.add(winDev, winMoved, hr.Elapsed)
+			if loserMoved > 0 {
+				// The cancelled leg's partial bytes are real transfers on
+				// that device; its time overlapped the winner's, so only
+				// the bytes are recorded.
+				ts.add(loserDev, loserMoved, 0)
+			}
+			return 0, true
+		}
+		// Hedged but both legs failed (the controller counted the waste):
+		// fall through to the single-device policy path.
+	}
+	k := s.kOpt
+	if needed {
+		k = s.kMand
+	}
+	res := k.Read(p, part.dev, cg, part.bytes)
+	ts.add(part.dev, res.Moved, res.Elapsed)
+	return res.Retries, res.OK
+}
+
 // Probe reads `bytes` from the slowest tier to sample its available
 // bandwidth; used by the controller when a step retrieved nothing from
-// the capacity tier but the estimator still needs a measurement.
+// the capacity tier but the estimator still needs a measurement. With
+// the resilience control plane attached the probe is deadlined
+// (staging.probe.capacity): a stuck capacity tier can no longer wedge
+// the control loop — the partial transfer still yields an honest (low)
+// bandwidth sample, and a probe that moved nothing yields no sample,
+// which the controller treats like a step with no capacity-tier reads.
 func (s *Store) Probe(p *sim.Proc, cg *blkio.Cgroup, bytes float64) *TierStats {
 	ts := newTierStats()
 	dev := s.SlowestDevice()
+	if s.rc != nil {
+		res := s.kProbe.Read(p, dev, cg, bytes)
+		if res.Moved > 0 {
+			ts.add(dev, res.Moved, res.Elapsed)
+		}
+		return ts
+	}
 	el := dev.Read(p, cg, bytes)
 	ts.add(dev, bytes, el)
 	return ts

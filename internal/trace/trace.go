@@ -27,6 +27,14 @@ const (
 	KindCacheMiss  = "cache-miss"  // a read that went to the home tier
 	KindCacheEvict = "cache-evict" // cache blocks evicted to make room or shrink
 	KindPrefetch   = "prefetch"    // background pre-staging: staged, paused, or skipped
+
+	// Resilience control plane events (internal/resil). Every recovery
+	// decision is on the timeline: which attempt, under which policy key,
+	// and why it was retried, denied, hedged, or degraded.
+	KindAttempt = "attempt" // a policy-keyed attempt failed, was retried, or degraded
+	KindBreaker = "breaker" // a circuit breaker opened, half-opened, or closed
+	KindHedge   = "hedge"   // a hedged read launched or resolved (winner + loser)
+	KindBudget  = "budget"  // the retry budget denied or paced an attempt
 )
 
 // Event is one recorded occurrence at virtual time T.

@@ -53,6 +53,7 @@ import (
 	"tango/internal/errmetric"
 	"tango/internal/fault"
 	"tango/internal/refactor"
+	"tango/internal/resil"
 	"tango/internal/sim"
 	"tango/internal/staging"
 	"tango/internal/tensor"
@@ -304,6 +305,29 @@ const (
 // the weight function.
 func NewSession(name string, store *Store, cfg SessionConfig) (*Session, error) {
 	return core.NewSession(name, store, cfg)
+}
+
+// ---- Resilience control plane ------------------------------------------------
+
+// ResilController is the resilience control plane: policy-keyed retries,
+// retry budgets, circuit breakers, and forecast-driven hedged reads.
+// Pass one via SessionConfig.Resil to route every I/O-issuing layer of
+// the session through it (see internal/resil and docs/resil.md).
+type ResilController = resil.Controller
+
+// ResilOptions configures a ResilController.
+type ResilOptions = resil.Options
+
+// HedgeConfig controls forecast-driven hedged reads.
+type HedgeConfig = resil.HedgeConfig
+
+// ResilPolicy is the declarative resilience contract for one policy key.
+type ResilPolicy = resil.Policy
+
+// NewResilController builds a controller on the node's engine and
+// registers the default policy catalog (resil.Catalog).
+func NewResilController(eng *Engine, opts ResilOptions) *ResilController {
+	return resil.New(eng, opts)
 }
 
 // ---- Coordination -------------------------------------------------------------
