@@ -63,6 +63,26 @@ func BenchmarkExtRegimeChange(b *testing.B)         { runExperiment(b, "regime")
 func BenchmarkExtThrottleVsTango(b *testing.B)      { runExperiment(b, "throttle") }
 func BenchmarkExtRandomNoise(b *testing.B)          { runExperiment(b, "random-noise") }
 
+// BenchmarkExtFleet runs the fleet experiment at a reduced sweep scale
+// (2% of the canonical 10→1000-node ladder) so `go test -bench=.` stays
+// fast; cmd/tangobench runs it full-scale.
+func BenchmarkExtFleet(b *testing.B) {
+	e, ok := harness.Lookup("fleet")
+	if !ok {
+		b.Fatal("fleet experiment not registered")
+	}
+	cfg := benchCfg()
+	cfg.FleetScale = 0.02
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := e.Run(cfg)
+		if len(res.Rows) == 0 {
+			b.Fatal("fleet produced no rows")
+		}
+	}
+}
+
 // ---- Core algorithm micro-benchmarks --------------------------------------
 
 func benchField(n int) *tango.Tensor {

@@ -32,6 +32,7 @@ func main() {
 		steps    = flag.Int("steps", 0, "analysis steps per session (default 90)")
 		skip     = flag.Int("skip", 0, "warm-up steps excluded from summaries (default 30)")
 		dataset  = flag.Float64("dataset", 0, "staged dataset size in MB per app (default 2048)")
+		fscale   = flag.Float64("fleetscale", 0, "fleet experiment sweep scale (default 1)")
 		format   = flag.String("format", "table", "output format: table|csv|json")
 		jsonOut  = flag.Bool("json", false, "emit all results of the run as one JSON document")
 		parallel = flag.Int("parallel", 0, "scenario-runner workers; 1 = sequential (default GOMAXPROCS)")
@@ -63,7 +64,8 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	cfg := harness.Config{GridN: *gridN, Seed: *seed, Steps: *steps, SkipWarmup: *skip, DatasetMB: *dataset}
+	cfg := harness.Config{GridN: *gridN, Seed: *seed, Steps: *steps, SkipWarmup: *skip,
+		DatasetMB: *dataset, FleetScale: *fscale}
 
 	var collected []*harness.Result
 	run := func(e harness.Experiment) {

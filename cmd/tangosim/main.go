@@ -35,8 +35,16 @@ func main() {
 		cacheMB  = flag.Int("cache", 0, "fast-tier cache capacity in MB (0 = default 512; implies -prefetch)")
 		resilOn  = flag.Bool("resil", false, "route recovery through the resilience control plane (policy-keyed retries, budgets, breakers; docs/resil.md)")
 		hedge    = flag.Bool("hedge", false, "enable forecast-driven hedged reads (implies -resil; pairs best with -prefetch)")
+		nodes    = flag.Int("nodes", 1, "fleet mode: simulate this many nodes over a shared object store (docs/fleet.md)")
+		sessions = flag.Int("sessions", 0, "fleet mode: session count (default 10 per node)")
+		objstore = flag.Bool("objstore", false, "fleet mode even with -nodes 1: back the node with the object-store capacity tier")
 	)
 	flag.Parse()
+
+	if *nodes > 1 || *objstore {
+		runFleet(*nodes, *sessions, *seed, *faults, *traceOut, *verbose)
+		return
+	}
 
 	pol, err := cliutil.ParsePolicy(*policy)
 	if err != nil {
@@ -216,4 +224,65 @@ func main() {
 			fmt.Fprintln(os.Stderr, "tangosim:", err)
 		}
 	}
+}
+
+// runFleet is tangosim's cluster mode (-nodes / -objstore): an N-node
+// fleet of single-node stacks over a shared object store, with optional
+// node-kill fault plans, printing per-epoch aggregate throughput and the
+// cluster totals line.
+func runFleet(nodes, sessions int, seed int64, faults string, traceOut, verbose bool) {
+	var plan *tango.FaultPlan
+	if faults != "" {
+		var err error
+		plan, err = tango.ParseFaultPlan(faults)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tangosim:", err)
+			os.Exit(2)
+		}
+	}
+	rec := tango.NewTraceRecorder(16384)
+	cfg := tango.FleetConfig{
+		Nodes:    nodes,
+		Sessions: sessions,
+		Seed:     seed,
+		Plan:     plan,
+		Trace:    rec,
+	}
+	c, err := tango.NewFleet(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tangosim:", err)
+		os.Exit(2)
+	}
+	if sessions == 0 {
+		sessions = nodes * 10
+	}
+	store := tango.DefaultObjstore(nodes)
+	fmt.Printf("fleet: %d nodes, %d sessions, seed %d\n", nodes, sessions, seed)
+	fmt.Printf("objstore: %.0f MB/s per-node frontend, %.0f MB/s shared egress, %.0f ms/request\n",
+		store.NodeBandwidth/(1<<20), store.TotalEgress/(1<<20), 1000*store.RequestLatency)
+	if plan != nil {
+		fmt.Printf("fault plan: %s\n", plan)
+	}
+	if verbose {
+		fmt.Print(c.Describe(16))
+	}
+	rep, err := c.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tangosim:", err)
+		os.Exit(1)
+	}
+	for e, mbps := range rep.EpochMBps {
+		warm := ""
+		if e < 2 {
+			warm = "  (warm-up)"
+		}
+		fmt.Printf("epoch %2d: agg %8.1f MB/s%s\n", e, mbps, warm)
+	}
+	if traceOut {
+		fmt.Println("--- cluster trace ---")
+		if _, err := rec.WriteTo(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "tangosim:", err)
+		}
+	}
+	fmt.Println(rep.TotalsLine())
 }

@@ -6,7 +6,9 @@ import (
 	"testing"
 
 	"tango"
+	"tango/internal/fault"
 	"tango/internal/harness"
+	"tango/internal/runpool"
 )
 
 // runSmallScenario executes one compact end-to-end run (decompose,
@@ -229,5 +231,57 @@ func TestPrefetchExperimentByteMatch(t *testing.T) {
 			}
 		}
 		t.Fatalf("same-seed prefetch runs produced %d and %d bytes", len(a), len(b))
+	}
+}
+
+// TestFleetExperimentByteMatch pins the fleet-scale contract: an entire
+// `-exp fleet` sweep — N per-node engines running their epoch windows
+// through runpool — must render byte-identically at worker width 1 and
+// 4. All cross-node mutation (placement, migration, egress resharing,
+// ledger harvesting) happens at sequential barriers in node-index
+// order; this test is the proof.
+func TestFleetExperimentByteMatch(t *testing.T) {
+	run := func(workers int) []byte {
+		prev := runpool.Workers()
+		runpool.SetWorkers(workers)
+		defer runpool.SetWorkers(prev)
+		r := harness.Fleet(harness.Config{Seed: 7, FleetScale: 0.02})
+		return []byte(r.String())
+	}
+	a, b := run(1), run(4)
+	if !bytes.Equal(a, b) {
+		for i := range a {
+			if i >= len(b) || a[i] != b[i] {
+				t.Fatalf("fleet runs diverge across worker widths at output byte %d of %d/%d:\n%s", i, len(a), len(b), a)
+			}
+		}
+		t.Fatalf("fleet runs produced %d and %d bytes across worker widths", len(a), len(b))
+	}
+}
+
+// TestFleetFaultedByteMatch repeats the width sweep with an explicit
+// node-kill plan on the faulted arm: kill/rebalance/revive/settle-back
+// all happen at barriers, so the fault path must be exactly as
+// reproducible as the quiet one.
+func TestFleetFaultedByteMatch(t *testing.T) {
+	plan, err := fault.ParsePlan("node-kill@240:node=node0,dur=120; node-kill@240:node=node3,dur=180")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(workers int) []byte {
+		prev := runpool.Workers()
+		runpool.SetWorkers(workers)
+		defer runpool.SetWorkers(prev)
+		r := harness.Fleet(harness.Config{Seed: 11, FleetScale: 0.05, FaultPlan: plan})
+		return []byte(r.String())
+	}
+	a, b := run(1), run(4)
+	if !bytes.Equal(a, b) {
+		for i := range a {
+			if i >= len(b) || a[i] != b[i] {
+				t.Fatalf("faulted fleet runs diverge across worker widths at output byte %d of %d/%d:\n%s", i, len(a), len(b), a)
+			}
+		}
+		t.Fatalf("faulted fleet runs produced %d and %d bytes across worker widths", len(a), len(b))
 	}
 }

@@ -214,6 +214,13 @@ type Device struct {
 	extraLatency float64
 	readErr      bool
 
+	// share is an externally managed bandwidth share in (0,1]: the
+	// fraction of the device a cluster-level allocator grants this node
+	// (e.g. the object store's shared-egress water-filling in
+	// internal/objstore). It composes multiplicatively with bwFactor so
+	// fault injection and egress shaping remain independent knobs.
+	share float64
+
 	// accounting
 	totalBytes float64
 	busyUntil  float64
@@ -231,6 +238,7 @@ func New(eng *sim.Engine, p Params) *Device {
 		eng:        eng,
 		p:          p,
 		bwFactor:   1,
+		share:      1,
 		nextID:     1, // 0 is reserved so a zero Token can never match a live flow
 		subscribed: make(map[*blkio.Cgroup]bool),
 	}
@@ -295,8 +303,29 @@ func (d *Device) Efficiency(n int) float64 {
 // EffectiveBandwidth returns the aggregate bandwidth the device delivers
 // with n concurrent flows, including any injected degradation.
 func (d *Device) EffectiveBandwidth(n int) float64 {
-	return d.p.PeakBandwidth * d.bwFactor * d.Efficiency(n)
+	return d.p.PeakBandwidth * d.bwFactor * d.share * d.Efficiency(n)
 }
+
+// SetShare sets the externally allocated bandwidth share in (0,1]. The
+// cluster-level egress allocator (internal/objstore) calls this when the
+// water-filling pass regrants per-node shares of the shared link; it is
+// orthogonal to SetFault, so injected degradation and egress shaping
+// compose. In-flight flows reshape immediately. Must be called from sim
+// context.
+func (d *Device) SetShare(frac float64) {
+	if frac <= 0 || frac > 1 || math.IsNaN(frac) {
+		panic(fmt.Sprintf("device %q: share %v out of (0,1]", d.p.Name, frac))
+	}
+	if frac == d.share {
+		return
+	}
+	d.share = frac
+	d.Touch()
+}
+
+// Share returns the externally allocated bandwidth share (1 = whole
+// device).
+func (d *Device) Share() float64 { return d.share }
 
 // SetFault injects a device-level degradation: bwFactor scales the
 // delivered bandwidth (0 = stuck device: all flows stall until the fault
@@ -604,7 +633,7 @@ func (d *Device) reshape() {
 		// stream bandwidth, everyone else waits.
 		for i, f := range d.flows {
 			if i == 0 {
-				f.rate = d.p.PeakBandwidth * d.bwFactor
+				f.rate = d.p.PeakBandwidth * d.bwFactor * d.share
 			} else {
 				f.rate = 0
 			}

@@ -59,6 +59,12 @@ const (
 	// PeriodChange sets the named interferer's checkpoint period to
 	// Factor seconds (its producing simulation was rescaled).
 	PeriodChange
+	// NodeKill takes a whole fleet node out of service for Duration
+	// seconds: its sessions are rebalanced to surviving nodes and its L2
+	// contents are lost (ephemeral storage does not outlive the node).
+	// Interpreted by the cluster coordinator (internal/fleet); a
+	// single-node Injector records a skip.
+	NodeKill
 )
 
 var kindNames = map[Kind]string{
@@ -71,6 +77,7 @@ var kindNames = map[Kind]string{
 	Join:          "join",
 	Leave:         "leave",
 	PeriodChange:  "period",
+	NodeKill:      "node-kill",
 }
 
 // String returns the kind's spec-grammar name.
@@ -84,11 +91,16 @@ func (k Kind) String() string {
 // windowed reports whether the kind has a clearance event after Duration.
 func (k Kind) windowed() bool {
 	switch k {
-	case BWCollapse, LatencySpike, ReadError, Stuck, WeightFail, ThrottleReset:
+	case BWCollapse, LatencySpike, ReadError, Stuck, WeightFail, ThrottleReset, NodeKill:
 		return true
 	}
 	return false
 }
+
+// DeviceFault reports whether the kind targets a device. Exported for
+// cluster-scope plan filtering: internal/fleet arms only device faults
+// on each node's local injector and interprets NodeKill itself.
+func (k Kind) DeviceFault() bool { return k.deviceFault() }
 
 // deviceFault reports whether the kind targets a device.
 func (k Kind) deviceFault() bool {
@@ -105,7 +117,8 @@ type Event struct {
 	Kind Kind
 	// Target names the faulted object: a device (BWCollapse,
 	// LatencySpike, ReadError, Stuck), a cgroup (WeightFail,
-	// ThrottleReset), or an interferer (Join, Leave, PeriodChange).
+	// ThrottleReset), a fleet node (NodeKill), or an interferer (Join,
+	// Leave, PeriodChange).
 	Target string
 	// Factor is the kind-specific magnitude: bandwidth fraction
 	// (BWCollapse), extra latency seconds (LatencySpike), read-throttle
@@ -210,6 +223,8 @@ func (p *Plan) String() string {
 			add("dev", e.Target)
 		case e.Kind == WeightFail || e.Kind == ThrottleReset:
 			add("cg", e.Target)
+		case e.Kind == NodeKill:
+			add("node", e.Target)
 		default:
 			add("name", e.Target)
 		}

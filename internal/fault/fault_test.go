@@ -258,3 +258,41 @@ func TestUnpaired(t *testing.T) {
 		t.Fatalf("unpaired after refit = %+v", got)
 	}
 }
+
+func TestNodeKillParseRoundTrip(t *testing.T) {
+	p, err := ParsePlan("node-kill@120:node=node3,dur=180")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := p.Events[0]
+	if e.Kind != NodeKill || e.Target != "node3" || e.At != 120 || e.Duration != 180 {
+		t.Fatalf("parsed %+v", e)
+	}
+	if got := p.String(); got != "node-kill@120:node=node3,dur=180" {
+		t.Fatalf("round trip: %q", got)
+	}
+	if _, err := ParsePlan("node-kill@120:node=node3"); err == nil {
+		t.Fatal("node-kill without dur should be rejected (windowed)")
+	}
+}
+
+func TestInjectorSkipsNodeKill(t *testing.T) {
+	node := container.NewNode("n")
+	eng := node.Engine()
+	node.MustAddDevice(device.HDD("hdd"))
+	rec := trace.New(64)
+	plan, err := ParsePlan("node-kill@10:node=node0,dur=60")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := NewInjector(node, rec, plan)
+	if err := in.Arm(); err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if in.Skipped() != 1 || in.Injected() != 0 {
+		t.Fatalf("skipped=%d injected=%d, want 1/0 (node kills are cluster-level)", in.Skipped(), in.Injected())
+	}
+}

@@ -128,6 +128,11 @@ func (in *Injector) fire(id int, e Event) {
 		in.fireThrottleReset(id, e)
 	case e.Kind == Join:
 		in.fireJoin(id, e)
+	case e.Kind == NodeKill:
+		// Node kills are cluster-level: internal/fleet interprets them at
+		// epoch barriers. A single-node injector has no fleet to act on.
+		in.skipped++
+		in.emit(trace.KindFault, "skip id=%d kind=node-kill node=%s (no cluster)", id, e.Target)
 	default: // Leave, PeriodChange
 		in.fireChurn(id, e)
 	}

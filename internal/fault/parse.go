@@ -105,6 +105,8 @@ func parseEvent(s string) (Event, error) {
 		ev.Target = str("dev")
 	case kind == WeightFail || kind == ThrottleReset:
 		ev.Target = str("cg")
+	case kind == NodeKill:
+		ev.Target = str("node")
 	default:
 		ev.Target = str("name")
 	}
@@ -173,7 +175,7 @@ func parseEvent(s string) (Event, error) {
 
 func allKindNames() string {
 	var names []string
-	for k := BWCollapse; k <= PeriodChange; k++ {
+	for k := BWCollapse; k <= NodeKill; k++ {
 		names = append(names, k.String())
 	}
 	return strings.Join(names, "|")

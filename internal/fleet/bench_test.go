@@ -1,0 +1,49 @@
+package fleet
+
+import (
+	"testing"
+
+	"tango/internal/objstore"
+	"tango/internal/sim"
+)
+
+// BenchmarkFleetEpoch measures one full cluster run at a small fixed
+// shape — the end-to-end cost of barriers + parallel windows.
+func BenchmarkFleetEpoch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c, err := New(Config{Nodes: 4, Sessions: 32, Seed: 7, Epochs: 4, WarmEpochs: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := c.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFleetPlace measures cluster construction with a large
+// session population — dominated by the heap placement pass and the
+// per-session cgroup/coordinator attach.
+func BenchmarkFleetPlace(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := New(Config{Nodes: 64, Sessions: 4096, Seed: 7}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkObjstoreReshare measures the shared-egress water-filling pass
+// across a large fleet — the per-barrier hot loop.
+func BenchmarkObjstoreReshare(b *testing.B) {
+	const n = 1024
+	s := objstore.New(objstore.Default(n))
+	demands := make([]float64, n)
+	for i := range demands {
+		s.Attach(sim.NewEngine())
+		demands[i] = float64(i%17) * 16 * 1024 * 1024
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Reshare(demands)
+	}
+}

@@ -1,0 +1,762 @@
+// Package fleet scales the single-node Tango stack to an N-node cluster
+// backed by a shared remote object store (internal/objstore). Each node
+// is a full single-node deployment — its own sim engine, local SSD (the
+// L2 ephemeral tier), blkio controller, weight coordinator, and
+// resilience control plane — and the cluster coordinator ties them
+// together with three barrier-time mechanisms:
+//
+//   - interference-aware placement: incoming (and rebalanced) sessions
+//     go to the node with the lowest predicted load, where the per-node
+//     L3 demand forecast reuses the DFT estimator the single-node
+//     controller uses for interference prediction;
+//   - fault rebalancing: fault.NodeKill events in the plan take nodes
+//     out of service at epoch barriers; their sessions restart cold on
+//     the survivors (ephemeral L2 does not outlive the node), and when
+//     the node revives, planned migrations move sessions back, draining
+//     dirty L2 state into the store and restoring it on the new node;
+//   - shared-egress shaping: the store's cluster-wide egress is water-
+//     filled across per-node demand forecasts every epoch, granting each
+//     node's store frontend a bandwidth share (device.SetShare).
+//
+// Time advances in epochs. Within an epoch, every node's engine runs its
+// window independently — internal/runpool executes the windows with any
+// worker width — and all cross-node state (placement, migration, egress
+// shares, ledger harvesting) mutates only at the sequential barrier
+// between windows, in node-index order. That split is the determinism
+// contract: same-seed runs are byte-identical at any -parallel width.
+//
+// A node killed mid-run abandons its engine wholesale: session steps
+// parked mid-transfer on its devices are never resumed (their goroutines
+// leak until process exit, bounded by kills × sessions-per-node), and a
+// revived node is rebuilt from scratch with an empty L2 — exactly the
+// semantics of losing the machine.
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"tango/internal/container"
+	"tango/internal/coordinator"
+	"tango/internal/device"
+	"tango/internal/dftestim"
+	"tango/internal/fault"
+	"tango/internal/objstore"
+	"tango/internal/resil"
+	"tango/internal/runpool"
+	"tango/internal/trace"
+)
+
+const mb = 1024 * 1024
+
+// Config sizes one cluster run.
+type Config struct {
+	Nodes    int   // simulated nodes (>= 1)
+	Sessions int   // sessions placed across the fleet (>= 1)
+	Seed     int64 // drives session parameter generation
+	// EpochSec is the epoch length in virtual seconds and every
+	// session's analysis period: one step per session per epoch
+	// (default 60, the paper's period).
+	EpochSec float64
+	// Epochs is the number of epochs to run (default 8).
+	Epochs int
+	// WarmEpochs are leading epochs excluded from violation counting and
+	// throughput summaries while L2 warms from the store (default 2).
+	WarmEpochs int
+	// Store overrides the object-store parameters (zero Name: sized by
+	// objstore.Default(Nodes)).
+	Store objstore.Params
+	// Plan is a fault plan. NodeKill events (target "node<i>") are
+	// interpreted by the cluster coordinator at epoch barriers; device
+	// faults are armed on every node's local devices; other kinds are
+	// ignored at fleet scope.
+	Plan *fault.Plan
+	// Trace receives barrier-time cluster events (KindPlace,
+	// KindMigrate, KindEgress, KindFault). Session steps do not emit —
+	// windows run in parallel and the recorder's lock order would not be
+	// deterministic. May be nil.
+	Trace *trace.Recorder
+}
+
+func (c Config) withDefaults() Config {
+	if c.Nodes == 0 {
+		c.Nodes = 1
+	}
+	if c.Sessions == 0 {
+		c.Sessions = c.Nodes * 10
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.EpochSec == 0 {
+		c.EpochSec = 60
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 8
+	}
+	if c.WarmEpochs == 0 {
+		c.WarmEpochs = 2
+	}
+	if c.Store.Name == "" {
+		c.Store = objstore.Default(c.Nodes)
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.Nodes < 1 || c.Sessions < 1 {
+		return fmt.Errorf("fleet: need at least one node and one session (%d/%d)", c.Nodes, c.Sessions)
+	}
+	if c.EpochSec <= 0 || c.Epochs < 1 || c.WarmEpochs < 0 || c.WarmEpochs >= c.Epochs {
+		return fmt.Errorf("fleet: bad epoch shape (len %g, %d epochs, %d warm)",
+			c.EpochSec, c.Epochs, c.WarmEpochs)
+	}
+	return nil
+}
+
+// Report is the outcome of one cluster run.
+type Report struct {
+	Nodes    int
+	Sessions int
+	Epochs   int
+
+	// EpochMBps is the aggregate delivered session throughput per epoch
+	// (MB/s, bytes counted at step completion).
+	EpochMBps []float64
+	// AggMBps is the mean over measured (post-warm) epochs.
+	AggMBps float64
+	// Violations counts session steps (post-warm) that exceeded the
+	// period; ViolNodes counts nodes with at least one.
+	Violations int
+	ViolNodes  int
+	// SkippedSteps counts steps not issued because the session's
+	// previous step was still in flight (overrun back-pressure).
+	SkippedSteps int
+	// Migrations counts session moves (cold restarts after a kill plus
+	// planned drain/restore moves); Kills counts nodes taken out.
+	Migrations int
+	Kills      int
+	// Store is the harvested object-store ledger; StoreCost its dollar
+	// cost.
+	Store     objstore.Stats
+	StoreCost float64
+	// RecoveryFrac compares mean post-first-kill throughput to the mean
+	// measured throughput before it (1 when the plan kills nothing).
+	RecoveryFrac float64
+}
+
+// TotalsLine renders the one-line cluster summary the CLIs print.
+func (r *Report) TotalsLine() string {
+	return fmt.Sprintf(
+		"cluster totals: %d nodes, %d sessions: agg %.1f MB/s, %d bound violations (%d nodes), %d migrations, %d kills, egress %s GB / ingress %s GB (%d reqs, $%.4f), recovery %.0f%%",
+		r.Nodes, r.Sessions, r.AggMBps, r.Violations, r.ViolNodes, r.Migrations, r.Kills,
+		objstore.FmtGB(r.Store.EgressBytes), objstore.FmtGB(r.Store.IngressBytes),
+		r.Store.Requests, r.StoreCost, 100*r.RecoveryFrac)
+}
+
+// node is one fleet member: a full single-node stack plus the cluster
+// coordinator's per-node bookkeeping. Killing the node drops the whole
+// struct's engine-bound state; revival rebuilds it.
+type node struct {
+	idx  int
+	name string
+
+	cn    *container.Node
+	ssd   *device.Device
+	rem   *objstore.Remote
+	alloc *coordinator.Allocator
+	rc    *resil.Controller
+	kObj  *resil.Key
+
+	est       *dftestim.Estimator
+	demandSum float64 // observed L3 bytes/s, summed over epochs
+	demandN   int
+
+	sessions []*session // owned sessions, id-sorted
+	load     float64    // Σ session step-cost (placement score term)
+
+	alive     bool
+	killUntil float64
+
+	// per-epoch accumulators; reset at each barrier. Written only from
+	// this node's engine context (the parallel window) or the barrier.
+	demandBytes float64 // bytes actually pulled from the store this epoch
+	stepBytes   float64 // session bytes delivered this epoch
+	viol        int
+	skips       int
+	weightErrs  int
+}
+
+// Cluster is an N-node fleet bound to one object store. Construct with
+// New, run with Run; a Cluster is single-use.
+type Cluster struct {
+	cfg   Config
+	store *objstore.Store
+	nodes []*node
+	sess  []*session
+	rec   *trace.Recorder
+
+	planApplied []bool // per plan event
+
+	kills      int
+	migrations int
+	skips      int
+	violTotal  int
+	epochMBps  []float64
+	killEpoch  int // first epoch with a kill; -1 = none
+
+	demandScratch []float64
+	heap          placer
+	// topoDirty is set when the alive set changes (kill, revive) and
+	// cleared once settle has fully rebalanced: in a steady no-fault run
+	// settle never fires and migrations stay at zero.
+	topoDirty bool
+}
+
+// New builds the cluster: the store, the nodes, and the session
+// population (parameters drawn seed-deterministically), and places every
+// session by predicted interference. It returns an error on a bad
+// config or plan.
+func New(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Plan != nil {
+		if err := cfg.Plan.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	c := &Cluster{
+		cfg:       cfg,
+		store:     objstore.New(cfg.Store),
+		rec:       cfg.Trace,
+		killEpoch: -1,
+	}
+	if cfg.Plan != nil {
+		c.planApplied = make([]bool, len(cfg.Plan.Events))
+	}
+	c.nodes = make([]*node, cfg.Nodes)
+	for i := range c.nodes {
+		c.nodes[i] = c.buildNode(i, true)
+	}
+	c.sess = genSessions(cfg.Sessions, cfg.Seed, cfg.EpochSec, cfg.Store.NodeBandwidth)
+	c.place(c.sess, 0, "arrival")
+	return c, nil
+}
+
+// buildNode constructs (or, with attach=false, rebuilds after a kill)
+// the engine-bound state of node i.
+func (c *Cluster) buildNode(i int, attach bool) *node {
+	nd := &node{idx: i, name: fmt.Sprintf("node%d", i), alive: true}
+	nd.cn = container.NewNode(nd.name)
+	nd.ssd = nd.cn.MustAddDevice(device.SSD("ssd"))
+	if attach {
+		nd.rem = c.store.Attach(nd.cn.Engine())
+	} else {
+		nd.rem = c.store.Detach(i, nd.cn.Engine())
+	}
+	nd.rc = resil.New(nd.cn.Engine(), resil.Options{})
+	nd.kObj = nd.rc.Key(resil.KeyFleetReadObjstore)
+	nd.alloc = coordinator.New()
+	nd.alloc.SetResil(nd.rc)
+	nd.est = dftestim.NewEstimator()
+	if c.cfg.Plan != nil && attach {
+		c.armDeviceFaults(nd)
+	}
+	return nd
+}
+
+// armDeviceFaults arms the plan's device-fault events on one node's
+// local devices (every node sees the same local-fault schedule; node
+// kills are handled by the cluster, everything else is skipped). Armed
+// once at construction — a revived node does not replay old faults.
+func (c *Cluster) armDeviceFaults(nd *node) {
+	var sub fault.Plan
+	for _, e := range c.cfg.Plan.Events {
+		if e.Kind.DeviceFault() && nd.cn.Device(e.Target) != nil {
+			sub.Events = append(sub.Events, e)
+		}
+	}
+	if len(sub.Events) == 0 {
+		return
+	}
+	inj := fault.NewInjector(nd.cn, nil, &sub)
+	if err := inj.Arm(); err != nil {
+		panic(err) // unreachable: targets checked above
+	}
+}
+
+// predictFrac forecasts the node's next-epoch store demand as a fraction
+// of its frontend bandwidth: the DFT forecast once fitted, the running
+// mean before that, and "everything" for a node with no history (cold
+// nodes want the largest share to warm up).
+func (nd *node) predictFrac(nodeBW float64) float64 {
+	switch {
+	case nd.est.Ready():
+		v := nd.est.PredictNext()
+		if v < 0 {
+			v = 0
+		}
+		return v / nodeBW
+	case nd.demandN > 0:
+		return nd.demandSum / float64(nd.demandN) / nodeBW
+	default:
+		return 1
+	}
+}
+
+// Run executes the configured epochs and returns the report. Single
+// use: a finished cluster holds drained engines.
+func (c *Cluster) Run() (*Report, error) {
+	cfg := c.cfg
+	nodeBW := cfg.Store.NodeBandwidth
+	for e := 0; e < cfg.Epochs; e++ {
+		t0 := float64(e) * cfg.EpochSec
+		end := t0 + cfg.EpochSec
+
+		// ---- barrier: cluster mutation, node-index order ----
+		c.applyPlan(e, t0)
+		if c.topoDirty {
+			c.settle(t0)
+		}
+		c.reshare(e, nodeBW)
+		measured := e >= cfg.WarmEpochs
+		for _, nd := range c.nodes {
+			if nd.alive {
+				c.scheduleSteps(nd, t0, measured)
+			}
+		}
+
+		// ---- parallel: per-node windows, any worker width ----
+		tasks := make([]*runpool.Task[error], 0, len(c.nodes))
+		for _, nd := range c.nodes {
+			if !nd.alive {
+				continue
+			}
+			eng := nd.cn.Engine()
+			tasks = append(tasks, runpool.Submit(nd.name, func() error {
+				return eng.Run(end)
+			}))
+		}
+		for _, t := range tasks {
+			if err := t.Wait(); err != nil {
+				return nil, err
+			}
+		}
+
+		// ---- barrier: harvest, node-index order ----
+		c.harvest(e)
+	}
+	return c.report(), nil
+}
+
+// applyPlan interprets the fault plan at the barrier opening epoch e:
+// kills whose time has come take their node out and restart its
+// sessions cold on the survivors; nodes whose kill window has closed
+// are rebuilt empty.
+func (c *Cluster) applyPlan(epoch int, t0 float64) {
+	if c.cfg.Plan == nil {
+		return
+	}
+	for i, ev := range c.cfg.Plan.Events {
+		if c.planApplied[i] || ev.Kind != fault.NodeKill || ev.At > t0 {
+			continue
+		}
+		c.planApplied[i] = true
+		idx, ok := nodeIndex(ev.Target)
+		if !ok || idx < 0 || idx >= len(c.nodes) || !c.nodes[idx].alive {
+			c.emit(t0, trace.KindFault, "skip node-kill node=%s (no such live node)", ev.Target)
+			continue
+		}
+		nd := c.nodes[idx]
+		nd.alive = false
+		nd.killUntil = ev.At + ev.Duration
+		c.kills++
+		c.topoDirty = true
+		if c.killEpoch < 0 {
+			c.killEpoch = epoch
+		}
+		orphans := nd.sessions
+		nd.sessions = nil
+		nd.load = 0
+		for _, s := range orphans {
+			// The node is gone: in-flight steps are abandoned with it,
+			// and the L2 working set is lost — the session restarts cold.
+			s.busy = false
+			s.resident = 0
+			s.restore = 0
+			s.node = -1
+			s.cg = nil
+			s.migrations++
+			c.migrations++
+		}
+		c.emit(t0, trace.KindFault, "node-kill node=%s sessions=%d until=%g", nd.name, len(orphans), nd.killUntil)
+		c.place(orphans, t0, "cold")
+	}
+	for i, nd := range c.nodes {
+		if !nd.alive && nd.killUntil <= t0 {
+			c.nodes[i] = c.buildNode(i, false)
+			c.topoDirty = true
+			c.emit(t0, trace.KindFault, "node-revive node=%s", c.nodes[i].name)
+		}
+	}
+}
+
+// nodeIndex parses a "node<i>" target.
+func nodeIndex(name string) (int, bool) {
+	var i int
+	if _, err := fmt.Sscanf(name, "node%d", &i); err != nil {
+		return 0, false
+	}
+	return i, true
+}
+
+// place assigns the given sessions (id order) to alive nodes by
+// predicted interference: each session goes to the node minimizing
+// forecast store-demand fraction plus the load already placed on it,
+// ties broken by node index. Heap-based, so placing the whole fleet's
+// session population is O(S log N).
+func (c *Cluster) place(list []*session, t float64, why string) {
+	if len(list) == 0 {
+		return
+	}
+	nodeBW := c.cfg.Store.NodeBandwidth
+	c.heap.reset(len(c.nodes))
+	for _, nd := range c.nodes {
+		if nd.alive {
+			c.heap.push(nd.idx, nd.predictFrac(nodeBW)+nd.load)
+		}
+	}
+	if c.heap.len() == 0 {
+		panic("fleet: no alive nodes to place on")
+	}
+	for _, s := range list {
+		idx, score := c.heap.pop()
+		nd := c.nodes[idx]
+		c.attach(nd, s)
+		c.heap.push(idx, score+s.cost)
+	}
+	for _, nd := range c.nodes {
+		sortSessions(nd.sessions)
+	}
+	c.emit(t, trace.KindPlace, "placed=%d reason=%s alive=%d", len(list), why, c.aliveCount())
+}
+
+// attach binds a session to a node: cgroup, coordinator weight, and the
+// ownership links placement and stepping run on.
+func (c *Cluster) attach(nd *node, s *session) {
+	s.node = nd.idx
+	cg := nd.cn.Cgroups().Lookup(s.name)
+	if cg == nil {
+		cg = nd.cn.Cgroups().MustCreate(s.name)
+	}
+	s.cg = cg
+	if err := nd.alloc.Attach(s.name, cg); err != nil {
+		panic(err) // unreachable: sessions detach before re-attaching
+	}
+	if _, err := nd.alloc.Request(s.name, s.weight); err != nil {
+		// A faulted weight write: the coordinator re-applies on the next
+		// rebalance; the session runs at its previous weight meanwhile.
+		nd.weightErrs++
+	}
+	nd.sessions = append(nd.sessions, s)
+	nd.load += s.cost
+}
+
+// detach unbinds a session from its current node (planned migrations
+// only — killed nodes drop their whole allocator).
+func (c *Cluster) detach(nd *node, s *session) {
+	nd.alloc.Detach(s.name)
+	kept := nd.sessions[:0]
+	for _, o := range nd.sessions {
+		if o != s {
+			kept = append(kept, o)
+		}
+	}
+	nd.sessions = kept
+	nd.load -= s.cost
+	s.node = -1
+	s.cg = nil
+}
+
+// settle rebalances session counts across alive nodes at a barrier:
+// when the spread between the most and least loaded nodes exceeds one
+// session (a revived node coming back empty, survivors overloaded after
+// a kill), sessions migrate from the top to the bottom through the
+// object store — dirty L2 state drains into the store at the source and
+// the moved working set is restored from the store on the destination's
+// L2 before its next step. Busy sessions (mid-step) do not move. In
+// steady state the spread stays within one and nothing migrates.
+func (c *Cluster) settle(t float64) {
+	alive := c.aliveCount()
+	if alive < 2 {
+		return
+	}
+	total := 0
+	for _, nd := range c.nodes {
+		if nd.alive {
+			total += len(nd.sessions)
+		}
+	}
+	target := (total + alive - 1) / alive
+	moved, drained, restored := 0, 0.0, 0.0
+	blocked := false
+	for {
+		var src, dst *node
+		for _, nd := range c.nodes { // index order: deterministic ties
+			if !nd.alive {
+				continue
+			}
+			if src == nil || len(nd.sessions) > len(src.sessions) {
+				src = nd
+			}
+			if dst == nil || len(nd.sessions) < len(dst.sessions) {
+				dst = nd
+			}
+		}
+		if src == nil || dst == nil || src == dst ||
+			len(src.sessions)-len(dst.sessions) <= 1 || len(src.sessions) <= target {
+			break
+		}
+		// Highest-id idle session moves (newest work is cheapest to
+		// shift; busy steps pin their session to the engine running it).
+		var s *session
+		for i := len(src.sessions) - 1; i >= 0; i-- {
+			if !src.sessions[i].busy {
+				s = src.sessions[i]
+				break
+			}
+		}
+		if s == nil {
+			// Every candidate on the most loaded node is mid-step; try
+			// again at the next barrier.
+			blocked = true
+			break
+		}
+		// Drain: dirty fraction of the resident set flushes store-side.
+		// Restore: the moved working set re-fetches from the store on
+		// the destination before the session's next step.
+		drain := s.resident * s.dirtyFrac
+		src.rem.AccountPut(drain)
+		drained += drain
+		s.restore += s.resident
+		restored += s.resident
+		s.resident = 0
+		c.detach(src, s)
+		c.attach(dst, s)
+		s.migrations++
+		c.migrations++
+		moved++
+	}
+	c.topoDirty = blocked
+	if moved > 0 {
+		for _, nd := range c.nodes {
+			sortSessions(nd.sessions)
+		}
+		c.emit(t, trace.KindMigrate, "moved=%d drained=%.0fMB restore=%.0fMB target=%d",
+			moved, drained/mb, restored/mb, target)
+	}
+}
+
+// reshare water-fills the store's shared egress across per-node demand
+// forecasts (with 25% headroom) and emits the grant summary.
+func (c *Cluster) reshare(epoch int, nodeBW float64) {
+	if cap(c.demandScratch) < len(c.nodes) {
+		c.demandScratch = make([]float64, len(c.nodes))
+	}
+	demands := c.demandScratch[:len(c.nodes)]
+	for i, nd := range c.nodes {
+		if !nd.alive {
+			demands[i] = 0
+			continue
+		}
+		demands[i] = nd.predictFrac(nodeBW) * nodeBW * 1.25
+	}
+	grants := c.store.Reshare(demands)
+	lo, hi := grants[0], grants[0]
+	for _, g := range grants[1:] {
+		if g < lo {
+			lo = g
+		}
+		if g > hi {
+			hi = g
+		}
+	}
+	c.emit(float64(epoch)*c.cfg.EpochSec, trace.KindEgress,
+		"epoch=%d grants MB/s min=%.1f max=%.1f total=%.1f", epoch, lo/mb, hi/mb, c.cfg.Store.TotalEgress/mb)
+}
+
+// harvest folds per-node epoch accumulators into the cluster totals at
+// the closing barrier, observes each node's store demand into its DFT
+// estimator, and drains the store ledgers — all in node-index order.
+func (c *Cluster) harvest(epoch int) {
+	var bytes float64
+	for _, nd := range c.nodes {
+		if !nd.alive {
+			continue
+		}
+		obs := nd.demandBytes / c.cfg.EpochSec
+		nd.est.Observe(obs)
+		nd.demandSum += obs
+		nd.demandN++
+		if !nd.est.Ready() && nd.est.Samples() >= 4 {
+			if err := nd.est.Fit(); err != nil {
+				panic(err) // unreachable: sample count checked
+			}
+		}
+		bytes += nd.stepBytes
+		c.violTotal += nd.viol
+		c.skips += nd.skips
+		nd.demandBytes, nd.stepBytes, nd.skips = 0, 0, 0
+	}
+	c.epochMBps = append(c.epochMBps, bytes/c.cfg.EpochSec/mb)
+	c.store.Harvest()
+}
+
+// report finalizes the run summary.
+func (c *Cluster) report() *Report {
+	cfg := c.cfg
+	r := &Report{
+		Nodes:        cfg.Nodes,
+		Sessions:     cfg.Sessions,
+		Epochs:       cfg.Epochs,
+		EpochMBps:    c.epochMBps,
+		Violations:   c.violTotal,
+		SkippedSteps: c.skips,
+		Migrations:   c.migrations,
+		Kills:        c.kills,
+		Store:        c.store.Totals(),
+		StoreCost:    c.store.Cost(),
+		RecoveryFrac: 1,
+	}
+	for _, nd := range c.nodes {
+		if nd.viol > 0 {
+			r.ViolNodes++
+		}
+	}
+	mean := func(xs []float64) float64 {
+		if len(xs) == 0 {
+			return 0
+		}
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	r.AggMBps = mean(c.epochMBps[cfg.WarmEpochs:])
+	if c.killEpoch >= 0 {
+		pre := c.epochMBps[cfg.WarmEpochs:c.killEpoch]
+		post := c.epochMBps[c.killEpoch:]
+		if len(pre) > 0 && len(post) > 0 && mean(pre) > 0 {
+			r.RecoveryFrac = mean(post) / mean(pre)
+		}
+	}
+	return r
+}
+
+func (c *Cluster) aliveCount() int {
+	n := 0
+	for _, nd := range c.nodes {
+		if nd.alive {
+			n++
+		}
+	}
+	return n
+}
+
+func (c *Cluster) emit(t float64, kind, format string, args ...any) {
+	c.rec.Emit(t, "fleet", kind, format, args...)
+}
+
+func sortSessions(ss []*session) {
+	sort.Slice(ss, func(i, j int) bool { return ss[i].id < ss[j].id })
+}
+
+// placer is a tiny binary min-heap over (node index, score), ties broken
+// by lowest index — the deterministic placement queue. Scratch slices
+// are reused across barriers.
+type placer struct {
+	idx   []int
+	score []float64 // by heap position, parallel to idx
+}
+
+func (h *placer) reset(capHint int) {
+	if cap(h.idx) < capHint {
+		h.idx = make([]int, 0, capHint)
+		h.score = make([]float64, 0, capHint)
+	}
+	h.idx = h.idx[:0]
+	h.score = h.score[:0]
+}
+
+func (h *placer) len() int { return len(h.idx) }
+
+func (h *placer) less(a, b int) bool {
+	if h.score[a] != h.score[b] {
+		return h.score[a] < h.score[b]
+	}
+	return h.idx[a] < h.idx[b]
+}
+
+func (h *placer) swap(a, b int) {
+	h.idx[a], h.idx[b] = h.idx[b], h.idx[a]
+	h.score[a], h.score[b] = h.score[b], h.score[a]
+}
+
+//tango:hotpath
+func (h *placer) push(idx int, score float64) {
+	h.idx = append(h.idx, idx)
+	h.score = append(h.score, score)
+	i := len(h.idx) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+//tango:hotpath
+func (h *placer) pop() (int, float64) {
+	idx, score := h.idx[0], h.score[0]
+	last := len(h.idx) - 1
+	h.swap(0, last)
+	h.idx = h.idx[:last]
+	h.score = h.score[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && h.less(l, small) {
+			small = l
+		}
+		if r < last && h.less(r, small) {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		h.swap(i, small)
+		i = small
+	}
+	return idx, score
+}
+
+// Describe renders a short per-node table (first max rows) for the CLI.
+func (c *Cluster) Describe(max int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %-6s %9s %10s\n", "node", "alive", "sessions", "load")
+	for i, nd := range c.nodes {
+		if i >= max {
+			fmt.Fprintf(&b, "... (%d more nodes)\n", len(c.nodes)-max)
+			break
+		}
+		fmt.Fprintf(&b, "%-8s %-6t %9d %10.4f\n", nd.name, nd.alive, len(nd.sessions), nd.load)
+	}
+	return b.String()
+}

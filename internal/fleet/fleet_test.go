@@ -1,0 +1,201 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+
+	"tango/internal/fault"
+	"tango/internal/runpool"
+	"tango/internal/trace"
+)
+
+func TestSingleNodeSmoke(t *testing.T) {
+	c, err := New(Config{Nodes: 1, Sessions: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AggMBps <= 0 {
+		t.Fatalf("no throughput: %+v", r)
+	}
+	if r.Kills != 0 || r.Migrations != 0 {
+		t.Fatalf("single quiet node killed/migrated: %+v", r)
+	}
+	if r.Store.EgressBytes <= 0 {
+		t.Fatal("sessions must warm from the store")
+	}
+	if r.RecoveryFrac != 1 {
+		t.Fatalf("recovery %v without a kill", r.RecoveryFrac)
+	}
+}
+
+func TestNoFaultZeroViolationsZeroMigrations(t *testing.T) {
+	c, err := New(Config{Nodes: 4, Sessions: 40, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Violations != 0 || r.ViolNodes != 0 {
+		t.Fatalf("quiet fleet violated bounds: %+v", r)
+	}
+	if r.Migrations != 0 {
+		t.Fatalf("quiet fleet migrated %d sessions", r.Migrations)
+	}
+	if r.SkippedSteps != 0 {
+		t.Fatalf("quiet fleet skipped %d steps", r.SkippedSteps)
+	}
+	// Every session steps once per epoch: aggregate epoch throughput must
+	// be flat once warm (cold epochs pay the store fetch but still
+	// complete the same step bytes; summation order varies per epoch, so
+	// compare to float tolerance, not bitwise).
+	for e := 1; e < len(r.EpochMBps); e++ {
+		if d := r.EpochMBps[e] - r.EpochMBps[0]; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("epoch throughput drifted: %v", r.EpochMBps)
+		}
+	}
+}
+
+func TestPlacementSpreadsSessions(t *testing.T) {
+	c, err := New(Config{Nodes: 8, Sessions: 64, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, nd := range c.nodes {
+		if len(nd.sessions) == 0 {
+			t.Fatalf("node %s got no sessions", nd.name)
+		}
+	}
+	// Cost-based placement: per-node load (frontend fraction) stays
+	// within a factor of 2 of the mean.
+	var total float64
+	for _, nd := range c.nodes {
+		total += nd.load
+	}
+	mean := total / float64(len(c.nodes))
+	for _, nd := range c.nodes {
+		if nd.load > 2*mean {
+			t.Fatalf("node %s overloaded: %.4f vs mean %.4f", nd.name, nd.load, mean)
+		}
+	}
+}
+
+func killPlan(t *testing.T, spec string) *fault.Plan {
+	t.Helper()
+	p, err := fault.ParsePlan(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNodeKillRebalanceAndRecovery(t *testing.T) {
+	rec := trace.New(4096)
+	cfg := Config{
+		Nodes: 4, Sessions: 32, Seed: 11,
+		Plan:  killPlan(t, "node-kill@240:node=node1,dur=120"),
+		Trace: rec,
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Kills != 1 {
+		t.Fatalf("kills %d", r.Kills)
+	}
+	// The killed node's sessions restart cold on survivors, then migrate
+	// back after revival: both count as migrations.
+	if r.Migrations < 8 {
+		t.Fatalf("expected orphan restarts plus settle-back, got %d migrations", r.Migrations)
+	}
+	if r.RecoveryFrac < 0.8 {
+		t.Fatalf("fleet recovered only %.0f%% of pre-kill throughput", 100*r.RecoveryFrac)
+	}
+	// The revived node must be repopulated by the end.
+	if got := len(c.nodes[1].sessions); got == 0 {
+		t.Fatal("revived node never repopulated")
+	}
+	kinds := map[string]int{}
+	for _, ev := range rec.Events() {
+		kinds[ev.Kind]++
+	}
+	if kinds[trace.KindPlace] == 0 || kinds[trace.KindMigrate] == 0 ||
+		kinds[trace.KindEgress] == 0 || kinds[trace.KindFault] < 2 {
+		t.Fatalf("missing barrier events: %v", kinds)
+	}
+	// Migration traffic must show up in the store ledger as ingress.
+	if r.Store.IngressBytes <= 0 {
+		t.Fatal("migration drains must write to the store")
+	}
+}
+
+func TestKillUnknownNodeSkips(t *testing.T) {
+	c, err := New(Config{Nodes: 2, Sessions: 4, Seed: 5,
+		Plan: killPlan(t, "node-kill@60:node=node9,dur=60")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Kills != 0 || r.Migrations != 0 {
+		t.Fatalf("unknown target must be a no-op: %+v", r)
+	}
+}
+
+func TestDeviceFaultArmsOnNodes(t *testing.T) {
+	// A local SSD bandwidth collapse on every node: throughput holds (the
+	// store path dominates cold epochs) and nothing crashes.
+	c, err := New(Config{Nodes: 2, Sessions: 8, Seed: 9,
+		Plan: killPlan(t, "bw-collapse@70:dev=ssd,factor=0.25,dur=30")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// runReport runs one fixed faulted config at the given worker width and
+// returns the report plus the trace event stream.
+func runReport(t *testing.T, workers int) (*Report, []trace.Event) {
+	t.Helper()
+	prev := runpool.Workers()
+	runpool.SetWorkers(workers)
+	defer runpool.SetWorkers(prev)
+	rec := trace.New(8192)
+	c, err := New(Config{
+		Nodes: 5, Sessions: 30, Seed: 17,
+		Plan:  killPlan(t, "node-kill@240:node=node2,dur=120"),
+		Trace: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, rec.Events()
+}
+
+func TestClusterDeterministicAcrossWorkerWidths(t *testing.T) {
+	r1, ev1 := runReport(t, 1)
+	r4, ev4 := runReport(t, 4)
+	if !reflect.DeepEqual(r1, r4) {
+		t.Fatalf("reports diverge across worker widths:\n%+v\n%+v", r1, r4)
+	}
+	if !reflect.DeepEqual(ev1, ev4) {
+		t.Fatalf("trace streams diverge: %d vs %d events", len(ev1), len(ev4))
+	}
+}

@@ -1,0 +1,150 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+
+	"tango/internal/blkio"
+	"tango/internal/sim"
+)
+
+// session is one tenant workload placed somewhere on the fleet: a
+// periodic analysis step that reads its working set — from local L2 when
+// resident, from the object store (through the resilience-guarded
+// fleet.read.objstore key) when not — and writes back a dirty fraction.
+// Parameters are drawn once, seed-deterministically, at cluster
+// construction; placement decides which node's engine runs the steps.
+type session struct {
+	id       int
+	name     string
+	priority int // {1, 5, 10}: weight = 100×priority
+
+	workingSet float64 // bytes the session's analysis touches
+	stepRead   float64 // bytes one step reads (≤ workingSet)
+	dirtyFrac  float64 // fraction of a step written back to L2
+	phase      float64 // step offset within the epoch (seconds)
+	weight     int
+	// cost is the placement score increment: the fraction of one node
+	// frontend this session's steady-state demand occupies.
+	cost float64
+
+	// Mutable state. Owned by the session's current node: mutated either
+	// from that node's engine context (step procs) or at a barrier while
+	// the session is idle — never both at once (busy pins it).
+	node     int // current node index, -1 while unplaced
+	cg       *blkio.Cgroup
+	resident float64 // bytes warm on the current node's L2
+	restore  float64 // bytes to re-fetch from the store before stepping
+	busy     bool    // a step proc is in flight
+
+	steps      int
+	bytes      float64
+	migrations int
+}
+
+// genSessions draws the session population. The generator is the only
+// randomness in the fleet, fully determined by the seed.
+func genSessions(n int, seed int64, epochSec, nodeBW float64) []*session {
+	rng := rand.New(rand.NewSource(seed))
+	prios := [3]int{1, 5, 10}
+	out := make([]*session, n)
+	for i := range out {
+		ws := (16 + rng.Float64()*16) * mb
+		step := (4 + rng.Float64()*8) * mb
+		if step > ws {
+			step = ws
+		}
+		s := &session{
+			id:         i,
+			name:       fmt.Sprintf("sess%d", i),
+			priority:   prios[rng.Intn(3)],
+			workingSet: ws,
+			stepRead:   step,
+			dirtyFrac:  0.05 + rng.Float64()*0.15,
+			phase:      rng.Float64() * epochSec * 0.5,
+			node:       -1,
+		}
+		s.weight = 100 * s.priority
+		s.cost = step / epochSec / nodeBW
+		out[i] = s
+	}
+	return out
+}
+
+// scheduleSteps arms this epoch's step for every idle session on the
+// node. A session whose previous step is still in flight (an overrun:
+// the step crossed one or more epoch boundaries) skips this period —
+// back-pressure instead of pile-up, and the overrun itself is already
+// counted as a bound violation when it completes.
+func (c *Cluster) scheduleSteps(nd *node, t0 float64, measured bool) {
+	eng := nd.cn.Engine()
+	epochSec := c.cfg.EpochSec
+	for _, s := range nd.sessions {
+		if s.busy {
+			nd.skips++
+			continue
+		}
+		s.busy = true
+		s := s
+		eng.At(t0+s.phase, func() {
+			eng.Spawn(s.name, func(p *sim.Proc) {
+				nd.step(p, s, epochSec, measured)
+			})
+		})
+	}
+}
+
+// step runs one analysis period on the session's node:
+//
+//  1. restore — a planned migration left the working set store-side;
+//     re-fetch it through the frontend and admit it to L2;
+//  2. read — the resident fraction of the step comes from local L2, the
+//     rest is a store miss (guarded by fleet.read.objstore) admitted to
+//     L2 on the way in;
+//  3. writeback — the dirty fraction of the step flushes to L2.
+//
+// Steps run entirely inside the node's engine window; the only
+// cluster-visible effects are the Remote's traffic ledger and the
+// node's epoch accumulators, both harvested at the next barrier.
+func (nd *node) step(p *sim.Proc, s *session, epochSec float64, measured bool) {
+	start := p.Now()
+	if s.restore > 0 {
+		res := nd.kObj.Read(p, nd.rem.Device(), s.cg, s.restore)
+		nd.rem.AccountGet(res.Moved)
+		nd.demandBytes += res.Moved
+		if res.Moved > 0 {
+			nd.ssd.Write(p, s.cg, res.Moved)
+			s.resident += res.Moved
+			if s.resident > s.workingSet {
+				s.resident = s.workingSet
+			}
+		}
+		s.restore = 0
+	}
+	hit := s.stepRead * (s.resident / s.workingSet)
+	if hit > 0 {
+		nd.ssd.Read(p, s.cg, hit)
+	}
+	if miss := s.stepRead - hit; miss > 0 {
+		res := nd.kObj.Read(p, nd.rem.Device(), s.cg, miss)
+		nd.rem.AccountGet(res.Moved)
+		nd.demandBytes += res.Moved
+		if res.Moved > 0 {
+			nd.ssd.Write(p, s.cg, res.Moved)
+			s.resident += res.Moved
+			if s.resident > s.workingSet {
+				s.resident = s.workingSet
+			}
+		}
+	}
+	if dirty := s.stepRead * s.dirtyFrac; dirty > 0 {
+		nd.ssd.Write(p, s.cg, dirty)
+	}
+	if elapsed := p.Now() - start; elapsed > epochSec && measured {
+		nd.viol++
+	}
+	nd.stepBytes += s.stepRead
+	s.steps++
+	s.bytes += s.stepRead
+	s.busy = false
+}

@@ -41,6 +41,10 @@ type Config struct {
 	// period). The grid is staged at the payload scale that reaches
 	// this size; see staging.StageScaled.
 	DatasetMB float64
+	// FleetScale multiplies the fleet experiment's canonical sweep
+	// (10→1000 nodes, 100→100k sessions). Default 1; tests and quick
+	// runs use small fractions (e.g. 0.02). Other experiments ignore it.
+	FleetScale float64
 	// FaultPlan, when non-nil, is armed on every scenario the
 	// experiment builds: each run replays the same virtual-time fault
 	// schedule (see internal/fault and the chaos experiment). Events
@@ -65,6 +69,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.DatasetMB == 0 {
 		c.DatasetMB = 2048
+	}
+	if c.FleetScale == 0 {
+		c.FleetScale = 1
 	}
 	return c
 }
@@ -176,6 +183,7 @@ func Experiments() []Experiment {
 		{"chaos", "Extension: fault injection and cross-layer recovery", Chaos},
 		{"prefetch", "Extension: predictive fast-tier cache + prefetcher", Prefetch},
 		{"resil", "Extension: resilience control plane (retries, breakers, hedging)", Resil},
+		{"fleet", "Extension: fleet-scale cluster with object-store capacity tier", Fleet},
 	}
 }
 

@@ -65,6 +65,7 @@ type Options struct {
 var DefaultSimPackages = []string{
 	"sim", "device", "core", "coordinator", "harness", "dftestim", "weightfn",
 	"fault", "staging", "cache", "resil", "runpool", "refactor", "errmetric",
+	"fleet", "objstore",
 }
 
 // DefaultParPackages are the package names parhygiene audits: every
@@ -76,6 +77,7 @@ var DefaultParPackages = []string{
 	"sim", "device", "core", "coordinator", "harness", "dftestim", "weightfn",
 	"fault", "staging", "cache", "resil", "par", "runpool", "refactor", "trace",
 	"workload", "analytics", "lint", "main",
+	"fleet", "objstore",
 }
 
 type reportFunc func(pos token.Pos, format string, args ...any)

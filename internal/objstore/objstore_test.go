@@ -1,0 +1,163 @@
+package objstore
+
+import (
+	"math"
+	"testing"
+
+	"tango/internal/blkio"
+	"tango/internal/sim"
+)
+
+func TestDefaultOversubscribed(t *testing.T) {
+	p := Default(100)
+	if p.TotalEgress >= p.NodeBandwidth*100 {
+		t.Fatalf("total egress %.0f should be oversubscribed vs %d node frontends of %.0f",
+			p.TotalEgress, 100, p.NodeBandwidth)
+	}
+	if got := Default(1); got.TotalEgress < got.NodeBandwidth {
+		t.Fatalf("single-node store must cover one frontend: %.0f < %.0f",
+			got.TotalEgress, got.NodeBandwidth)
+	}
+}
+
+func TestReshareWaterFilling(t *testing.T) {
+	p := Default(4)
+	p.NodeBandwidth = 100 * mb
+	p.TotalEgress = 160 * mb
+	s := New(p)
+	for i := 0; i < 4; i++ {
+		s.Attach(sim.NewEngine())
+	}
+	// Demands: one small, one medium, two saturating. The small ones are
+	// fully satisfied; the leftovers split evenly between the big two.
+	grants := s.Reshare([]float64{10 * mb, 30 * mb, 500 * mb, 500 * mb})
+	if grants[0] != 10*mb || grants[1] != 30*mb {
+		t.Fatalf("small demands must be met exactly: %v", grants)
+	}
+	want := (160.0 - 10 - 30) / 2 * mb
+	if math.Abs(grants[2]-want) > 1 || math.Abs(grants[3]-want) > 1 {
+		t.Fatalf("big demands should split the residual (%f each): %v", want, grants)
+	}
+	var sum float64
+	for _, g := range grants {
+		sum += g
+	}
+	if sum > p.TotalEgress+1 {
+		t.Fatalf("granted %.0f exceeds total egress %.0f", sum, p.TotalEgress)
+	}
+}
+
+func TestReshareFloorAndCap(t *testing.T) {
+	p := Default(2)
+	p.NodeBandwidth = 100 * mb
+	p.TotalEgress = 400 * mb
+	s := New(p)
+	r0 := s.Attach(sim.NewEngine())
+	r1 := s.Attach(sim.NewEngine())
+	grants := s.Reshare([]float64{0, 1e12})
+	if grants[0] != mb { // 1% floor of 100 MB/s
+		t.Fatalf("zero demand should get the 1%% floor, got %.0f", grants[0])
+	}
+	if grants[1] != 100*mb {
+		t.Fatalf("huge demand must cap at the frontend: %.0f", grants[1])
+	}
+	if r0.Granted() != grants[0] || r1.Granted() != grants[1] {
+		t.Fatalf("Granted mismatch: %v vs %v/%v", grants, r0.Granted(), r1.Granted())
+	}
+}
+
+func TestReshareDeterministic(t *testing.T) {
+	run := func() []float64 {
+		s := New(Default(8))
+		demands := make([]float64, 8)
+		for i := range demands {
+			s.Attach(sim.NewEngine())
+			demands[i] = float64(i*37%11) * 13 * mb
+		}
+		g := s.Reshare(demands)
+		out := make([]float64, len(g))
+		copy(out, g)
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("grant %d drifted: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRemoteTransferAndHarvest(t *testing.T) {
+	eng := sim.NewEngine()
+	s := New(Default(1))
+	r := s.Attach(eng)
+	cg := blkio.NewCgroup("sess0")
+	var elapsed float64
+	eng.Spawn("get", func(p *sim.Proc) {
+		elapsed = r.Device().Read(p, cg, 100*mb)
+		r.AccountGet(100 * mb)
+		r.Device().Write(p, cg, 10*mb)
+		r.AccountPut(10 * mb)
+	})
+	if err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	// 100 MB at 200 MB/s plus 30 ms request latency.
+	want := 100.0/200.0 + 0.030
+	if math.Abs(elapsed-want) > 1e-6 {
+		t.Fatalf("GET elapsed %.4f, want %.4f", elapsed, want)
+	}
+	if p := r.Pending(); p.EgressBytes != 100*mb || p.IngressBytes != 10*mb || p.Requests != 2 {
+		t.Fatalf("pending ledger %+v", p)
+	}
+	s.Harvest()
+	if r.Pending() != (Stats{}) {
+		t.Fatal("harvest must drain the local ledger")
+	}
+	tot := s.Totals()
+	if tot.EgressBytes != 100*mb || tot.IngressBytes != 10*mb || tot.Requests != 2 {
+		t.Fatalf("totals %+v", tot)
+	}
+	if c := s.Cost(); c <= 0 {
+		t.Fatalf("cost %.6f", c)
+	}
+}
+
+func TestReshareSlowsTransfers(t *testing.T) {
+	eng := sim.NewEngine()
+	p := Default(2)
+	s := New(p)
+	r := s.Attach(eng)
+	s.Attach(sim.NewEngine())
+	// Grant this node 25% of its frontend.
+	s.Reshare([]float64{50 * mb, 1e12})
+	cg := blkio.NewCgroup("sess0")
+	var elapsed float64
+	eng.Spawn("get", func(pr *sim.Proc) {
+		elapsed, _ = r.Device().TryRead(pr, cg, 50*mb)
+	})
+	if err := eng.RunAll(); err != nil {
+		t.Fatal(err)
+	}
+	want := 50.0/50.0 + 0.030 // granted 50 MB/s of the 200 MB/s frontend
+	if math.Abs(elapsed-want) > 1e-6 {
+		t.Fatalf("throttled GET elapsed %.4f, want %.4f", elapsed, want)
+	}
+}
+
+func TestDetachPreservesLedger(t *testing.T) {
+	s := New(Default(2))
+	r0 := s.Attach(sim.NewEngine())
+	s.Attach(sim.NewEngine())
+	r0.AccountPut(5 * mb)
+	fresh := s.Detach(0, sim.NewEngine())
+	if fresh.Index() != 0 {
+		t.Fatalf("fresh remote index %d", fresh.Index())
+	}
+	if s.Totals().IngressBytes != 5*mb {
+		t.Fatalf("detach must harvest the old remote: %+v", s.Totals())
+	}
+	if fresh.Device().Share() != 1 {
+		t.Fatalf("fresh frontend share %v", fresh.Device().Share())
+	}
+}

@@ -23,6 +23,7 @@ func TestRegisteredKeysAreStable(t *testing.T) {
 		"coord.weight.apply",
 		"prefetch.weight.floor",
 		"prefetch.stage",
+		"fleet.read.objstore",
 	}
 	c := New(sim.NewEngine(), Options{})
 	if got := c.Keys(); !reflect.DeepEqual(got, golden) {
@@ -34,6 +35,7 @@ func TestRegisteredKeysAreStable(t *testing.T) {
 		KeyStagingReadBase, KeyStagingReadCapacity, KeyStagingReadOptional,
 		KeyStagingReadHedge, KeyStagingProbe, KeyWeightApply,
 		KeyCoordWeightApply, KeyPrefetchWeightFloor, KeyPrefetchStage,
+		KeyFleetReadObjstore,
 	}
 	if !reflect.DeepEqual(consts, golden) {
 		t.Fatalf("key constants drifted from the golden list:\n got  %q\n want %q", consts, golden)
@@ -55,7 +57,7 @@ func TestCatalogPolicyShape(t *testing.T) {
 	}
 	// Mandatory read keys: unbounded, no per-attempt timeout (cancelling
 	// a stalled-but-progressing flow would discard its progress).
-	for _, name := range []string{KeyStagingReadBase, KeyStagingReadCapacity} {
+	for _, name := range []string{KeyStagingReadBase, KeyStagingReadCapacity, KeyFleetReadObjstore} {
 		pol := c.Key(name).Policy()
 		if pol.MaxAttempts != 0 || pol.TimeoutMinBW != 0 {
 			t.Errorf("%s: mandatory key must be unbounded with no timeout: %+v", name, pol)

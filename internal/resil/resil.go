@@ -117,6 +117,7 @@ const (
 	KeyCoordWeightApply    = "coord.weight.apply"     // coordinator grant/revert weight writes
 	KeyPrefetchWeightFloor = "prefetch.weight.floor"  // prefetcher re-asserting its low-priority floor
 	KeyPrefetchStage       = "prefetch.stage"         // background staging read into the fast tier
+	KeyFleetReadObjstore   = "fleet.read.objstore"    // mandatory L3 object-store miss read (unbounded)
 )
 
 // Policy is the declarative resilience contract for one key.
@@ -186,6 +187,8 @@ func Catalog() []Policy {
 			TimeoutFloor: 5, TimeoutMinBW: 2 * mb,
 			Classify: ClassifyRead, BudgetCap: 8, BudgetRefill: 0.1,
 			BreakerThreshold: 4, BreakerCooldown: 20},
+		{Key: KeyFleetReadObjstore, MaxAttempts: 0, Backoff: 0.05, Factor: 2, MaxBackoff: 5,
+			Classify: ClassifyRead, BudgetCap: 32, BudgetRefill: 0.5},
 	}
 }
 

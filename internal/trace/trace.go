@@ -35,6 +35,11 @@ const (
 	KindBreaker = "breaker" // a circuit breaker opened, half-opened, or closed
 	KindHedge   = "hedge"   // a hedged read launched or resolved (winner + loser)
 	KindBudget  = "budget"  // the retry budget denied or paced an attempt
+
+	// Fleet-scale cluster events (internal/fleet + internal/objstore).
+	KindPlace   = "place"   // a session placed on a node by the cluster coordinator
+	KindMigrate = "migrate" // a session drained/restored through the object store
+	KindEgress  = "egress"  // the shared-egress water-filling regranted node shares
 )
 
 // Event is one recorded occurrence at virtual time T.

@@ -114,3 +114,62 @@ func TestConcurrentEmit(t *testing.T) {
 		t.Fatalf("len = %d", r.Len())
 	}
 }
+
+// TestKindValuesPinned pins the string value of every Kind constant.
+// Recorded traces are replayed by value (trace-replay interferers, fault
+// pairing, dashboards), so renaming a constant's value would silently
+// break every consumer of an already-recorded trace. Adding a kind means
+// adding a row here; changing a value must fail this test.
+func TestKindValuesPinned(t *testing.T) {
+	pinned := map[string]string{
+		"KindStep":       KindStep,
+		"KindWeight":     KindWeight,
+		"KindBucket":     KindBucket,
+		"KindRefit":      KindRefit,
+		"KindFault":      KindFault,
+		"KindRecover":    KindRecover,
+		"KindCacheHit":   KindCacheHit,
+		"KindCacheMiss":  KindCacheMiss,
+		"KindCacheEvict": KindCacheEvict,
+		"KindPrefetch":   KindPrefetch,
+		"KindAttempt":    KindAttempt,
+		"KindBreaker":    KindBreaker,
+		"KindHedge":      KindHedge,
+		"KindBudget":     KindBudget,
+		"KindPlace":      KindPlace,
+		"KindMigrate":    KindMigrate,
+		"KindEgress":     KindEgress,
+	}
+	want := map[string]string{
+		"KindStep":       "step",
+		"KindWeight":     "weight",
+		"KindBucket":     "bucket",
+		"KindRefit":      "refit",
+		"KindFault":      "fault",
+		"KindRecover":    "recover",
+		"KindCacheHit":   "cache-hit",
+		"KindCacheMiss":  "cache-miss",
+		"KindCacheEvict": "cache-evict",
+		"KindPrefetch":   "prefetch",
+		"KindAttempt":    "attempt",
+		"KindBreaker":    "breaker",
+		"KindHedge":      "hedge",
+		"KindBudget":     "budget",
+		"KindPlace":      "place",
+		"KindMigrate":    "migrate",
+		"KindEgress":     "egress",
+	}
+	for name, got := range pinned {
+		if got != want[name] {
+			t.Errorf("%s = %q, want %q (pinned; recorded traces replay by value)", name, got, want[name])
+		}
+	}
+	// Distinctness: two kinds sharing a value would merge in filters.
+	seen := make(map[string]string, len(pinned))
+	for name, v := range pinned {
+		if prev, dup := seen[v]; dup {
+			t.Errorf("kinds %s and %s share value %q", prev, name, v)
+		}
+		seen[v] = name
+	}
+}

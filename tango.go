@@ -52,6 +52,8 @@ import (
 	"tango/internal/device"
 	"tango/internal/errmetric"
 	"tango/internal/fault"
+	"tango/internal/fleet"
+	"tango/internal/objstore"
 	"tango/internal/refactor"
 	"tango/internal/resil"
 	"tango/internal/sim"
@@ -367,3 +369,27 @@ var (
 	CFDApp     = analytics.CFDApp
 	Apps       = analytics.Apps
 )
+
+// ---- Fleet ------------------------------------------------------------------
+
+// FleetConfig sizes one multi-node cluster run over a shared object
+// store (see internal/fleet and docs/fleet.md).
+type FleetConfig = fleet.Config
+
+// FleetReport is the outcome of one cluster run.
+type FleetReport = fleet.Report
+
+// Fleet is an N-node cluster of full single-node Tango stacks over a
+// shared remote object-store capacity tier.
+type Fleet = fleet.Cluster
+
+// ObjstoreParams describes the shared object store backing a fleet.
+type ObjstoreParams = objstore.Params
+
+// DefaultObjstore returns object-store parameters sized for n nodes.
+func DefaultObjstore(n int) ObjstoreParams { return objstore.Default(n) }
+
+// NewFleet builds a cluster: the object store, the per-node stacks, and
+// the seed-deterministic session population, placed by predicted
+// interference.
+func NewFleet(cfg FleetConfig) (*Fleet, error) { return fleet.New(cfg) }
