@@ -62,7 +62,9 @@ type Config struct {
 	// Epochs is the number of epochs to run (default 8).
 	Epochs int
 	// WarmEpochs are leading epochs excluded from violation counting and
-	// throughput summaries while L2 warms from the store (default 2).
+	// throughput summaries while L2 warms from the store. Zero means the
+	// default (2, clamped to Epochs-1 on short runs); a negative value
+	// means no warm epochs at all.
 	WarmEpochs int
 	// Store overrides the object-store parameters (zero Name: sized by
 	// objstore.Default(Nodes)).
@@ -95,8 +97,14 @@ func (c Config) withDefaults() Config {
 	if c.Epochs == 0 {
 		c.Epochs = 8
 	}
-	if c.WarmEpochs == 0 {
+	switch {
+	case c.WarmEpochs < 0:
+		c.WarmEpochs = 0
+	case c.WarmEpochs == 0:
 		c.WarmEpochs = 2
+		if c.WarmEpochs >= c.Epochs {
+			c.WarmEpochs = c.Epochs - 1
+		}
 	}
 	if c.Store.Name == "" {
 		c.Store = objstore.Default(c.Nodes)
@@ -203,6 +211,7 @@ type Cluster struct {
 	migrations int
 	skips      int
 	violTotal  int
+	violByNode []int // cumulative per node index; survives node rebuilds
 	epochMBps  []float64
 	killEpoch  int // first epoch with a kill; -1 = none
 
@@ -229,10 +238,11 @@ func New(cfg Config) (*Cluster, error) {
 		}
 	}
 	c := &Cluster{
-		cfg:       cfg,
-		store:     objstore.New(cfg.Store),
-		rec:       cfg.Trace,
-		killEpoch: -1,
+		cfg:        cfg,
+		store:      objstore.New(cfg.Store),
+		rec:        cfg.Trace,
+		killEpoch:  -1,
+		violByNode: make([]int, cfg.Nodes),
 	}
 	if cfg.Plan != nil {
 		c.planApplied = make([]bool, len(cfg.Plan.Events))
@@ -569,20 +579,25 @@ func (c *Cluster) reshare(epoch int, nodeBW float64) {
 	demands := c.demandScratch[:len(c.nodes)]
 	for i, nd := range c.nodes {
 		if !nd.alive {
-			demands[i] = 0
+			demands[i] = -1 // out of service: no grant, frontend untouched
 			continue
 		}
 		demands[i] = nd.predictFrac(nodeBW) * nodeBW * 1.25
 	}
 	grants := c.store.Reshare(demands)
-	lo, hi := grants[0], grants[0]
-	for _, g := range grants[1:] {
-		if g < lo {
+	lo, hi := 0.0, 0.0
+	first := true
+	for i, g := range grants {
+		if demands[i] < 0 {
+			continue
+		}
+		if first || g < lo {
 			lo = g
 		}
-		if g > hi {
+		if first || g > hi {
 			hi = g
 		}
+		first = false
 	}
 	c.emit(float64(epoch)*c.cfg.EpochSec, trace.KindEgress,
 		"epoch=%d grants MB/s min=%.1f max=%.1f total=%.1f", epoch, lo/mb, hi/mb, c.cfg.Store.TotalEgress/mb)
@@ -608,8 +623,9 @@ func (c *Cluster) harvest(epoch int) {
 		}
 		bytes += nd.stepBytes
 		c.violTotal += nd.viol
+		c.violByNode[nd.idx] += nd.viol
 		c.skips += nd.skips
-		nd.demandBytes, nd.stepBytes, nd.skips = 0, 0, 0
+		nd.demandBytes, nd.stepBytes, nd.viol, nd.skips = 0, 0, 0, 0
 	}
 	c.epochMBps = append(c.epochMBps, bytes/c.cfg.EpochSec/mb)
 	c.store.Harvest()
@@ -631,8 +647,8 @@ func (c *Cluster) report() *Report {
 		StoreCost:    c.store.Cost(),
 		RecoveryFrac: 1,
 	}
-	for _, nd := range c.nodes {
-		if nd.viol > 0 {
+	for _, v := range c.violByNode {
+		if v > 0 {
 			r.ViolNodes++
 		}
 	}
@@ -647,7 +663,9 @@ func (c *Cluster) report() *Report {
 		return s / float64(len(xs))
 	}
 	r.AggMBps = mean(c.epochMBps[cfg.WarmEpochs:])
-	if c.killEpoch >= 0 {
+	if c.killEpoch > cfg.WarmEpochs {
+		// A kill at or before the warm-up boundary leaves no measured
+		// pre-kill baseline; RecoveryFrac stays at its default 1.
 		pre := c.epochMBps[cfg.WarmEpochs:c.killEpoch]
 		post := c.epochMBps[c.killEpoch:]
 		if len(pre) > 0 && len(post) > 0 && mean(pre) > 0 {

@@ -138,6 +138,79 @@ func TestNodeKillRebalanceAndRecovery(t *testing.T) {
 	}
 }
 
+func TestKillDuringWarmupNoPanic(t *testing.T) {
+	// A kill landing at or before the warm-up boundary used to slice
+	// epochMBps[WarmEpochs:killEpoch] with low > high and panic; there is
+	// no measured pre-kill baseline, so recovery must default to 1.
+	c, err := New(Config{Nodes: 3, Sessions: 9, Seed: 13,
+		Plan: killPlan(t, "node-kill@0:node=node1,dur=120")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Kills != 1 {
+		t.Fatalf("kills %d", r.Kills)
+	}
+	if r.RecoveryFrac != 1 {
+		t.Fatalf("no measured pre-kill baseline: recovery must default to 1, got %v", r.RecoveryFrac)
+	}
+}
+
+func TestHarvestCountsViolationsOnce(t *testing.T) {
+	// viol is a per-epoch accumulator: a violation harvested in epoch k
+	// must not be re-counted at every later barrier.
+	c, err := New(Config{Nodes: 2, Sessions: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.nodes[1].viol = 1
+	c.harvest(0)
+	c.harvest(1)
+	if c.violTotal != 1 {
+		t.Fatalf("violation recounted across epochs: total %d", c.violTotal)
+	}
+	if c.nodes[1].viol != 0 {
+		t.Fatal("harvest must reset the per-epoch violation accumulator")
+	}
+	r := c.report()
+	if r.Violations != 1 || r.ViolNodes != 1 {
+		t.Fatalf("report %d violations on %d nodes, want 1 on 1", r.Violations, r.ViolNodes)
+	}
+}
+
+func TestShortRunsAndZeroWarmup(t *testing.T) {
+	// Epochs <= 2 with the default warm-up must construct (the default
+	// clamps to Epochs-1)...
+	c, err := New(Config{Nodes: 1, Sessions: 2, Seed: 1, Epochs: 2})
+	if err != nil {
+		t.Fatalf("Epochs=2 with default warm-up must construct: %v", err)
+	}
+	if c.cfg.WarmEpochs != 1 {
+		t.Fatalf("warm epochs should clamp to Epochs-1, got %d", c.cfg.WarmEpochs)
+	}
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// ...and a negative WarmEpochs means no warm epochs at all.
+	c2, err := New(Config{Nodes: 1, Sessions: 2, Seed: 1, Epochs: 1, WarmEpochs: -1})
+	if err != nil {
+		t.Fatalf("WarmEpochs=-1 must mean zero warm epochs: %v", err)
+	}
+	if c2.cfg.WarmEpochs != 0 {
+		t.Fatalf("WarmEpochs -1 should resolve to 0, got %d", c2.cfg.WarmEpochs)
+	}
+	r, err := c2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.AggMBps <= 0 {
+		t.Fatalf("single unwarmed epoch must still measure throughput: %+v", r)
+	}
+}
+
 func TestKillUnknownNodeSkips(t *testing.T) {
 	c, err := New(Config{Nodes: 2, Sessions: 4, Seed: 5,
 		Plan: killPlan(t, "node-kill@60:node=node9,dur=60")})

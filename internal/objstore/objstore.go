@@ -180,10 +180,14 @@ func (s *Store) Harvest() {
 
 // Reshare water-fills the shared egress across per-node demands
 // (bytes/s, indexed like the remotes) and applies the resulting share to
-// every node's frontend device. A node's grant is capped by its frontend
-// (NodeBandwidth); capped or zero-demand nodes release their excess to
-// the others. Nodes always keep a small floor (1% of the frontend) so a
-// mispredicted-demand node can still trickle-fetch and re-observe. The
+// every node's frontend device. A negative demand marks a node that is
+// out of service: it is granted nothing and its frontend (an abandoned
+// engine's device) is left untouched. Every in-service node first
+// reserves a small floor (1% of the frontend, paid for out of the shared
+// link before water-filling) so a mispredicted-demand node can still
+// trickle-fetch and re-observe; a node's total grant is capped by its
+// frontend (NodeBandwidth), and capped or low-demand nodes release their
+// excess to the others. The sum of grants never exceeds TotalEgress. The
 // returned slice (valid until the next call) holds the granted bytes/s
 // per node. Barrier context only: the float operation order — node
 // index order within each round — is part of the determinism contract.
@@ -198,17 +202,38 @@ func (s *Store) Reshare(demands []float64) []float64 {
 	for i := 0; i < n; i++ {
 		s.grants = append(s.grants, 0)
 	}
-	// Round-based water-filling over the shared link: each round splits
-	// the remaining egress equally among still-unsatisfied nodes; nodes
+	// Reserve the floor for every in-service node up front — deducted
+	// from the shared link, so floors can never oversubscribe it. If the
+	// link cannot cover even the floors, the floor shrinks to an even
+	// split (SetShare rejects 0, so keep it strictly positive).
+	live := 0
+	for i := 0; i < n; i++ {
+		if demands[i] >= 0 {
+			live++
+		}
+	}
+	if live == 0 {
+		return s.grants
+	}
+	floor := 0.01 * s.p.NodeBandwidth
+	if floor*float64(live) > s.p.TotalEgress {
+		floor = s.p.TotalEgress / float64(live)
+	}
+	remaining := s.p.TotalEgress - floor*float64(live)
+	// Round-based water-filling of the rest: each round splits the
+	// remaining egress equally among still-unsatisfied nodes; nodes
 	// whose (headroom-padded) demand or frontend cap sits below the fair
 	// share are granted exactly that and leave the round, releasing the
 	// excess. Mirrors the cgroup water-filling in internal/device.
 	cur := s.active[:0]
 	for i := 0; i < n; i++ {
+		if demands[i] < 0 {
+			continue
+		}
+		s.grants[i] = floor
 		cur = append(cur, i)
 	}
 	nxt := s.next[:0]
-	remaining := s.p.TotalEgress
 	for len(cur) > 0 && remaining > 1e-9 {
 		fair := remaining / float64(len(cur))
 		granted := false
@@ -218,8 +243,12 @@ func (s *Store) Reshare(demands []float64) []float64 {
 			if want > s.p.NodeBandwidth {
 				want = s.p.NodeBandwidth
 			}
+			want -= floor // already granted up front
+			if want < 0 {
+				want = 0
+			}
 			if want <= fair {
-				s.grants[i] = want
+				s.grants[i] += want
 				remaining -= want
 				granted = true
 			} else {
@@ -229,7 +258,7 @@ func (s *Store) Reshare(demands []float64) []float64 {
 		if !granted {
 			// Everyone left wants at least the fair share: split evenly.
 			for _, i := range cur {
-				s.grants[i] = fair
+				s.grants[i] += fair
 			}
 			remaining = 0
 			nxt = nxt[:0]
@@ -237,14 +266,11 @@ func (s *Store) Reshare(demands []float64) []float64 {
 		cur, nxt = nxt, cur
 	}
 	s.active, s.next = cur[:0], nxt[:0]
-	// Apply as frontend shares with a 1% floor (SetShare rejects 0, and
-	// a starved node must still be able to probe its own demand).
 	for i, r := range s.remotes {
-		frac := s.grants[i] / s.p.NodeBandwidth
-		if frac < 0.01 {
-			frac = 0.01
-			s.grants[i] = 0.01 * s.p.NodeBandwidth
+		if demands[i] < 0 {
+			continue // out of service: leave the abandoned frontend alone
 		}
+		frac := s.grants[i] / s.p.NodeBandwidth
 		if frac > 1 {
 			frac = 1
 			s.grants[i] = s.p.NodeBandwidth

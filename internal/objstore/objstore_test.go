@@ -66,6 +66,55 @@ func TestReshareFloorAndCap(t *testing.T) {
 	}
 }
 
+func TestReshareFloorNeverOversubscribes(t *testing.T) {
+	// Floors are paid for out of the shared link before water-filling:
+	// even when every node is starved and the link cannot cover the
+	// nominal 1% floors, the grants shrink to an even split instead of
+	// exceeding TotalEgress.
+	p := Default(20)
+	p.NodeBandwidth = 100 * mb
+	p.TotalEgress = 10 * mb // 20 nominal 1% floors would be 20 MB/s
+	s := New(p)
+	demands := make([]float64, 20)
+	for range demands {
+		s.Attach(sim.NewEngine())
+	}
+	grants := s.Reshare(demands)
+	var sum float64
+	for i, g := range grants {
+		if g <= 0 {
+			t.Fatalf("in-service node %d granted %v, want a positive floor", i, g)
+		}
+		sum += g
+	}
+	if sum > p.TotalEgress+1 {
+		t.Fatalf("floors oversubscribe the link: granted %.0f of %.0f", sum, p.TotalEgress)
+	}
+}
+
+func TestReshareSkipsOutOfServiceNodes(t *testing.T) {
+	p := Default(2)
+	p.NodeBandwidth = 100 * mb
+	p.TotalEgress = 100 * mb
+	s := New(p)
+	r0 := s.Attach(sim.NewEngine())
+	s.Attach(sim.NewEngine())
+	s.Reshare([]float64{30 * mb, 30 * mb})
+	before := r0.Device().Share()
+	// Negative demand marks node 0 out of service: no grant, no floor,
+	// and its (abandoned) frontend device is left untouched.
+	grants := s.Reshare([]float64{-1, 1e12})
+	if grants[0] != 0 {
+		t.Fatalf("out-of-service node granted %v", grants[0])
+	}
+	if got := r0.Device().Share(); got != before {
+		t.Fatalf("out-of-service frontend touched: share %v -> %v", before, got)
+	}
+	if grants[1] != 100*mb {
+		t.Fatalf("survivor should absorb the whole link up to its frontend: %v", grants[1])
+	}
+}
+
 func TestReshareDeterministic(t *testing.T) {
 	run := func() []float64 {
 		s := New(Default(8))
