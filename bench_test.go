@@ -7,15 +7,18 @@ package tango_test
 // algorithms follow.
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
 	"tango"
 	"tango/internal/blkio"
+	"tango/internal/coordinator"
 	"tango/internal/device"
 	"tango/internal/dftestim"
 	"tango/internal/harness"
 	"tango/internal/sim"
+	"tango/internal/tokenctl"
 )
 
 // benchCfg is the reduced-scale configuration for figure benchmarks.
@@ -230,3 +233,70 @@ func BenchmarkSessionStepCrossLayer(b *testing.B) {
 }
 
 func BenchmarkExtBlobTracking(b *testing.B) { runExperiment(b, "tracking") }
+
+// benchCoordinatorRequest measures one Request/grant cycle on a hot
+// session while n other sessions stay attached and active: the
+// incremental max-desired tracking must keep the per-op cost flat in n
+// (the seed allocator re-scanned and re-granted every session per call).
+func benchCoordinatorRequest(b *testing.B, n int) {
+	a := coordinator.New()
+	for i := 0; i < n; i++ {
+		name := fmt.Sprintf("s%d", i)
+		if err := a.Attach(name, blkio.NewCgroup(name)); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := a.Request(name, 200+(i%5)*100); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Request("s0", 150+(i%4)*50); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCoordinatorRequest1k(b *testing.B)   { benchCoordinatorRequest(b, 1_000) }
+func BenchmarkCoordinatorRequest10k(b *testing.B)  { benchCoordinatorRequest(b, 10_000) }
+func BenchmarkCoordinatorRequest100k(b *testing.B) { benchCoordinatorRequest(b, 100_000) }
+
+// BenchmarkTokenTakeBorrow measures the decentralized arm's steady-state
+// Request cycle: a mid-window desire escalation that drains the
+// session's own bucket and borrows the shortfall from idle peers. The
+// whole cycle must stay allocation-free — it runs inside every
+// session's control step.
+func BenchmarkTokenTakeBorrow(b *testing.B) {
+	now := 0.0
+	c := tokenctl.New(func() float64 { return now }, tokenctl.Options{})
+	var bk *tokenctl.Bucket
+	for i := 0; i < 16; i++ {
+		name := fmt.Sprintf("t%d", i)
+		tb, err := c.Attach(name, blkio.NewCgroup(name))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			bk = tb // the borrower; the rest stay idle and lendable
+		}
+	}
+	for i := 0; i < 64; i++ { // reach ledger steady state before timing
+		now += 7
+		c.Request(bk, 300+(i%7)*100)
+		c.Request(bk, 1000)
+		c.Release(bk)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += 7
+		c.Request(bk, 300+(i%7)*100)
+		c.Request(bk, 1000)
+		c.Release(bk)
+	}
+	b.StopTimer()
+	if c.Stats().Borrows == 0 {
+		b.Fatal("benchmark never exercised the borrow path")
+	}
+}

@@ -38,11 +38,18 @@ func main() {
 		nodes    = flag.Int("nodes", 1, "fleet mode: simulate this many nodes over a shared object store (docs/fleet.md)")
 		sessions = flag.Int("sessions", 0, "fleet mode: session count (default 10 per node)")
 		objstore = flag.Bool("objstore", false, "fleet mode even with -nodes 1: back the node with the object-store capacity tier")
+		control  = flag.String("control", "central", "weight-control mode: central|tokens|hybrid (docs/tokens.md)")
 	)
 	flag.Parse()
 
+	mode, err := cliutil.ParseControl(*control)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tangosim:", err)
+		os.Exit(2)
+	}
+
 	if *nodes > 1 || *objstore {
-		runFleet(*nodes, *sessions, *seed, *faults, *traceOut, *verbose)
+		runFleet(*nodes, *sessions, *seed, mode, *faults, *traceOut, *verbose)
 		return
 	}
 
@@ -155,6 +162,18 @@ func main() {
 		cfg.ErrorControl = true
 		cfg.Bound = *bound
 	}
+	// -control tokens|hybrid swaps the weight path onto per-session token
+	// buckets; central keeps the direct cgroup writes (the single-session
+	// run needs no coordinator).
+	var tokens *tango.TokenController
+	if mode != tango.ModeCentral {
+		var topts tango.TokenOptions
+		if mode == tango.ModeHybrid {
+			topts.EpochSec = 300
+		}
+		tokens = tango.NewTokenController(node.Engine().Now, topts)
+		cfg.Tokens = tokens
+	}
 	sess, err := tango.NewSession(app.Name, store, cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "tangosim:", err)
@@ -209,6 +228,11 @@ func main() {
 			tot.Degraded, tot.BreakerOpens, tot.Hedges, tot.HedgeFastWins,
 			tot.HedgeSlowWins, tot.WastedBytes/(1024*1024))
 	}
+	if tokens != nil {
+		ts := tokens.Stats()
+		fmt.Printf("tokens (%s): %d weight writes, %d borrows, %d repays, %d recalls\n",
+			mode, ts.Writes, ts.Borrows, ts.Repays, ts.Recalls)
+	}
 	if injector != nil {
 		retries := 0
 		for _, st := range sess.Stats() {
@@ -230,7 +254,7 @@ func main() {
 // fleet of single-node stacks over a shared object store, with optional
 // node-kill fault plans, printing per-epoch aggregate throughput and the
 // cluster totals line.
-func runFleet(nodes, sessions int, seed int64, faults string, traceOut, verbose bool) {
+func runFleet(nodes, sessions int, seed int64, mode tango.ControlMode, faults string, traceOut, verbose bool) {
 	var plan *tango.FaultPlan
 	if faults != "" {
 		var err error
@@ -247,6 +271,7 @@ func runFleet(nodes, sessions int, seed int64, faults string, traceOut, verbose 
 		Seed:     seed,
 		Plan:     plan,
 		Trace:    rec,
+		Control:  mode,
 	}
 	c, err := tango.NewFleet(cfg)
 	if err != nil {
@@ -257,7 +282,7 @@ func runFleet(nodes, sessions int, seed int64, faults string, traceOut, verbose 
 		sessions = nodes * 10
 	}
 	store := tango.DefaultObjstore(nodes)
-	fmt.Printf("fleet: %d nodes, %d sessions, seed %d\n", nodes, sessions, seed)
+	fmt.Printf("fleet: %d nodes, %d sessions, seed %d, %s control\n", nodes, sessions, seed, mode)
 	fmt.Printf("objstore: %.0f MB/s per-node frontend, %.0f MB/s shared egress, %.0f ms/request\n",
 		store.NodeBandwidth/(1<<20), store.TotalEgress/(1<<20), 1000*store.RequestLatency)
 	if plan != nil {
@@ -285,4 +310,8 @@ func runFleet(nodes, sessions int, seed int64, faults string, traceOut, verbose 
 		}
 	}
 	fmt.Println(rep.TotalsLine())
+	if mode != tango.ModeCentral {
+		fmt.Printf("tokens: %d weight writes, %d borrows, %d repays, %d recalls\n",
+			rep.Tokens.Writes, rep.Tokens.Borrows, rep.Tokens.Repays, rep.Tokens.Recalls)
+	}
 }

@@ -259,6 +259,34 @@ func TestFleetExperimentByteMatch(t *testing.T) {
 	}
 }
 
+// TestTokensExperimentByteMatch pins the token-control contract: the
+// whole `-exp tokens` sweep — nine single-node arms (three control
+// modes through quiet, mass weight-fail, and chaos plans) plus three
+// fleet arms under node-kill — must render byte-identically at runpool
+// worker width 1 and 4. Every borrow, repayment, and recall happens
+// inside one node's engine-serialized window, so the ledger is exactly
+// as reproducible as the weight timeline it funds.
+func TestTokensExperimentByteMatch(t *testing.T) {
+	run := func(workers int) []byte {
+		prev := runpool.Workers()
+		runpool.SetWorkers(workers)
+		defer runpool.SetWorkers(prev)
+		r := harness.Tokens(harness.Config{
+			GridN: 65, Seed: 7, Steps: 40, SkipWarmup: 30, DatasetMB: 256,
+		})
+		return []byte(r.String())
+	}
+	a, b := run(1), run(4)
+	if !bytes.Equal(a, b) {
+		for i := range a {
+			if i >= len(b) || a[i] != b[i] {
+				t.Fatalf("tokens runs diverge across worker widths at output byte %d of %d/%d:\n%s", i, len(a), len(b), a)
+			}
+		}
+		t.Fatalf("tokens runs produced %d and %d bytes across worker widths", len(a), len(b))
+	}
+}
+
 // TestFleetFaultedByteMatch repeats the width sweep with an explicit
 // node-kill plan on the faulted arm: kill/rebalance/revive/settle-back
 // all happen at barriers, so the fault path must be exactly as

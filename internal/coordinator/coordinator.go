@@ -9,6 +9,14 @@
 // while mutual ratios — and hence priority differentiation — are
 // preserved exactly.
 //
+// The rescale is incremental: the allocator maintains a count of active
+// sessions per desired weight, so the scale (the max active desired) is
+// known without a sweep, and a Request/Release that does not move the
+// scale touches only the one session whose grant changed. The full
+// sweep runs only when the scale itself moves or a faulted weight write
+// is waiting to be re-applied. Grants land through a reusable scratch
+// slice — the steady-state hot path performs no allocation.
+//
 // This is an extension beyond the paper, which evaluates one analytics
 // container per node but motivates the multi-analytics scenario.
 package coordinator
@@ -23,23 +31,42 @@ import (
 )
 
 // Allocator coordinates the weights of registered sessions. It is safe
-// for use from a single simulation engine (its mutex additionally allows
-// multi-engine tests to share one instance, though that is not the
-// intended deployment).
+// for use from a single simulation engine (its mutexes additionally
+// allow multi-engine tests to share one instance, though that is not
+// the intended deployment). Lock order: applyMu, then mu. applyMu
+// serializes whole operations so the grant scratch can be reused;
+// weight writes happen with mu released (they notify device
+// subscribers).
 type Allocator struct {
+	applyMu sync.Mutex // serializes Request/Release/Detach end to end
 	mu      sync.Mutex
-	names   []string          // guarded by mu (insertion order: keeps rebalancing deterministic)
+	list    []*entry          // guarded by mu (insertion order: keeps rebalancing deterministic)
 	entries map[string]*entry // guarded by mu
 	rec     *trace.Recorder   // guarded by mu
 	now     func() float64    // guarded by mu
 	kApply  *resil.Key        // guarded by mu (coord.weight.apply; nil = legacy path)
+
+	active      int                        // guarded by mu: sessions between Request and Release
+	pendingAct  int                        // guarded by mu: active entries with a failed write to retry
+	desireCount [blkio.MaxWeight + 1]int32 // guarded by mu: active sessions per desired weight
+	maxDesired  int                        // guarded by mu: largest active desired (the scale)
+	lastMax     int                        // guarded by mu: scale the current grants were computed at
+	targets     []target                   // guarded by applyMu: reusable write scratch
 }
 
 type entry struct {
+	name    string
 	cg      *blkio.Cgroup
 	desired int
+	grant   int // the weight last successfully written by the allocator
 	active  bool
 	pending bool // last weight write failed; force a re-apply next time
+}
+
+type target struct {
+	e       *entry
+	w       int
+	pending bool
 }
 
 // New returns an empty allocator.
@@ -54,8 +81,9 @@ func (a *Allocator) Attach(name string, cg *blkio.Cgroup) error {
 	if _, ok := a.entries[name]; ok {
 		return fmt.Errorf("coordinator: session %q already attached", name)
 	}
-	a.entries[name] = &entry{cg: cg}
-	a.names = append(a.names, name)
+	e := &entry{name: name, cg: cg, grant: cg.Weight()}
+	a.entries[name] = e
+	a.list = append(a.list, e)
 	return nil
 }
 
@@ -109,155 +137,241 @@ func (a *Allocator) emit(format string, args ...any) {
 	rec.Emit(t, "allocator", trace.KindRecover, format, args...)
 }
 
-// Detach removes a session: its weight reverts to the default and the
-// remaining active sessions rebalance (without this, the largest
-// departing desired weight would keep the survivors' grants scaled down
-// against interferers until their next Request).
-func (a *Allocator) Detach(name string) {
-	a.mu.Lock()
-	e, ok := a.entries[name]
-	delete(a.entries, name)
-	for i, n := range a.names {
-		if n == name {
-			a.names = append(a.names[:i], a.names[i+1:]...)
-			break
+// setPendingLocked flips the entry's pending flag, keeping the count of
+// active pending entries (the sweep trigger) in step.
+//
+//tango:hotpath
+func (a *Allocator) setPendingLocked(e *entry, v bool) {
+	if e.pending == v {
+		return
+	}
+	e.pending = v
+	if e.active {
+		if v {
+			a.pendingAct++
+		} else {
+			a.pendingAct--
 		}
 	}
-	grants := a.rebalanceLocked()
-	a.mu.Unlock()
-	if ok {
-		a.revert(name, e.cg)
-	}
-	a.apply(grants)
 }
 
-// revert returns a departing or released session's cgroup to the
-// default weight, tolerating injected weight-write faults: the failure
-// is recorded and, while the session stays attached, the next rebalance
-// re-applies.
-func (a *Allocator) revert(name string, cg *blkio.Cgroup) {
-	landed := a.setWeight(cg, blkio.DefaultWeight)
-	a.mu.Lock()
-	legacy := a.kApply == nil
-	if e, ok := a.entries[name]; ok {
-		e.pending = !landed
+// countAddLocked registers an active desired weight in the scale index.
+//
+//tango:hotpath
+func (a *Allocator) countAddLocked(d int) {
+	a.desireCount[d]++
+	if d > a.maxDesired {
+		a.maxDesired = d
 	}
-	a.mu.Unlock()
-	if !landed && legacy {
-		a.emit("weight revert failed for %s: tolerated, cgroup keeps w=%d", name, cg.Weight())
+}
+
+// countRemoveLocked drops an active desired weight from the scale
+// index. The downward rescan is bounded by the weight range, not the
+// session count.
+//
+//tango:hotpath
+func (a *Allocator) countRemoveLocked(d int) {
+	a.desireCount[d]--
+	if d != a.maxDesired || a.desireCount[d] > 0 {
+		return
 	}
+	m := a.maxDesired
+	for m >= blkio.MinWeight && a.desireCount[m] == 0 {
+		m--
+	}
+	if m < blkio.MinWeight {
+		m = 0
+	}
+	a.maxDesired = m
+}
+
+// rebalanceLocked queues the weight writes this operation requires into
+// the targets scratch (in attach order, like the full-sweep original).
+// If the scale is unchanged and no faulted write awaits retry, only the
+// touched entry is considered — O(1); the sweep runs only when the
+// scale moved (every active grant changes) or a pending write must be
+// retried.
+//
+//tango:hotpath
+func (a *Allocator) rebalanceLocked(touched *entry) {
+	a.targets = a.targets[:0]
+	max := a.maxDesired
+	scaleMoved := max != a.lastMax
+	a.lastMax = max
+	if max == 0 {
+		return
+	}
+	if !scaleMoved && a.pendingAct == 0 {
+		if touched == nil || !touched.active {
+			return
+		}
+		g := blkio.ClampWeight(touched.desired * blkio.MaxWeight / max)
+		if g != touched.grant || touched.pending {
+			a.targets = append(a.targets, target{touched, g, touched.pending})
+		}
+		return
+	}
+	for _, e := range a.list {
+		if !e.active {
+			continue
+		}
+		g := blkio.ClampWeight(e.desired * blkio.MaxWeight / max)
+		if g != e.grant || e.pending {
+			a.targets = append(a.targets, target{e, g, e.pending})
+		}
+	}
+}
+
+// grantLocked is the rescaled weight the entry holds at the current
+// scale.
+//
+//tango:hotpath
+func (a *Allocator) grantLocked(e *entry) int {
+	return blkio.ClampWeight(e.desired * blkio.MaxWeight / a.maxDesired)
 }
 
 // Request declares that the named session wants the given desired weight
-// for its current retrieval, and rebalances every active session. It
-// returns the granted weight.
+// for its current retrieval, and rebalances every active session whose
+// grant that moves. It returns the granted weight.
 func (a *Allocator) Request(name string, desired int) (int, error) {
+	a.applyMu.Lock()
+	defer a.applyMu.Unlock()
 	a.mu.Lock()
 	e, ok := a.entries[name]
 	if !ok {
 		a.mu.Unlock()
 		return 0, fmt.Errorf("coordinator: session %q not attached", name)
 	}
+	if e.active {
+		a.countRemoveLocked(e.desired)
+	} else {
+		a.active++
+		if e.pending {
+			a.pendingAct++
+		}
+	}
 	e.desired = blkio.ClampWeight(desired)
 	e.active = true
-	grants := a.rebalanceLocked()
+	a.countAddLocked(e.desired)
+	a.rebalanceLocked(e)
+	granted := a.grantLocked(e)
 	a.mu.Unlock()
-	a.apply(grants)
-	return grants[name], nil
+	a.applyLocked()
+	return granted, nil
 }
 
 // Release marks the session's retrieval finished: its weight reverts to
 // the default and the remaining active sessions rebalance.
 func (a *Allocator) Release(name string) {
+	a.applyMu.Lock()
+	defer a.applyMu.Unlock()
+	a.mu.Lock()
+	e, ok := a.entries[name]
+	if ok && e.active {
+		a.countRemoveLocked(e.desired)
+		a.active--
+		if e.pending {
+			a.pendingAct--
+		}
+		e.active = false
+	}
+	a.rebalanceLocked(nil)
+	a.mu.Unlock()
+	if ok {
+		a.revert(e, true)
+	}
+	a.applyLocked()
+}
+
+// Detach removes a session: its weight reverts to the default and the
+// remaining active sessions rebalance (without this, the largest
+// departing desired weight would keep the survivors' grants scaled down
+// against interferers until their next Request).
+func (a *Allocator) Detach(name string) {
+	a.applyMu.Lock()
+	defer a.applyMu.Unlock()
 	a.mu.Lock()
 	e, ok := a.entries[name]
 	if ok {
-		e.active = false
+		delete(a.entries, name)
+		for i, x := range a.list {
+			if x == e {
+				a.list = append(a.list[:i], a.list[i+1:]...)
+				break
+			}
+		}
+		if e.active {
+			a.countRemoveLocked(e.desired)
+			a.active--
+			if e.pending {
+				a.pendingAct--
+			}
+			e.active = false
+		}
 	}
-	grants := a.rebalanceLocked()
-	cg := (*blkio.Cgroup)(nil)
+	a.rebalanceLocked(nil)
+	a.mu.Unlock()
 	if ok {
-		cg = e.cg
+		a.revert(e, false)
 	}
-	a.mu.Unlock()
-	if cg != nil {
-		a.revert(name, cg)
-	}
-	a.apply(grants)
+	a.applyLocked()
 }
 
-// rebalanceLocked computes grants for all active sessions: scale so the
-// largest desired maps to MaxWeight, preserving ratios.
-func (a *Allocator) rebalanceLocked() map[string]int {
-	maxDesired := 0
-	for _, name := range a.names {
-		if e := a.entries[name]; e.active && e.desired > maxDesired {
-			maxDesired = e.desired
-		}
-	}
-	grants := map[string]int{}
-	if maxDesired == 0 {
-		return grants
-	}
-	for _, name := range a.names {
-		if e := a.entries[name]; e.active {
-			grants[name] = blkio.ClampWeight(e.desired * blkio.MaxWeight / maxDesired)
-		}
-	}
-	return grants
-}
-
-// apply pushes grants to the cgroups outside the allocator lock (weight
-// writes notify device subscribers). Failed writes (injected weight
-// faults) are tolerated and recorded: the entry is marked pending so the
-// write is retried on every subsequent rebalance until it lands, at
-// which point the re-apply is recorded as the recovery.
-func (a *Allocator) apply(grants map[string]int) {
+// revert returns a departing or released session's cgroup to the
+// default weight, tolerating injected weight-write faults: the failure
+// is recorded and, while the session stays attached, the next rebalance
+// re-applies.
+func (a *Allocator) revert(e *entry, attached bool) {
+	landed := a.setWeight(e.cg, blkio.DefaultWeight)
 	a.mu.Lock()
-	type target struct {
-		name    string
-		cg      *blkio.Cgroup
-		w       int
-		pending bool
-	}
-	var targets []target
-	for _, name := range a.names {
-		if w, ok := grants[name]; ok {
-			e := a.entries[name]
-			targets = append(targets, target{name, e.cg, w, e.pending})
+	legacy := a.kApply == nil
+	if attached {
+		if landed {
+			e.grant = blkio.DefaultWeight
 		}
+		a.setPendingLocked(e, !landed)
 	}
 	a.mu.Unlock()
-	for _, t := range targets {
-		if t.cg.Weight() == t.w && !t.pending {
+	if !landed && legacy {
+		a.emit("weight revert failed for %s: tolerated, cgroup keeps w=%d", e.name, e.cg.Weight())
+	}
+}
+
+// applyLocked pushes the queued grants to the cgroups outside the state lock
+// (weight writes notify device subscribers). Failed writes (injected
+// weight faults) are tolerated and recorded: the entry is marked
+// pending so the write is retried on every subsequent rebalance until
+// it lands, at which point the re-apply is recorded as the recovery.
+// The caller holds applyMu, which owns the targets scratch.
+func (a *Allocator) applyLocked() {
+	for i := range a.targets {
+		t := &a.targets[i]
+		if t.e.cg.Weight() == t.w && !t.pending {
 			continue
 		}
-		landed := a.setWeight(t.cg, t.w)
+		landed := a.setWeight(t.e.cg, t.w)
 		a.mu.Lock()
 		legacy := a.kApply == nil
-		if e, ok := a.entries[t.name]; ok {
-			e.pending = !landed
+		if landed {
+			t.e.grant = t.w
 		}
+		a.setPendingLocked(t.e, !landed)
 		a.mu.Unlock()
 		if legacy {
 			if !landed {
-				a.emit("weight write failed for %s (w=%d): will re-apply", t.name, t.w)
+				a.emit("weight write failed for %s (w=%d): will re-apply", t.e.name, t.w)
 			} else if t.pending {
-				a.emit("weight write recovered for %s: re-applied w=%d", t.name, t.w)
+				a.emit("weight write recovered for %s: re-applied w=%d", t.e.name, t.w)
 			}
 		}
 	}
+	a.targets = a.targets[:0]
 }
 
-// Active reports how many sessions are currently retrieving.
+// Active reports how many sessions are currently retrieving. The count
+// is maintained incrementally; no sweep.
 func (a *Allocator) Active() int {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	n := 0
-	for _, e := range a.entries {
-		if e.active {
-			n++
-		}
-	}
-	return n
+	return a.active
 }

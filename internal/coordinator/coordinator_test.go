@@ -1,6 +1,7 @@
 package coordinator
 
 import (
+	"math/rand"
 	"strings"
 	"testing"
 
@@ -230,4 +231,130 @@ func TestApplyReappliesAfterWeightFault(t *testing.T) {
 	if !found {
 		t.Fatal("re-apply not recorded")
 	}
+}
+
+// TestIncrementalMatchesSweep drives a seeded random schedule through
+// the allocator and checks, after every operation, that each cgroup
+// carries exactly the weight the original full-sweep rebalance would
+// have written: actives at clamp(desired×Max/maxActiveDesired),
+// everyone else at the default.
+func TestIncrementalMatchesSweep(t *testing.T) {
+	a := New()
+	type model struct {
+		cg      *blkio.Cgroup
+		desired int
+		active  bool
+	}
+	names := []string{"m0", "m1", "m2", "m3", "m4", "m5", "m6", "m7"}
+	m := map[string]*model{}
+	for _, n := range names {
+		cg := blkio.NewCgroup(n)
+		if err := a.Attach(n, cg); err != nil {
+			t.Fatal(err)
+		}
+		m[n] = &model{cg: cg}
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		n := names[rng.Intn(len(names))]
+		switch rng.Intn(3) {
+		case 0, 1:
+			d := blkio.MinWeight + rng.Intn(blkio.MaxWeight-blkio.MinWeight+1)
+			if _, err := a.Request(n, d); err != nil {
+				t.Fatal(err)
+			}
+			m[n].desired, m[n].active = d, true
+		case 2:
+			a.Release(n)
+			m[n].active = false
+		}
+		maxD := 0
+		for _, mo := range m {
+			if mo.active && mo.desired > maxD {
+				maxD = mo.desired
+			}
+		}
+		nActive := 0
+		for _, x := range names {
+			mo := m[x]
+			want := blkio.DefaultWeight
+			if mo.active {
+				nActive++
+				want = blkio.ClampWeight(mo.desired * blkio.MaxWeight / maxD)
+			}
+			if got := mo.cg.Weight(); got != want {
+				t.Fatalf("op %d: %s weight = %d, want %d (active=%v desired=%d max=%d)",
+					i, x, got, want, mo.active, mo.desired, maxD)
+			}
+		}
+		if a.Active() != nActive {
+			t.Fatalf("op %d: Active() = %d, want %d", i, a.Active(), nActive)
+		}
+	}
+}
+
+// TestRequestZeroAlloc guards the coordinator fast path: with the scale
+// steady and no faults outstanding, a request/release cycle performs no
+// heap allocation.
+func TestRequestZeroAlloc(t *testing.T) {
+	a := New()
+	names := []string{"z0", "z1", "z2", "z3"}
+	for _, n := range names {
+		if err := a.Attach(n, blkio.NewCgroup(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// An anchor session pins the scale so the cycling sessions stay on
+	// the O(1) path; one full cycle warms the targets scratch.
+	if _, err := a.Request("z0", 1000); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range names[1:] {
+		if _, err := a.Request(n, 400); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	allocs := testing.AllocsPerRun(500, func() {
+		n := names[1+i%3]
+		if _, err := a.Request(n, 300+100*(i%5)); err != nil {
+			t.Fatal(err)
+		}
+		a.Release(n)
+		i++
+	})
+	if allocs != 0 {
+		t.Fatalf("request/release allocates %.1f per run, want 0", allocs)
+	}
+}
+
+// TestActiveCountSurvivesChurn: the incrementally maintained active
+// count stays exact through request/re-request/release/detach churn.
+func TestActiveCountSurvivesChurn(t *testing.T) {
+	a := New()
+	for _, n := range []string{"a", "b", "c"} {
+		if err := a.Attach(n, blkio.NewCgroup(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustActive := func(want int) {
+		t.Helper()
+		if got := a.Active(); got != want {
+			t.Fatalf("Active() = %d, want %d", got, want)
+		}
+	}
+	mustActive(0)
+	a.Request("a", 500)
+	a.Request("a", 700) // re-request: still one active session
+	mustActive(1)
+	a.Request("b", 200)
+	a.Request("c", 900)
+	mustActive(3)
+	a.Release("b")
+	a.Release("b") // double release: no drift
+	mustActive(2)
+	a.Detach("c") // detach while active
+	mustActive(1)
+	a.Release("a")
+	mustActive(0)
 }

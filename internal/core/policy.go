@@ -14,6 +14,7 @@ import (
 	"tango/internal/device"
 	"tango/internal/resil"
 	"tango/internal/staging"
+	"tango/internal/tokenctl"
 	"tango/internal/trace"
 	"tango/internal/weightfn"
 )
@@ -165,6 +166,13 @@ type Config struct {
 	// so priority ratios are preserved (see internal/coordinator).
 	Allocator *coordinator.Allocator
 
+	// Tokens, when non-nil, selects decentralized token-bucket weight
+	// control instead of the central Allocator: the session funds its
+	// weight from a per-session bucket and borrows bounded shortfalls
+	// from idle peers (see internal/tokenctl). Mutually exclusive with
+	// Allocator.
+	Tokens *tokenctl.Controller
+
 	// Cache configures the fast-tier augmentation cache and its
 	// prefetcher (see internal/cache). nil leaves caching off unless the
 	// policy is CrossLayerPrefetch, which defaults it.
@@ -233,6 +241,9 @@ func (c Config) validate() error {
 	}
 	if c.RegimeTol <= 0 {
 		return fmt.Errorf("core: RegimeTol must be > 0")
+	}
+	if c.Allocator != nil && c.Tokens != nil {
+		return fmt.Errorf("core: Allocator and Tokens are mutually exclusive weight-control modes")
 	}
 	return nil
 }

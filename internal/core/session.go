@@ -13,6 +13,7 @@ import (
 	"tango/internal/resil"
 	"tango/internal/sim"
 	"tango/internal/staging"
+	"tango/internal/tokenctl"
 	"tango/internal/trace"
 	"tango/internal/weightfn"
 )
@@ -84,6 +85,8 @@ type Session struct {
 
 	regimeStreak  int  // consecutive mispredicted steps (regime detector)
 	weightPending bool // a weight write failed; re-apply on next success
+
+	tb *tokenctl.Bucket // this session's bucket (nil without Config.Tokens)
 
 	kWeight *resil.Key // blkio.weight.apply handle (nil without Config.Resil)
 }
@@ -226,6 +229,9 @@ func (s *Session) Launch(node *container.Node) error {
 		if s.Config.Allocator != nil {
 			s.Config.Allocator.SetResil(rc)
 		}
+		if s.Config.Tokens != nil {
+			s.Config.Tokens.SetResil(rc)
+		}
 	}
 	cont, err := node.Launch(s.Name, func(c *container.Container, p *sim.Proc) {
 		for step := 0; step < s.Config.Steps && !s.stopped; step++ {
@@ -239,6 +245,10 @@ func (s *Session) Launch(node *container.Node) error {
 		if s.Config.Allocator != nil {
 			s.Config.Allocator.Detach(s.Name)
 		}
+		if s.Config.Tokens != nil {
+			s.Config.Tokens.Detach(s.tb)
+			s.tb = nil
+		}
 	})
 	if err != nil {
 		return err
@@ -248,6 +258,13 @@ func (s *Session) Launch(node *container.Node) error {
 		if err := s.Config.Allocator.Attach(s.Name, cont.Cgroup()); err != nil {
 			return err
 		}
+	}
+	if s.Config.Tokens != nil {
+		tb, err := s.Config.Tokens.Attach(s.Name, cont.Cgroup())
+		if err != nil {
+			return err
+		}
+		s.tb = tb
 	}
 	if s.Config.Cache != nil {
 		if err := s.launchPrefetcher(node); err != nil {
@@ -555,8 +572,9 @@ func (s *Session) runStep(c *container.Container, p *sim.Proc, step int) {
 		return !st.Degraded
 	}
 	// setWeight routes through the node-level allocator when configured
-	// (weight arbitration across concurrent sessions), directly to the
-	// cgroup otherwise. It returns the weight actually in force.
+	// (weight arbitration across concurrent sessions), through the
+	// decentralized token controller when that mode is selected, directly
+	// to the cgroup otherwise. It returns the weight actually in force.
 	setWeight := func(w int) int {
 		if cfg.Allocator != nil {
 			granted, err := cfg.Allocator.Request(s.Name, w)
@@ -564,6 +582,9 @@ func (s *Session) runStep(c *container.Container, p *sim.Proc, step int) {
 				panic(err) // attached at Launch
 			}
 			return granted
+		}
+		if cfg.Tokens != nil {
+			return cfg.Tokens.Request(s.tb, w)
 		}
 		return s.applyWeight(c, p.Now(), w)
 	}
@@ -590,9 +611,12 @@ func (s *Session) runStep(c *container.Container, p *sim.Proc, step int) {
 	}
 	// Weight reverts to the default outside the retrieval window.
 	if cfg.Policy.adjustsWeights() {
-		if cfg.Allocator != nil {
+		switch {
+		case cfg.Allocator != nil:
 			cfg.Allocator.Release(s.Name)
-		} else {
+		case cfg.Tokens != nil:
+			cfg.Tokens.Release(s.tb)
+		default:
 			s.applyWeight(c, p.Now(), blkio.DefaultWeight)
 		}
 	}

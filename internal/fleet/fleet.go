@@ -45,6 +45,7 @@ import (
 	"tango/internal/objstore"
 	"tango/internal/resil"
 	"tango/internal/runpool"
+	"tango/internal/tokenctl"
 	"tango/internal/trace"
 )
 
@@ -79,6 +80,12 @@ type Config struct {
 	// windows run in parallel and the recorder's lock order would not be
 	// deterministic. May be nil.
 	Trace *trace.Recorder
+	// Control selects each node's weight-control mode: the central
+	// coordinator (default), decentralized token buckets, or hybrid —
+	// token buckets with a coordinator-style resync every 5 epochs (see
+	// internal/tokenctl). The mode survives node kills: a rebuilt node
+	// gets a fresh controller of the same mode.
+	Control tokenctl.Mode
 }
 
 func (c Config) withDefaults() Config {
@@ -152,6 +159,9 @@ type Report struct {
 	// RecoveryFrac compares mean post-first-kill throughput to the mean
 	// measured throughput before it (1 when the plan kills nothing).
 	RecoveryFrac float64
+	// Tokens aggregates the per-node token controllers' ledger traffic
+	// (zero in central mode; counters on killed nodes die with them).
+	Tokens tokenctl.Stats
 }
 
 // TotalsLine renders the one-line cluster summary the CLIs print.
@@ -173,7 +183,8 @@ type node struct {
 	cn    *container.Node
 	ssd   *device.Device
 	rem   *objstore.Remote
-	alloc *coordinator.Allocator
+	alloc *coordinator.Allocator // central mode (nil otherwise)
+	tok   *tokenctl.Controller   // tokens/hybrid mode (nil in central)
 	rc    *resil.Controller
 	kObj  *resil.Key
 
@@ -269,8 +280,17 @@ func (c *Cluster) buildNode(i int, attach bool) *node {
 	}
 	nd.rc = resil.New(nd.cn.Engine(), resil.Options{})
 	nd.kObj = nd.rc.Key(resil.KeyFleetReadObjstore)
-	nd.alloc = coordinator.New()
-	nd.alloc.SetResil(nd.rc)
+	if c.cfg.Control == tokenctl.ModeCentral {
+		nd.alloc = coordinator.New()
+		nd.alloc.SetResil(nd.rc)
+	} else {
+		var topts tokenctl.Options
+		if c.cfg.Control == tokenctl.ModeHybrid {
+			topts.EpochSec = 5 * c.cfg.EpochSec
+		}
+		nd.tok = tokenctl.New(nd.cn.Engine().Now, topts)
+		nd.tok.SetResil(nd.rc)
+	}
 	nd.est = dftestim.NewEstimator()
 	if c.cfg.Plan != nil && attach {
 		c.armDeviceFaults(nd)
@@ -399,6 +419,7 @@ func (c *Cluster) applyPlan(epoch int, t0 float64) {
 			s.restore = 0
 			s.node = -1
 			s.cg = nil
+			s.tb = nil // the bucket died with the node's controller
 			s.migrations++
 			c.migrations++
 		}
@@ -463,13 +484,21 @@ func (c *Cluster) attach(nd *node, s *session) {
 		cg = nd.cn.Cgroups().MustCreate(s.name)
 	}
 	s.cg = cg
-	if err := nd.alloc.Attach(s.name, cg); err != nil {
-		panic(err) // unreachable: sessions detach before re-attaching
-	}
-	if _, err := nd.alloc.Request(s.name, s.weight); err != nil {
-		// A faulted weight write: the coordinator re-applies on the next
-		// rebalance; the session runs at its previous weight meanwhile.
-		nd.weightErrs++
+	if nd.tok != nil {
+		tb, err := nd.tok.Attach(s.name, cg)
+		if err != nil {
+			panic(err) // unreachable: sessions detach before re-attaching
+		}
+		s.tb = tb
+	} else {
+		if err := nd.alloc.Attach(s.name, cg); err != nil {
+			panic(err) // unreachable: sessions detach before re-attaching
+		}
+		if _, err := nd.alloc.Request(s.name, s.weight); err != nil {
+			// A faulted weight write: the coordinator re-applies on the next
+			// rebalance; the session runs at its previous weight meanwhile.
+			nd.weightErrs++
+		}
 	}
 	nd.sessions = append(nd.sessions, s)
 	nd.load += s.cost
@@ -478,7 +507,12 @@ func (c *Cluster) attach(nd *node, s *session) {
 // detach unbinds a session from its current node (planned migrations
 // only — killed nodes drop their whole allocator).
 func (c *Cluster) detach(nd *node, s *session) {
-	nd.alloc.Detach(s.name)
+	if nd.tok != nil {
+		nd.tok.Detach(s.tb)
+		s.tb = nil
+	} else {
+		nd.alloc.Detach(s.name)
+	}
 	kept := nd.sessions[:0]
 	for _, o := range nd.sessions {
 		if o != s {
@@ -651,6 +685,16 @@ func (c *Cluster) report() *Report {
 		if v > 0 {
 			r.ViolNodes++
 		}
+	}
+	for _, nd := range c.nodes {
+		if nd.tok == nil {
+			continue
+		}
+		st := nd.tok.Stats()
+		r.Tokens.Borrows += st.Borrows
+		r.Tokens.Repays += st.Repays
+		r.Tokens.Recalls += st.Recalls
+		r.Tokens.Writes += st.Writes
 	}
 	mean := func(xs []float64) float64 {
 		if len(xs) == 0 {

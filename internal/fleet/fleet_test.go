@@ -6,6 +6,7 @@ import (
 
 	"tango/internal/fault"
 	"tango/internal/runpool"
+	"tango/internal/tokenctl"
 	"tango/internal/trace"
 )
 
@@ -270,5 +271,72 @@ func TestClusterDeterministicAcrossWorkerWidths(t *testing.T) {
 	}
 	if !reflect.DeepEqual(ev1, ev4) {
 		t.Fatalf("trace streams diverge: %d vs %d events", len(ev1), len(ev4))
+	}
+}
+
+// TestTokenModeSurvivesNodeKill: with decentralized token control the
+// fleet keeps the kill/cold-restart/settle-back lifecycle intact — the
+// rebuilt node gets a fresh controller of the same mode, orphaned
+// buckets are dropped with their node, and the ledger shows traffic.
+func TestTokenModeSurvivesNodeKill(t *testing.T) {
+	for _, mode := range []tokenctl.Mode{tokenctl.ModeTokens, tokenctl.ModeHybrid} {
+		c, err := New(Config{
+			Nodes: 4, Sessions: 32, Seed: 11,
+			Plan:    killPlan(t, "node-kill@240:node=node1,dur=120"),
+			Control: mode,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := c.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Kills != 1 || r.Migrations < 8 {
+			t.Fatalf("%v: kills=%d migrations=%d", mode, r.Kills, r.Migrations)
+		}
+		if r.RecoveryFrac < 0.8 {
+			t.Fatalf("%v: recovered only %.0f%% of pre-kill throughput", mode, 100*r.RecoveryFrac)
+		}
+		if r.Tokens.Writes == 0 {
+			t.Fatalf("%v: token controllers issued no weight writes", mode)
+		}
+		for _, nd := range c.nodes {
+			if nd.alloc != nil || nd.tok == nil {
+				t.Fatalf("%v: node %s has wrong controller after rebuild", mode, nd.name)
+			}
+			for _, s := range nd.sessions {
+				if s.tb == nil || nd.tok.Lookup(s.name) != s.tb {
+					t.Fatalf("%v: session %s bucket not attached to its node's controller", mode, s.name)
+				}
+			}
+		}
+	}
+}
+
+// TestTokenModeDeterministicAcrossWorkerWidths: the token arm keeps the
+// fleet's byte-identical determinism contract at any -parallel width.
+func TestTokenModeDeterministicAcrossWorkerWidths(t *testing.T) {
+	run := func(workers int) *Report {
+		prev := runpool.Workers()
+		runpool.SetWorkers(workers)
+		defer runpool.SetWorkers(prev)
+		c, err := New(Config{
+			Nodes: 5, Sessions: 30, Seed: 17,
+			Plan:    killPlan(t, "node-kill@240:node=node2,dur=120"),
+			Control: tokenctl.ModeTokens,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := c.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	r1, r4 := run(1), run(4)
+	if !reflect.DeepEqual(r1, r4) {
+		t.Fatalf("token-mode reports diverge across worker widths:\n%+v\n%+v", r1, r4)
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"tango/internal/blkio"
 	"tango/internal/sim"
+	"tango/internal/tokenctl"
 )
 
 // session is one tenant workload placed somewhere on the fleet: a
@@ -33,9 +34,10 @@ type session struct {
 	// the session is idle — never both at once (busy pins it).
 	node     int // current node index, -1 while unplaced
 	cg       *blkio.Cgroup
-	resident float64 // bytes warm on the current node's L2
-	restore  float64 // bytes to re-fetch from the store before stepping
-	busy     bool    // a step proc is in flight
+	tb       *tokenctl.Bucket // token-mode bucket (nil in central mode)
+	resident float64          // bytes warm on the current node's L2
+	restore  float64          // bytes to re-fetch from the store before stepping
+	busy     bool             // a step proc is in flight
 
 	steps      int
 	bytes      float64
@@ -108,6 +110,12 @@ func (c *Cluster) scheduleSteps(nd *node, t0 float64, measured bool) {
 // node's epoch accumulators, both harvested at the next barrier.
 func (nd *node) step(p *sim.Proc, s *session, epochSec float64, measured bool) {
 	start := p.Now()
+	if nd.tok != nil && s.tb != nil {
+		// Token mode funds the weight per step: sessions idle between
+		// steps accrue lendable surplus, and the grant reverts at step
+		// end. Central mode keeps the attach-time weight in force.
+		nd.tok.Request(s.tb, s.weight)
+	}
 	if s.restore > 0 {
 		res := nd.kObj.Read(p, nd.rem.Device(), s.cg, s.restore)
 		nd.rem.AccountGet(res.Moved)
@@ -139,6 +147,9 @@ func (nd *node) step(p *sim.Proc, s *session, epochSec float64, measured bool) {
 	}
 	if dirty := s.stepRead * s.dirtyFrac; dirty > 0 {
 		nd.ssd.Write(p, s.cg, dirty)
+	}
+	if nd.tok != nil && s.tb != nil {
+		nd.tok.Release(s.tb)
 	}
 	if elapsed := p.Now() - start; elapsed > epochSec && measured {
 		nd.viol++

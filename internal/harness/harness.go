@@ -184,6 +184,7 @@ func Experiments() []Experiment {
 		{"prefetch", "Extension: predictive fast-tier cache + prefetcher", Prefetch},
 		{"resil", "Extension: resilience control plane (retries, breakers, hedging)", Resil},
 		{"fleet", "Extension: fleet-scale cluster with object-store capacity tier", Fleet},
+		{"tokens", "Extension: decentralized token-bucket weight control", Tokens},
 	}
 }
 

@@ -65,7 +65,7 @@ type Options struct {
 var DefaultSimPackages = []string{
 	"sim", "device", "core", "coordinator", "harness", "dftestim", "weightfn",
 	"fault", "staging", "cache", "resil", "runpool", "refactor", "errmetric",
-	"fleet", "objstore",
+	"fleet", "objstore", "tokenctl",
 }
 
 // DefaultParPackages are the package names parhygiene audits: every
@@ -77,7 +77,7 @@ var DefaultParPackages = []string{
 	"sim", "device", "core", "coordinator", "harness", "dftestim", "weightfn",
 	"fault", "staging", "cache", "resil", "par", "runpool", "refactor", "trace",
 	"workload", "analytics", "lint", "main",
-	"fleet", "objstore",
+	"fleet", "objstore", "tokenctl",
 }
 
 type reportFunc func(pos token.Pos, format string, args ...any)

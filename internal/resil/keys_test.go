@@ -24,6 +24,7 @@ func TestRegisteredKeysAreStable(t *testing.T) {
 		"prefetch.weight.floor",
 		"prefetch.stage",
 		"fleet.read.objstore",
+		"tokens.weight.apply",
 	}
 	c := New(sim.NewEngine(), Options{})
 	if got := c.Keys(); !reflect.DeepEqual(got, golden) {
@@ -35,7 +36,7 @@ func TestRegisteredKeysAreStable(t *testing.T) {
 		KeyStagingReadBase, KeyStagingReadCapacity, KeyStagingReadOptional,
 		KeyStagingReadHedge, KeyStagingProbe, KeyWeightApply,
 		KeyCoordWeightApply, KeyPrefetchWeightFloor, KeyPrefetchStage,
-		KeyFleetReadObjstore,
+		KeyFleetReadObjstore, KeyTokenWeightApply,
 	}
 	if !reflect.DeepEqual(consts, golden) {
 		t.Fatalf("key constants drifted from the golden list:\n got  %q\n want %q", consts, golden)
@@ -75,7 +76,7 @@ func TestCatalogPolicyShape(t *testing.T) {
 	}
 	// Weight keys: single attempt (the control tick is the retry loop),
 	// breaker-gated, weight classifier.
-	for _, name := range []string{KeyWeightApply, KeyCoordWeightApply, KeyPrefetchWeightFloor} {
+	for _, name := range []string{KeyWeightApply, KeyCoordWeightApply, KeyPrefetchWeightFloor, KeyTokenWeightApply} {
 		pol := c.Key(name).Policy()
 		if pol.MaxAttempts != 1 || pol.BreakerThreshold == 0 {
 			t.Errorf("%s: weight key must be single-attempt and breaker-gated: %+v", name, pol)

@@ -118,6 +118,7 @@ const (
 	KeyPrefetchWeightFloor = "prefetch.weight.floor"  // prefetcher re-asserting its low-priority floor
 	KeyPrefetchStage       = "prefetch.stage"         // background staging read into the fast tier
 	KeyFleetReadObjstore   = "fleet.read.objstore"    // mandatory L3 object-store miss read (unbounded)
+	KeyTokenWeightApply    = "tokens.weight.apply"    // token-controller grant/revert/recall weight writes
 )
 
 // Policy is the declarative resilience contract for one key.
@@ -189,6 +190,8 @@ func Catalog() []Policy {
 			BreakerThreshold: 4, BreakerCooldown: 20},
 		{Key: KeyFleetReadObjstore, MaxAttempts: 0, Backoff: 0.05, Factor: 2, MaxBackoff: 5,
 			Classify: ClassifyRead, BudgetCap: 32, BudgetRefill: 0.5},
+		{Key: KeyTokenWeightApply, MaxAttempts: 1,
+			Classify: ClassifyWeight, BreakerThreshold: 3, BreakerCooldown: 5},
 	}
 }
 

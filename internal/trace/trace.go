@@ -40,6 +40,10 @@ const (
 	KindPlace   = "place"   // a session placed on a node by the cluster coordinator
 	KindMigrate = "migrate" // a session drained/restored through the object store
 	KindEgress  = "egress"  // the shared-egress water-filling regranted node shares
+
+	// Decentralized token-control events (internal/tokenctl).
+	KindBorrow = "borrow" // a session borrowed or recalled weight points from a peer bucket
+	KindRepay  = "repay"  // a borrow ledger debt cleared (refill-paced) or epoch-forgiven
 )
 
 // Event is one recorded occurrence at virtual time T.

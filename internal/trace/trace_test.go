@@ -139,6 +139,8 @@ func TestKindValuesPinned(t *testing.T) {
 		"KindPlace":      KindPlace,
 		"KindMigrate":    KindMigrate,
 		"KindEgress":     KindEgress,
+		"KindBorrow":     KindBorrow,
+		"KindRepay":      KindRepay,
 	}
 	want := map[string]string{
 		"KindStep":       "step",
@@ -158,6 +160,8 @@ func TestKindValuesPinned(t *testing.T) {
 		"KindPlace":      "place",
 		"KindMigrate":    "migrate",
 		"KindEgress":     "egress",
+		"KindBorrow":     "borrow",
+		"KindRepay":      "repay",
 	}
 	for name, got := range pinned {
 		if got != want[name] {

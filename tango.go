@@ -59,6 +59,7 @@ import (
 	"tango/internal/sim"
 	"tango/internal/staging"
 	"tango/internal/tensor"
+	"tango/internal/tokenctl"
 	"tango/internal/trace"
 	"tango/internal/weightfn"
 	"tango/internal/workload"
@@ -341,6 +342,39 @@ type Allocator = coordinator.Allocator
 
 // NewAllocator creates an empty weight allocator.
 func NewAllocator() *Allocator { return coordinator.New() }
+
+// TokenController is the decentralized token-bucket weight controller
+// (internal/tokenctl): per-session buckets sized from the weight
+// function's output, refilled on the sim clock, with bounded borrowing
+// from idle peers. Pass one via SessionConfig.Tokens as the O(1)
+// alternative to the central Allocator; see docs/tokens.md.
+type TokenController = tokenctl.Controller
+
+// TokenOptions tunes the bucket and borrow-ledger geometry; the zero
+// value selects the defaults documented on each field.
+type TokenOptions = tokenctl.Options
+
+// TokenBucket is one session's bucket handle, returned by Attach.
+type TokenBucket = tokenctl.Bucket
+
+// ControlMode selects the weight-control mode: ModeCentral (coordinator
+// rescale), ModeTokens (decentralized buckets), or ModeHybrid (tokens
+// with a periodic coordinator-style resync). Fleet nodes take one via
+// FleetConfig.Control.
+type ControlMode = tokenctl.Mode
+
+// The weight-control modes.
+const (
+	ModeCentral = tokenctl.ModeCentral
+	ModeTokens  = tokenctl.ModeTokens
+	ModeHybrid  = tokenctl.ModeHybrid
+)
+
+// NewTokenController creates a token controller reading the sim clock
+// through now (typically node.Engine().Now).
+func NewTokenController(now func() float64, opts TokenOptions) *TokenController {
+	return tokenctl.New(now, opts)
+}
 
 // ---- Tracing ----------------------------------------------------------------
 
