@@ -117,6 +117,13 @@ type Config struct {
 	ThreshFrac float64
 	// Window is the estimator window in steps (default 30).
 	Window int
+	// SlidingDFT enables the estimator's opt-in sliding-DFT update mode:
+	// each observed step advances the spectrum incrementally in O(Window)
+	// and refits skip the forward transform. Off by default — the
+	// incremental summation order differs from the batch FFT, so fitted
+	// models (and therefore experiment output) are not byte-identical to
+	// the default mode, though still deterministic for a given seed.
+	SlidingDFT bool
 	// RefitEvery re-runs the estimation every this many steps
 	// (default 30).
 	RefitEvery int

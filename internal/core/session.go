@@ -123,6 +123,7 @@ func NewSession(name string, store *staging.Store, cfg Config) (*Session, error)
 	est := dftestim.NewEstimator()
 	est.ThreshFrac = cfg.ThreshFrac
 	est.Window = cfg.Window
+	est.Sliding = cfg.SlidingDFT
 	return &Session{Name: name, Config: cfg, store: store, wf: wf, wfSize: wfSize, est: est}, nil
 }
 
@@ -324,8 +325,8 @@ func (s *Session) forecast() (next, peak float64, ok bool) {
 	if !s.est.Ready() {
 		return 0, 0, false
 	}
-	for _, v := range s.est.Model() {
-		if v > peak {
+	for i, n := 0, s.est.ModelLen(); i < n; i++ {
+		if v := s.est.ModelAt(i); v > peak {
 			peak = v
 		}
 	}

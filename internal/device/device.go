@@ -151,6 +151,7 @@ func (p Params) validate() error {
 // done, at which point the device holds no reference to it.
 type flow struct {
 	id       int64
+	d        *Device // owning device, for the Fire callback (fast path only)
 	cg       *blkio.Cgroup
 	proc     *sim.Proc
 	bytes    float64 // total requested
@@ -160,8 +161,15 @@ type flow struct {
 	start    float64
 	done     bool
 	canceled bool // aborted via Token.Cancel; issuer observes and recycles
+	fallible bool // fast path only: check readErr at issue time
+	failed   bool // fast path only: read error observed at issue time
 	gi       int  // reshape scratch: index into Device.groups
 }
+
+// Fire issues the flow after its request-latency wait; it is the
+// sim.Callback body for the event transferFast schedules, carrying the
+// per-transfer state without a per-call closure.
+func (f *flow) Fire() { f.d.issue(f) }
 
 // wfGroup is reshape scratch: one (cgroup, direction) aggregation used by
 // the water-filling pass. Held in a reusable slice on the Device so the
@@ -479,6 +487,9 @@ func (d *Device) transfer(p *sim.Proc, cg *blkio.Cgroup, bytes float64, write, f
 		panic(fmt.Sprintf("device %q: invalid transfer size %v", d.p.Name, bytes))
 	}
 	start := d.eng.Now()
+	if tok == nil && bytes > 0 {
+		return d.transferFast(p, cg, bytes, write, fallible, start)
+	}
 	if lat := d.p.RequestLatency + d.extraLatency; lat > 0 {
 		p.Sleep(lat)
 	}
@@ -500,25 +511,18 @@ func (d *Device) transfer(p *sim.Proc, cg *blkio.Cgroup, bytes float64, write, f
 		}
 		return d.eng.Now() - start, nil
 	}
-	if !d.subscribed[cg] {
-		d.subscribed[cg] = true
-		cg.Subscribe(d.onTouch)
-	}
 	f := d.newFlow()
-	f.id = d.nextID
+	f.d = d
 	f.cg = cg
 	f.proc = p
 	f.bytes = bytes
 	f.bytesRem = bytes
 	f.write = write
 	f.start = start
-	d.nextID++
+	d.issue(f)
 	if tok != nil {
 		tok.f, tok.id = f, f.id
 	}
-	d.advance()
-	d.flows = append(d.flows, f)
-	d.reshape()
 	for !f.done && !f.canceled {
 		p.Suspend()
 	}
@@ -572,6 +576,75 @@ func (d *Device) cancelFlow(f *flow, id int64) bool {
 	d.eng.Wake(f.proc)
 	d.reshape()
 	return true
+}
+
+// transferFast is the token-less transfer path (plain Read/Write and
+// TryRead): the flow is issued from an engine-side event at
+// start+latency instead of sleeping the process just to issue the flow
+// and park again — the issue event occupies exactly the queue slot
+// Sleep's resume event occupied, so the simulation stays byte-identical
+// while each transfer saves a full goroutine round-trip. Cancellable
+// (token-carrying) transfers keep the slow path in transfer: a
+// latency-phase cancel must resume user code at that queue slot, which
+// only the process itself can do.
+//
+//tango:hotpath
+func (d *Device) transferFast(p *sim.Proc, cg *blkio.Cgroup, bytes float64, write, fallible bool, start float64) (float64, error) {
+	f := d.newFlow()
+	f.d = d
+	f.cg = cg
+	f.proc = p
+	f.bytes = bytes
+	f.bytesRem = bytes
+	f.write = write
+	f.fallible = fallible
+	f.start = start
+	if lat := d.p.RequestLatency + d.extraLatency; lat > 0 {
+		d.eng.AtCall(start+lat, f)
+	} else {
+		d.issue(f)
+	}
+	for !f.done && !f.canceled {
+		p.Suspend()
+	}
+	failed := f.failed
+	*f = flow{}
+	d.flowFree = append(d.flowFree, f)
+	if failed {
+		return d.eng.Now() - start, d.wrappedReadErr
+	}
+	cg.Account(bytes, write)
+	return d.eng.Now() - start, nil
+}
+
+// issue adds a prepared flow to the active set at the current instant:
+// check the injected read-error state (fast fallible path), subscribe
+// the cgroup, stamp the id, integrate progress to now, and reshape. It
+// runs inline on the issuing process (zero request latency, or the slow
+// path after its Sleep) or as the flow's Fire event after the fast
+// path's latency wait — the same operations in the same order either
+// way.
+//
+//tango:hotpath
+func (d *Device) issue(f *flow) {
+	if f.fallible && d.readErr {
+		// The same instant the slow path would observe the error at; no
+		// flow was issued, nothing transfers. Wake no-ops when the issue
+		// ran inline (the process is still running and sees f.done).
+		f.failed = true
+		f.done = true
+		d.eng.Wake(f.proc)
+		return
+	}
+	if !d.subscribed[f.cg] {
+		d.subscribed[f.cg] = true
+		f.cg.Subscribe(d.onTouch)
+	}
+	f.id = d.nextID
+	d.nextID++
+	d.advance()
+	d.flows = append(d.flows, f)
+	d.reshape()
 }
 
 // newFlow takes a zeroed struct off the freelist or allocates one.

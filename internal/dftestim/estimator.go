@@ -1,9 +1,21 @@
 package dftestim
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"math/cmplx"
 )
+
+// slideResyncEvery bounds the floating-point drift of the sliding-DFT
+// update mode: after this many incremental spectrum rotations the next Fit
+// recomputes the spectrum exactly from the sample window and re-anchors
+// the recurrence.
+const slideResyncEvery = 1024
+
+// errTooFewSamples is the static Fit error; Fit is a //tango:hotpath and
+// may not build a formatted error per call.
+var errTooFewSamples = errors.New("dftestim: need at least 4 samples")
 
 // Estimator predicts per-step available bandwidth from a window of
 // measured per-step bandwidths. It implements Algorithm 1 lines 2–5:
@@ -16,18 +28,48 @@ import (
 // workload pattern Σ_i I_i(C_i^x W_i)* F_i. Estimation is re-run
 // periodically (the paper refits every 30 steps) so the model tracks
 // workload changes.
+//
+// Memory is bounded: samples live in a ring sized to the window, and the
+// spectral scratch, model, and twiddle tables are reused across refits, so
+// a long-running (tangod-length) session neither grows nor allocates in
+// steady state. Absolute step indexing is preserved — Samples(), Predict,
+// and PredictNext see the same step numbers as the unbounded-history
+// implementation they replaced.
 type Estimator struct {
 	// ThreshFrac is the amplitude threshold as a fraction of the maximum
 	// non-DC amplitude (the paper evaluates 25%, 50%, 75%; default 50%).
 	ThreshFrac float64
 	// Window is the number of most recent samples fitted (default 30,
-	// the paper's re-estimation period).
+	// the paper's re-estimation period). Set it before the first Observe:
+	// the ring holds only Window samples, so growing it mid-run fits the
+	// retained suffix until enough new samples arrive.
 	Window int
+	// Sliding enables the opt-in sliding-DFT update mode: once a Fit has
+	// anchored the spectrum of a full window, each Observe advances it
+	// incrementally in O(W) — S'_k = (S_k + x_new − x_old)·e^(2πik/W) —
+	// and Fit skips the forward transform. Off by default: the incremental
+	// summation order differs from the batch FFT, so fitted models are not
+	// bit-identical to the default mode (they are still deterministic for
+	// a given seed, with an exact recompute every slideResyncEvery updates
+	// to bound drift).
+	Sliding bool
 
-	samples []float64 // measured BW per step, step-indexed from 0
-	model   []float64 // denoised one-period reconstruction
-	fitAt   int       // step index of the first sample in the fitted window
-	fitted  bool
+	ring  []float64 // sample ring; slot for step s is s % len(ring)
+	count int       // total samples observed; the next sample's step index
+
+	model  []float64 // denoised one-period reconstruction (reused)
+	fitAt  int       // step index of the first sample in the fitted window
+	fitted bool
+
+	plan   *plan        // shared twiddle tables for the fitted length
+	spec   []complex128 // forward spectrum, thresholded in place (reused)
+	rec    []complex128 // inverse-transform scratch (reused)
+	winBuf []float64    // linearized window scratch (reused)
+
+	slide      []complex128 // sliding mode: maintained pre-threshold spectrum
+	rot        []complex128 // sliding mode: e^(2πik/W) advance factors
+	slideValid bool
+	slideAge   int // incremental updates since the last exact recompute
 }
 
 // NewEstimator returns an estimator with the paper's defaults.
@@ -35,42 +77,113 @@ func NewEstimator() *Estimator {
 	return &Estimator{ThreshFrac: 0.5, Window: 30}
 }
 
-// Observe appends the measured bandwidth of the next step.
+func (e *Estimator) effWindow() int {
+	if e.Window > 0 {
+		return e.Window
+	}
+	return 30
+}
+
+// Observe records the measured bandwidth of the next step.
+//
+//tango:hotpath
 func (e *Estimator) Observe(bw float64) {
 	if math.IsNaN(bw) || bw < 0 {
 		panic(fmt.Sprintf("dftestim: invalid bandwidth sample %v", bw))
 	}
-	e.samples = append(e.samples, bw)
+	w := e.effWindow()
+	if len(e.ring) != w {
+		e.resizeRing(w)
+	}
+	slot := e.count % w
+	if e.slideValid {
+		if e.count >= w && len(e.slide) == w {
+			// ring[slot] is the sample about to drop out of the window;
+			// capture it before the overwrite.
+			delta := complex(bw-e.ring[slot], 0)
+			for k, s := range e.slide {
+				e.slide[k] = (s + delta) * e.rot[k]
+			}
+			e.slideAge++
+		} else {
+			e.slideValid = false
+		}
+	}
+	e.ring[slot] = bw
+	e.count++
+}
+
+// resizeRing rebuilds the ring at the new window size, preserving the most
+// recent samples (up to the smaller of both capacities) at their absolute
+// step slots.
+func (e *Estimator) resizeRing(w int) {
+	old := e.ring
+	avail := e.count
+	if avail > len(old) {
+		avail = len(old)
+	}
+	if avail > w {
+		avail = w
+	}
+	ring := make([]float64, w)
+	for i := 0; i < avail; i++ {
+		step := e.count - avail + i
+		ring[step%w] = old[step%len(old)]
+	}
+	e.ring = ring
+	e.slideValid = false
 }
 
 // Samples returns the number of observed steps.
-func (e *Estimator) Samples() int { return len(e.samples) }
+//
+//tango:hotpath
+func (e *Estimator) Samples() int { return e.count }
 
 // Ready reports whether a model has been fitted.
 func (e *Estimator) Ready() bool { return e.fitted }
 
 // Fit builds the denoised periodic model from the most recent Window
 // samples. It returns an error if fewer than 4 samples are available.
+// Steady state (unchanged window length) is allocation-free: the spectrum,
+// scratch, and model buffers are reused and the twiddle plan is shared.
+//
+//tango:hotpath
 func (e *Estimator) Fit() error {
-	w := e.Window
-	if w <= 0 {
-		w = 30
+	if e.count < 4 {
+		return errTooFewSamples
 	}
-	if len(e.samples) < 4 {
-		return fmt.Errorf("dftestim: need at least 4 samples, have %d", len(e.samples))
+	w := e.effWindow()
+	if len(e.ring) != w {
+		e.resizeRing(w)
 	}
-	if w > len(e.samples) {
-		w = len(e.samples)
+	avail := e.count
+	if avail > len(e.ring) {
+		avail = len(e.ring)
 	}
-	start := len(e.samples) - w
-	window := e.samples[start:]
+	if w > avail {
+		w = avail
+	}
+	e.ensureScratch(w)
+	start := e.count - w
 
-	spec := FFTReal(window)
-	Threshold(spec, e.ThreshFrac)
-	rec := IFFT(spec)
+	if e.Sliding && e.slideValid && len(e.slide) == w && e.slideAge < slideResyncEvery {
+		copy(e.spec, e.slide)
+	} else {
+		e.gatherWindow(start, w)
+		e.forward()
+		if e.Sliding && w == len(e.ring) && e.count >= w {
+			e.anchorSlide(w)
+		}
+	}
 
-	e.model = make([]float64, w)
-	for i, v := range rec {
+	Threshold(e.spec, e.ThreshFrac)
+	e.inverse()
+
+	// Replicates the seed's IFFT normalization (out[i] *= inv as a complex
+	// multiply) followed by the clamp loop, so models stay bit-identical.
+	inv := complex(1/float64(w), 0)
+	for i, v := range e.rec {
+		v *= inv
 		bw := real(v)
 		if bw < 0 {
 			bw = 0 // bandwidth cannot be negative; clamp ringing
@@ -82,8 +195,81 @@ func (e *Estimator) Fit() error {
 	return nil
 }
 
+// ensureScratch sizes the fit buffers for window length w, reusing their
+// backing arrays whenever the capacity suffices.
+func (e *Estimator) ensureScratch(w int) {
+	if e.plan == nil || e.plan.n != w {
+		e.plan = planFor(w)
+		e.slideValid = false
+	}
+	if cap(e.spec) < w {
+		e.spec = make([]complex128, w)
+		e.rec = make([]complex128, w)
+	}
+	if cap(e.winBuf) < w {
+		e.winBuf = make([]float64, w)
+		e.model = make([]float64, w)
+	}
+	e.spec = e.spec[:w]
+	e.rec = e.rec[:w]
+	e.winBuf = e.winBuf[:w]
+	e.model = e.model[:w]
+}
+
+// gatherWindow linearizes ring samples [start, start+w) into winBuf.
+func (e *Estimator) gatherWindow(start, w int) {
+	r := e.ring
+	pos := start % len(r)
+	n := copy(e.winBuf, r[pos:])
+	if n < w {
+		copy(e.winBuf[n:], r[:w-n])
+	}
+}
+
+// forward computes the spectrum of winBuf into spec.
+func (e *Estimator) forward() {
+	p := e.plan
+	if p.pow2 {
+		p.fftReal(e.spec, e.winBuf)
+		return
+	}
+	for i, v := range e.winBuf {
+		e.rec[i] = complex(v, 0)
+	}
+	p.direct(e.spec, e.rec, false)
+}
+
+// inverse computes the unnormalized inverse transform of spec into rec.
+func (e *Estimator) inverse() {
+	p := e.plan
+	if p.pow2 {
+		p.fft(e.rec, e.spec, true)
+		return
+	}
+	p.direct(e.rec, e.spec, true)
+}
+
+// anchorSlide snapshots the exact pre-threshold spectrum as the sliding
+// recurrence's new anchor and (re)builds the advance factors.
+func (e *Estimator) anchorSlide(w int) {
+	if cap(e.slide) < w {
+		e.slide = make([]complex128, w)
+		e.rot = make([]complex128, w)
+	}
+	e.slide = e.slide[:w]
+	e.rot = e.rot[:w]
+	copy(e.slide, e.spec)
+	for k := range e.rot {
+		e.rot[k] = cmplx.Exp(complex(0, 2*math.Pi*float64(k)/float64(w)))
+	}
+	e.slideValid = true
+	e.slideAge = 0
+}
+
 // Predict returns B̃W for the given absolute step index, extrapolating the
 // fitted window periodically. It panics if Fit has not succeeded.
+//
+//tango:hotpath
 func (e *Estimator) Predict(step int) float64 {
 	if !e.fitted {
 		panic("dftestim: Predict before successful Fit")
@@ -98,8 +284,10 @@ func (e *Estimator) Predict(step int) float64 {
 
 // PredictNext returns the prediction for the step after the last observed
 // one.
+//
+//tango:hotpath
 func (e *Estimator) PredictNext() float64 {
-	return e.Predict(len(e.samples))
+	return e.Predict(e.count)
 }
 
 // Model returns a copy of the fitted one-period reconstruction.
@@ -107,6 +295,24 @@ func (e *Estimator) Model() []float64 {
 	out := make([]float64, len(e.model))
 	copy(out, e.model)
 	return out
+}
+
+// ModelLen returns the fitted model's period length (0 before Fit).
+//
+//tango:hotpath
+func (e *Estimator) ModelLen() int { return len(e.model) }
+
+// ModelAt returns the fitted model value at index i without copying; it is
+// the zero-alloc companion to Model for hot callers. i must be in
+// [0, ModelLen()).
+//
+//tango:hotpath
+func (e *Estimator) ModelAt(i int) float64 { return e.model[i] }
+
+// AppendModel appends the fitted model to dst and returns the extended
+// slice, for callers that batch models into reused buffers.
+func (e *Estimator) AppendModel(dst []float64) []float64 {
+	return append(dst, e.model...)
 }
 
 // MeanAbsError reports the mean absolute prediction error of the fitted

@@ -8,8 +8,6 @@ package dftestim
 
 import (
 	"fmt"
-	"math"
-	"math/bits"
 	"math/cmplx"
 )
 
@@ -18,18 +16,19 @@ import (
 //	X[k] = Σ_n x[n]·e^(−2πi·kn/N)
 //
 // For power-of-two lengths it runs an iterative radix-2 Cooley–Tukey FFT
-// in O(N log N); for other lengths it falls back to the O(N²) direct
-// transform (window sizes here are tens of samples, so this is cheap and
-// keeps the implementation dependency-free).
+// in O(N log N) over precomputed, process-shared twiddle tables; for other
+// lengths it falls back to the O(N²) direct transform (table-driven up to
+// length 128 — window sizes here are tens of samples, so this is cheap and
+// keeps the implementation dependency-free). Output is bit-identical to
+// the original per-call twiddle evaluation; see plan.go.
 func FFT(x []complex128) []complex128 {
 	n := len(x)
 	if n == 0 {
 		return nil
 	}
-	if n&(n-1) == 0 {
-		return radix2(x, false)
-	}
-	return direct(x, false)
+	out := make([]complex128, n)
+	planFor(n).fft(out, x, false)
+	return out
 }
 
 // IFFT computes the inverse DFT with 1/N normalization, so
@@ -39,12 +38,8 @@ func IFFT(x []complex128) []complex128 {
 	if n == 0 {
 		return nil
 	}
-	var out []complex128
-	if n&(n-1) == 0 {
-		out = radix2(x, true)
-	} else {
-		out = direct(x, true)
-	}
+	out := make([]complex128, n)
+	planFor(n).fft(out, x, true)
 	inv := complex(1/float64(n), 0)
 	for i := range out {
 		out[i] *= inv
@@ -52,64 +47,24 @@ func IFFT(x []complex128) []complex128 {
 	return out
 }
 
-// radix2 is an iterative in-place Cooley–Tukey FFT on a copy of x.
-// inverse selects the conjugate twiddle direction (no normalization).
-func radix2(x []complex128, inverse bool) []complex128 {
-	n := len(x)
-	out := make([]complex128, n)
-	shift := 64 - uint(bits.TrailingZeros(uint(n)))
-	for i, v := range x {
-		out[bits.Reverse64(uint64(i))>>shift] = v
-	}
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	for size := 2; size <= n; size <<= 1 {
-		half := size / 2
-		step := sign * 2 * math.Pi / float64(size)
-		wBase := cmplx.Exp(complex(0, step))
-		for start := 0; start < n; start += size {
-			w := complex(1, 0)
-			for k := 0; k < half; k++ {
-				even := out[start+k]
-				odd := out[start+k+half] * w
-				out[start+k] = even + odd
-				out[start+k+half] = even - odd
-				w *= wBase
-			}
-		}
-	}
-	return out
-}
-
-// direct is the O(N²) reference transform, also used for non-power-of-two
-// lengths.
-func direct(x []complex128, inverse bool) []complex128 {
-	n := len(x)
-	out := make([]complex128, n)
-	sign := -1.0
-	if inverse {
-		sign = 1.0
-	}
-	for k := 0; k < n; k++ {
-		var sum complex128
-		for j := 0; j < n; j++ {
-			angle := sign * 2 * math.Pi * float64(k) * float64(j) / float64(n)
-			sum += x[j] * cmplx.Exp(complex(0, angle))
-		}
-		out[k] = sum
-	}
-	return out
-}
-
 // FFTReal transforms a real series.
 func FFTReal(x []float64) []complex128 {
-	c := make([]complex128, len(x))
+	n := len(x)
+	if n == 0 {
+		return nil
+	}
+	out := make([]complex128, n)
+	p := planFor(n)
+	if p.pow2 {
+		p.fftReal(out, x)
+		return out
+	}
+	c := make([]complex128, n)
 	for i, v := range x {
 		c[i] = complex(v, 0)
 	}
-	return FFT(c)
+	p.direct(out, c, false)
+	return out
 }
 
 // Amplitudes returns |X[k]| for each frequency component.

@@ -88,8 +88,11 @@ func TestRadix2MatchesDirect(t *testing.T) {
 	for i := range x {
 		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
 	}
-	fast := radix2(x, false)
-	slow := direct(x, false)
+	p := planFor(len(x))
+	fast := make([]complex128, len(x))
+	p.fft(fast, x, false)
+	slow := make([]complex128, len(x))
+	p.direct(slow, x, false) // pow-of-two plans carry no direct table: on-the-fly O(N²) path
 	for i := range x {
 		complexAlmost(t, fast[i], slow[i], 1e-8, "radix2 vs direct")
 	}

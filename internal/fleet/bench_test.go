@@ -32,6 +32,42 @@ func BenchmarkFleetPlace(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetBarrier1000 measures the barrier-only control plane at
+// fleet scale: the shared-egress reshare plus a placement-score forecast
+// sweep (heap push/pop with a DFT forecast per node) over 1000 nodes
+// with warm estimators. The whole pass must be allocation-free — this is
+// the loop every epoch serializes on, and the reason Fit/Predict carry
+// //tango:hotpath and the barrier emits are nil-recorder guarded.
+func BenchmarkFleetBarrier1000(b *testing.B) {
+	c, err := New(Config{Nodes: 1000, Sessions: 10000, Seed: 7, Epochs: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	nodeBW := c.cfg.Store.NodeBandwidth
+	for _, nd := range c.nodes {
+		for k := 0; k < 8; k++ {
+			nd.est.Observe(float64(50+k%5) * mb)
+		}
+		if err := nd.est.Fit(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.reshare(0, nodeBW)
+		c.heap.reset(len(c.nodes))
+		for _, nd := range c.nodes {
+			if nd.alive {
+				c.heap.push(nd.idx, nd.predictFrac(nodeBW)+nd.load)
+			}
+		}
+		for c.heap.len() > 0 {
+			c.heap.pop()
+		}
+	}
+}
+
 // BenchmarkObjstoreReshare measures the shared-egress water-filling pass
 // across a large fleet — the per-barrier hot loop.
 func BenchmarkObjstoreReshare(b *testing.B) {

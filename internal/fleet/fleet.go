@@ -34,7 +34,7 @@ package fleet
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"tango/internal/container"
@@ -45,6 +45,7 @@ import (
 	"tango/internal/objstore"
 	"tango/internal/resil"
 	"tango/internal/runpool"
+	"tango/internal/sim"
 	"tango/internal/tokenctl"
 	"tango/internal/trace"
 )
@@ -86,6 +87,15 @@ type Config struct {
 	// internal/tokenctl). The mode survives node kills: a rebuilt node
 	// gets a fresh controller of the same mode.
 	Control tokenctl.Mode
+	// SlidingDFT enables the per-node demand estimators' opt-in
+	// sliding-DFT mode: the spectrum advances incrementally with each
+	// harvested epoch and the forecast refits every epoch (the default
+	// mode fits once and extrapolates). Off by default — the incremental
+	// summation order differs from the batch FFT, so cluster output is
+	// not byte-identical to the default mode, though still deterministic
+	// for a given seed at any -parallel width (the mode survives node
+	// kills: rebuilt nodes inherit it).
+	SlidingDFT bool
 }
 
 func (c Config) withDefaults() Config {
@@ -198,6 +208,14 @@ type node struct {
 	alive     bool
 	killUntil float64
 
+	// measured mirrors the current epoch's measured flag (published at
+	// the barrier, read by step procs inside the window); draining tells
+	// parked step procs to exit at end of run; procs tracks every step
+	// proc spawned on this node's engine so the drain can wake them.
+	measured bool
+	draining bool
+	procs    []*sim.Proc
+
 	// per-epoch accumulators; reset at each barrier. Written only from
 	// this node's engine context (the parallel window) or the barrier.
 	demandBytes float64 // bytes actually pulled from the store this epoch
@@ -228,6 +246,7 @@ type Cluster struct {
 
 	demandScratch []float64
 	heap          placer
+	tasks         []*runpool.Task[error] // per-epoch window tasks, reused
 	// topoDirty is set when the alive set changes (kill, revive) and
 	// cleared once settle has fully rebalanced: in a steady no-fault run
 	// settle never fires and migrations stay at zero.
@@ -254,6 +273,8 @@ func New(cfg Config) (*Cluster, error) {
 		rec:        cfg.Trace,
 		killEpoch:  -1,
 		violByNode: make([]int, cfg.Nodes),
+		epochMBps:  make([]float64, 0, cfg.Epochs),
+		tasks:      make([]*runpool.Task[error], 0, cfg.Nodes),
 	}
 	if cfg.Plan != nil {
 		c.planApplied = make([]bool, len(cfg.Plan.Events))
@@ -292,6 +313,7 @@ func (c *Cluster) buildNode(i int, attach bool) *node {
 		nd.tok.SetResil(nd.rc)
 	}
 	nd.est = dftestim.NewEstimator()
+	nd.est.Sliding = c.cfg.SlidingDFT
 	if c.cfg.Plan != nil && attach {
 		c.armDeviceFaults(nd)
 	}
@@ -342,6 +364,7 @@ func (nd *node) predictFrac(nodeBW float64) float64 {
 func (c *Cluster) Run() (*Report, error) {
 	cfg := c.cfg
 	nodeBW := cfg.Store.NodeBandwidth
+	lastEnd := 0.0
 	for e := 0; e < cfg.Epochs; e++ {
 		t0 := float64(e) * cfg.EpochSec
 		end := t0 + cfg.EpochSec
@@ -360,7 +383,7 @@ func (c *Cluster) Run() (*Report, error) {
 		}
 
 		// ---- parallel: per-node windows, any worker width ----
-		tasks := make([]*runpool.Task[error], 0, len(c.nodes))
+		tasks := c.tasks[:0]
 		for _, nd := range c.nodes {
 			if !nd.alive {
 				continue
@@ -378,8 +401,37 @@ func (c *Cluster) Run() (*Report, error) {
 
 		// ---- barrier: harvest, node-index order ----
 		c.harvest(e)
+		lastEnd = end
+	}
+	if err := c.drainProcs(lastEnd); err != nil {
+		return nil, err
 	}
 	return c.report(), nil
+}
+
+// drainProcs wakes every parked step proc on the alive nodes so its
+// goroutine exits: without persistent procs the goroutine count equalled
+// steps and self-drained; with them it equals sessions and needs this
+// farewell wake. Procs mid-transfer past the final epoch either no-op
+// the Wake (awaiting a resume already committed) or re-park in the
+// transfer's suspend loop when woken (the flow never completes) — the
+// same bounded leak the seed had for overrunning steps (and for killed
+// nodes' engines).
+func (c *Cluster) drainProcs(end float64) error {
+	for _, nd := range c.nodes {
+		if !nd.alive || len(nd.procs) == 0 {
+			continue
+		}
+		nd.draining = true
+		eng := nd.cn.Engine()
+		for _, p := range nd.procs {
+			eng.Wake(p)
+		}
+		if err := eng.Run(end); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // applyPlan interprets the fault plan at the barrier opening epoch e:
@@ -472,7 +524,9 @@ func (c *Cluster) place(list []*session, t float64, why string) {
 	for _, nd := range c.nodes {
 		sortSessions(nd.sessions)
 	}
-	c.emit(t, trace.KindPlace, "placed=%d reason=%s alive=%d", len(list), why, c.aliveCount())
+	if c.rec != nil { // guard: the variadic emit boxes its args
+		c.emit(t, trace.KindPlace, "placed=%d reason=%s alive=%d", len(list), why, c.aliveCount())
+	}
 }
 
 // attach binds a session to a node: cgroup, coordinator weight, and the
@@ -502,6 +556,15 @@ func (c *Cluster) attach(nd *node, s *session) {
 	}
 	nd.sessions = append(nd.sessions, s)
 	nd.load += s.cost
+	// Rebind the persistent step machinery to this node: scheduleSteps
+	// spawns the proc directly at its first step instant and wakes it at
+	// each later one, inserting exactly one resume event per step at the
+	// arm instant — the queue slot the old Spawn-per-step pattern's arm
+	// event occupied, which is the byte-identity contract with it. A proc
+	// left parked on a previous node stays there until that node drains.
+	epochSec := c.cfg.EpochSec
+	s.proc = nil
+	s.stepFn = func(p *sim.Proc) { nd.runSession(p, s, epochSec) }
 }
 
 // detach unbinds a session from its current node (planned migrations
@@ -523,6 +586,11 @@ func (c *Cluster) detach(nd *node, s *session) {
 	nd.load -= s.cost
 	s.node = -1
 	s.cg = nil
+	// The parked proc (and its step closure) belong to the old node's
+	// engine; attach on the destination rebuilds them. The old proc exits
+	// at that node's drain.
+	s.proc = nil
+	s.stepFn = nil
 }
 
 // settle rebalances session counts across alive nodes at a barrier:
@@ -619,6 +687,9 @@ func (c *Cluster) reshare(epoch int, nodeBW float64) {
 		demands[i] = nd.predictFrac(nodeBW) * nodeBW * 1.25
 	}
 	grants := c.store.Reshare(demands)
+	if c.rec == nil {
+		return // guard: the grant-summary scan and emit box/format per epoch
+	}
 	lo, hi := 0.0, 0.0
 	first := true
 	for i, g := range grants {
@@ -653,6 +724,13 @@ func (c *Cluster) harvest(epoch int) {
 		if !nd.est.Ready() && nd.est.Samples() >= 4 {
 			if err := nd.est.Fit(); err != nil {
 				panic(err) // unreachable: sample count checked
+			}
+		} else if c.cfg.SlidingDFT && nd.est.Ready() {
+			// Sliding mode keeps the spectrum current per observation, so
+			// a per-epoch refit is O(Window) and the forecast tracks demand
+			// shifts instead of extrapolating the first fit forever.
+			if err := nd.est.Fit(); err != nil {
+				panic(err) // unreachable: Ready implies enough samples
 			}
 		}
 		bytes += nd.stepBytes
@@ -734,7 +812,9 @@ func (c *Cluster) emit(t float64, kind, format string, args ...any) {
 }
 
 func sortSessions(ss []*session) {
-	sort.Slice(ss, func(i, j int) bool { return ss[i].id < ss[j].id })
+	// ids are unique, so this order is total and stability is moot;
+	// slices.SortFunc avoids sort.Slice's reflect-based interface boxing.
+	slices.SortFunc(ss, func(a, b *session) int { return a.id - b.id })
 }
 
 // placer is a tiny binary min-heap over (node index, score), ties broken

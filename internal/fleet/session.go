@@ -39,6 +39,16 @@ type session struct {
 	restore  float64          // bytes to re-fetch from the store before stepping
 	busy     bool             // a step proc is in flight
 
+	// Persistent step machinery, rebuilt at attach: one proc runs all of
+	// this session's steps on its current node, parking between epochs
+	// (Suspend) and re-armed by the barrier committing a future resume
+	// (WakeAt) — the Spawn-per-step pattern this replaces allocated a
+	// proc, two channels, a goroutine, and two closures per session per
+	// epoch, and cost an extra trampoline event per step. stepFn is the
+	// proc body.
+	proc   *sim.Proc
+	stepFn func(p *sim.Proc)
+
 	steps      int
 	bytes      float64
 	migrations int
@@ -78,21 +88,41 @@ func genSessions(n int, seed int64, epochSec, nodeBW float64) []*session {
 // the step crossed one or more epoch boundaries) skips this period —
 // back-pressure instead of pile-up, and the overrun itself is already
 // counted as a bound violation when it completes.
+// The barrier commits each session's resume directly at its step instant
+// (SpawnAt on first arm, WakeAt thereafter): one event per step, taking
+// the queue slot the per-step arm event used to occupy, so step bodies
+// still run at the same instant and in the same barrier order.
 func (c *Cluster) scheduleSteps(nd *node, t0 float64, measured bool) {
 	eng := nd.cn.Engine()
-	epochSec := c.cfg.EpochSec
+	nd.measured = measured
 	for _, s := range nd.sessions {
 		if s.busy {
 			nd.skips++
 			continue
 		}
 		s.busy = true
-		s := s
-		eng.At(t0+s.phase, func() {
-			eng.Spawn(s.name, func(p *sim.Proc) {
-				nd.step(p, s, epochSec, measured)
-			})
-		})
+		if s.proc == nil {
+			s.proc = eng.SpawnAt(t0+s.phase, s.name, s.stepFn)
+			nd.procs = append(nd.procs, s.proc)
+		} else {
+			eng.WakeAt(t0+s.phase, s.proc)
+		}
+	}
+}
+
+// runSession is a session's persistent step proc: it runs one step per
+// wake-up and parks between epochs. It exits when its node starts
+// draining (end of run) — a proc orphaned by a planned migration stays
+// parked until then, because only the drain ever wakes a proc that is no
+// longer armed. nd.measured is read at step start, inside the epoch that
+// armed it, so it matches the value the barrier published.
+func (nd *node) runSession(p *sim.Proc, s *session, epochSec float64) {
+	for {
+		if nd.draining {
+			return
+		}
+		nd.step(p, s, epochSec, nd.measured)
+		p.Suspend()
 	}
 }
 

@@ -1,0 +1,72 @@
+package fleet
+
+import (
+	"reflect"
+	"testing"
+
+	"tango/internal/runpool"
+	"tango/internal/trace"
+)
+
+// runSlidingReport runs one fixed faulted cluster with the sliding-DFT
+// forecast mode at the given worker width.
+func runSlidingReport(t *testing.T, workers int) (*Report, []trace.Event) {
+	t.Helper()
+	prev := runpool.Workers()
+	runpool.SetWorkers(workers)
+	defer runpool.SetWorkers(prev)
+	rec := trace.New(8192)
+	c, err := New(Config{
+		Nodes: 5, Sessions: 30, Seed: 17,
+		Plan:       killPlan(t, "node-kill@240:node=node2,dur=120"),
+		Trace:      rec,
+		SlidingDFT: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, rec.Events()
+}
+
+// TestSlidingDFTDeterministicAcrossWorkerWidths is the sliding mode's
+// own same-seed byte-match gate: opt-in incremental spectra must stay
+// deterministic at any -parallel width, like the default mode. (It is
+// not byte-identical to the default mode — the incremental summation
+// order differs — which is why the mode is opt-in.)
+func TestSlidingDFTDeterministicAcrossWorkerWidths(t *testing.T) {
+	r1, ev1 := runSlidingReport(t, 1)
+	r4, ev4 := runSlidingReport(t, 4)
+	if !reflect.DeepEqual(r1, r4) {
+		t.Fatalf("sliding-mode reports diverge across worker widths:\n%+v\n%+v", r1, r4)
+	}
+	if !reflect.DeepEqual(ev1, ev4) {
+		t.Fatalf("sliding-mode trace streams diverge: %d vs %d events", len(ev1), len(ev4))
+	}
+}
+
+// TestSlidingDFTRefitsEveryEpoch: the flag must actually change forecast
+// behavior — node estimators refit per harvested epoch instead of
+// extrapolating the first fit.
+func TestSlidingDFTRefitsEveryEpoch(t *testing.T) {
+	c, err := New(Config{Nodes: 2, Sessions: 8, Seed: 3, Epochs: 8, SlidingDFT: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, nd := range c.nodes {
+		if !nd.est.Ready() {
+			t.Fatalf("%s estimator never fitted", nd.name)
+		}
+		// A per-epoch refit leaves the model spanning every harvested
+		// sample (8 epochs), not the first-fit window of 4.
+		if nd.est.ModelLen() != 8 {
+			t.Fatalf("%s model len %d, want 8 (per-epoch refit missing)", nd.name, nd.est.ModelLen())
+		}
+	}
+}

@@ -68,7 +68,35 @@ func (e *Engine) newEvent(t float64, fn func()) *event {
 // is dropped so the freelist does not pin closures.
 func (e *Engine) recycle(ev *event) {
 	ev.fn = nil
+	ev.cb = nil
 	e.free = append(e.free, ev)
+}
+
+// Callback is the allocation-free alternative to a func() event body: a
+// hot path that would otherwise build a fresh closure per scheduling (to
+// carry per-object state into the event) instead implements Fire on the
+// state object itself and passes its pointer — boxing a pointer into the
+// interface does not allocate. See Device's flow-issue events.
+type Callback interface {
+	Fire()
+}
+
+// AtCall schedules cb.Fire to run at virtual time t. Semantics (clamping,
+// ordering, Timer cancellation) are identical to At; the event occupies
+// the same sequence slot an At call at this point would.
+//
+//tango:hotpath
+func (e *Engine) AtCall(t float64, cb Callback) Timer {
+	if t < e.now {
+		t = e.now
+	}
+	if math.IsNaN(t) {
+		panic("sim: event scheduled at NaN time")
+	}
+	ev := e.newEvent(t, nil)
+	ev.cb = cb
+	e.events.push(ev)
+	return Timer{ev: ev, seq: ev.seq, when: t}
 }
 
 // At schedules fn to run at virtual time t. Times in the past are clamped
@@ -111,10 +139,11 @@ type Timer struct {
 //
 //tango:hotpath
 func (t Timer) Stop() bool {
-	if t.ev == nil || t.ev.seq != t.seq || t.ev.fn == nil {
+	if t.ev == nil || t.ev.seq != t.seq || (t.ev.fn == nil && t.ev.cb == nil) {
 		return false
 	}
 	t.ev.fn = nil
+	t.ev.cb = nil
 	return true
 }
 
@@ -139,10 +168,12 @@ func (e *Engine) Run(until float64) error {
 		}
 		e.events.pop()
 		e.now = ev.t
-		fn := ev.fn
-		e.recycle(ev) // before firing: fn may reschedule and reuse it
+		fn, cb := ev.fn, ev.cb
+		e.recycle(ev) // before firing: the callback may reschedule and reuse it
 		if fn != nil {
 			fn()
+		} else if cb != nil {
+			cb.Fire()
 		}
 	}
 	if e.err == nil && e.now < until {
@@ -159,10 +190,12 @@ func (e *Engine) RunAll() error {
 	for len(e.events) > 0 && e.err == nil {
 		ev := e.events.pop()
 		e.now = ev.t
-		fn := ev.fn
+		fn, cb := ev.fn, ev.cb
 		e.recycle(ev)
 		if fn != nil {
 			fn()
+		} else if cb != nil {
+			cb.Fire()
 		}
 	}
 	return e.err

@@ -18,6 +18,7 @@ type event struct {
 	t   float64
 	seq int64
 	fn  func()
+	cb  Callback // used instead of fn by AtCall; exactly one of the two is set
 }
 
 // before reports whether a fires strictly before b.

@@ -27,6 +27,15 @@ type Proc struct {
 // at the current virtual time, after events already scheduled at this
 // instant. A panic inside fn is captured and surfaces via Engine.Err.
 func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	return e.SpawnAt(e.now, name, fn)
+}
+
+// SpawnAt is Spawn with the first execution scheduled at virtual time t
+// instead of now (past times clamp to the present, like At). It lets a
+// scheduler arm a process body directly at its start time with a single
+// event, where an At(t, ...) trampoline that Spawns on firing would
+// insert two.
+func (e *Engine) SpawnAt(t float64, name string, fn func(p *Proc)) *Proc {
 	p := &Proc{
 		eng:  e,
 		name: name,
@@ -48,7 +57,7 @@ func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
 		}()
 		fn(p)
 	}()
-	e.At(e.now, p.resumeFn)
+	e.At(t, p.resumeFn)
 	return p
 }
 
@@ -116,3 +125,19 @@ func (e *Engine) Wake(p *Proc) {
 
 // Wake is a convenience for Engine.Wake from another process context.
 func (p *Proc) Wake(other *Proc) { p.eng.Wake(other) }
+
+// WakeAt schedules a suspended process to resume at virtual time t
+// (clamped to the present, like At). It is Wake with the resume placed
+// in the future: the caller commits the wake-up now, with the resume
+// event taking the queue slot the commit point owns, instead of firing a
+// trampoline event at t that wakes the process with a second event. A
+// process already woken (or not suspended) is left alone. Between the
+// call and t the process no longer counts as suspended, so intervening
+// Wake calls no-op rather than pull the resume earlier.
+func (e *Engine) WakeAt(t float64, p *Proc) {
+	if p == nil || p.done || !p.suspended {
+		return
+	}
+	p.suspended = false
+	e.At(t, p.resumeFn)
+}

@@ -1,0 +1,25 @@
+#!/bin/sh
+# Append one tangobench -json suite document to the append-only
+# benchmark trajectory (benchmarks/trajectory.jsonl): one JSON line per
+# recorded run, stamped with the commit it was built from and the UTC
+# time it was recorded. benchdiff gates a single hop against the
+# committed baseline; the trajectory keeps the whole walk, so slow drift
+# that never trips the 10% gate is still visible to dashboards and
+# bisection. Usage:
+#
+#	go run ./cmd/tangobench -json -parallel 4 -grid 129 -steps 40 -skip 10 -dataset 512 > bench-suite.json
+#	scripts/benchtrend.sh bench-suite.json
+set -eu
+
+cd "$(dirname "$0")/.."
+suite="${1:?usage: benchtrend.sh <bench-suite.json>}"
+commit=$(git rev-parse --short HEAD 2>/dev/null || echo unknown)
+stamp=$(date -u +%Y-%m-%dT%H:%M:%SZ)
+mkdir -p benchmarks
+# The suite document is machine-generated JSON: newlines in it only ever
+# separate tokens (encoded strings cannot contain raw newlines), so
+# stripping them folds the document onto one line without touching any
+# value.
+printf '{"commit":"%s","recorded":"%s","suite":%s}\n' \
+	"$commit" "$stamp" "$(tr -d '\n' < "$suite")" >> benchmarks/trajectory.jsonl
+echo "benchtrend: recorded suite for $commit in benchmarks/trajectory.jsonl" >&2
